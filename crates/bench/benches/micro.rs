@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the substrate operations every campaign is built from:
+//! EUI-64 conversion, prefix arithmetic, RIB longest-prefix match, ICMPv6
+//! serialization, and the simulated-engine probe path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scent_bench::versatel_engine;
+use scent_bgp::{Asn, Rib};
+use scent_ipv6::wire::Icmpv6Packet;
+use scent_ipv6::{Eui64, Ipv6Prefix, MacAddr};
+use scent_prober::TargetGenerator;
+use scent_simnet::SimTime;
+
+fn bench_eui64(c: &mut Criterion) {
+    let mac = MacAddr::new([0x38, 0x10, 0xd5, 0xaa, 0xbb, 0xcc]);
+    let addr = Eui64::from_mac(mac).with_prefix64(0x2001_16b8_1d01_0000);
+    c.bench_function("eui64/from_mac", |b| {
+        b.iter(|| Eui64::from_mac(black_box(mac)))
+    });
+    c.bench_function("eui64/extract_from_addr", |b| {
+        b.iter(|| Eui64::from_addr(black_box(addr)))
+    });
+}
+
+fn bench_prefix(c: &mut Criterion) {
+    let pool: Ipv6Prefix = "2001:16b8:100::/46".parse().unwrap();
+    let sub: Ipv6Prefix = "2001:16b8:102:4200::/56".parse().unwrap();
+    c.bench_function("prefix/nth_subnet", |b| {
+        b.iter(|| pool.nth_subnet(56, black_box(731)).unwrap())
+    });
+    c.bench_function("prefix/subnet_index", |b| {
+        b.iter(|| pool.subnet_index(black_box(&sub)))
+    });
+}
+
+fn bench_rib(c: &mut Criterion) {
+    let mut rib = Rib::new();
+    for i in 0..1_000u32 {
+        let prefix = Ipv6Prefix::from_bits(((0x2600_0000u128 + i as u128) << 96) | 0, 32).unwrap();
+        rib.announce(prefix, Asn(64_000 + i));
+    }
+    let addr = "2600:1ff::1".parse().unwrap();
+    c.bench_function("rib/longest_match_1k_prefixes", |b| {
+        b.iter(|| rib.lookup(black_box(addr)))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let request = Icmpv6Packet::echo_request(
+        "2a01:7e00:ffff::1".parse().unwrap(),
+        "2001:16b8:1d01:4200::1".parse().unwrap(),
+        0xbeef,
+        7,
+        bytes::Bytes::from_static(b"follow the scent"),
+    );
+    let wire = request.to_bytes();
+    c.bench_function("wire/echo_request_serialize", |b| {
+        b.iter(|| black_box(&request).to_bytes())
+    });
+    c.bench_function("wire/echo_request_parse", |b| {
+        b.iter(|| Icmpv6Packet::parse(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_engine_probe(c: &mut Criterion) {
+    let engine = versatel_engine(3);
+    let pool = engine.pools()[3].config.prefix;
+    let targets = TargetGenerator::new(1).one_per_subnet(&pool, 56);
+    let t = SimTime::at(5, 12);
+    let mut i = 0usize;
+    c.bench_function("engine/probe", |b| {
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            engine.probe(black_box(targets[i]), t)
+        })
+    });
+    c.bench_function("engine/trace", |b| {
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            engine.trace(black_box(targets[i]), t, 32)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_eui64, bench_prefix, bench_rib, bench_wire, bench_engine_probe
+}
+criterion_main!(micro);

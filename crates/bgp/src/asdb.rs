@@ -1,0 +1,171 @@
+//! Per-AS metadata: operator name and country.
+//!
+//! Table 1 of the paper ranks rotating /48s by ASN *and* by country, and
+//! Table 2 lists a country code per tracked device, so the reproduction needs
+//! an AS → country mapping alongside the RIB.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Asn;
+
+/// An ISO 3166-1 alpha-2 country code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CountryCode(pub [u8; 2]);
+
+impl CountryCode {
+    /// Construct from a two-letter string. Lower-case input is upper-cased.
+    pub fn new(code: &str) -> Option<Self> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 2 || !bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            return None;
+        }
+        Some(CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ]))
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("ASCII by construction")
+    }
+}
+
+impl std::fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::str::FromStr for CountryCode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CountryCode::new(s).ok_or_else(|| format!("invalid country code {s:?}"))
+    }
+}
+
+/// Metadata about an Autonomous System.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Operator name (e.g. "Versatel", "BH Telecom").
+    pub name: String,
+    /// Country the operator primarily serves.
+    pub country: CountryCode,
+}
+
+/// A registry of AS metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsRegistry {
+    entries: BTreeMap<u32, AsInfo>,
+}
+
+impl AsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered ASes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register an AS. Replaces and returns any previous entry.
+    pub fn insert(&mut self, info: AsInfo) -> Option<AsInfo> {
+        self.entries.insert(info.asn.value(), info)
+    }
+
+    /// Convenience constructor for an entry.
+    pub fn register(&mut self, asn: impl Into<Asn>, name: &str, country: &str) {
+        let asn = asn.into();
+        self.insert(AsInfo {
+            asn,
+            name: name.to_string(),
+            country: CountryCode::new(country)
+                .unwrap_or_else(|| panic!("invalid country code {country:?}")),
+        });
+    }
+
+    /// Look up an AS.
+    pub fn get(&self, asn: Asn) -> Option<&AsInfo> {
+        self.entries.get(&asn.value())
+    }
+
+    /// The country of an AS, if known.
+    pub fn country(&self, asn: Asn) -> Option<CountryCode> {
+        self.get(asn).map(|info| info.country)
+    }
+
+    /// The name of an AS, if known.
+    pub fn name(&self, asn: Asn) -> Option<&str> {
+        self.get(asn).map(|info| info.name.as_str())
+    }
+
+    /// Iterate over all entries in ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = &AsInfo> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_parsing() {
+        assert_eq!(CountryCode::new("de").unwrap().as_str(), "DE");
+        assert_eq!(CountryCode::new("DE").unwrap().to_string(), "DE");
+        assert!(CountryCode::new("DEU").is_none());
+        assert!(CountryCode::new("D1").is_none());
+        assert!(CountryCode::new("").is_none());
+        assert_eq!("br".parse::<CountryCode>().unwrap().as_str(), "BR");
+        assert!("x".parse::<CountryCode>().is_err());
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = AsRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(8881u32, "Versatel", "DE");
+        reg.register(6799u32, "OTE", "GR");
+        reg.register(7552u32, "Viettel Group", "VN");
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.name(Asn(8881)), Some("Versatel"));
+        assert_eq!(reg.country(Asn(6799)).unwrap().as_str(), "GR");
+        assert_eq!(reg.get(Asn(9999)), None);
+        let asns: Vec<u32> = reg.iter().map(|i| i.asn.value()).collect();
+        assert_eq!(asns, vec![6799, 7552, 8881]);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut reg = AsRegistry::new();
+        reg.register(1u32, "Old", "US");
+        let previous = reg.insert(AsInfo {
+            asn: Asn(1),
+            name: "New".into(),
+            country: CountryCode::new("US").unwrap(),
+        });
+        assert_eq!(previous.unwrap().name, "Old");
+        assert_eq!(reg.name(Asn(1)), Some("New"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn register_panics_on_bad_country() {
+        let mut reg = AsRegistry::new();
+        reg.register(1u32, "Broken", "XYZ");
+    }
+}

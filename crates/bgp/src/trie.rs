@@ -1,0 +1,310 @@
+//! A binary trie over IPv6 prefixes with longest-prefix-match lookup.
+//!
+//! The trie walks address bits from the most significant end; each node can
+//! hold a value for the prefix ending at that node. This is the classic
+//! unibit trie — not the fastest possible LPM structure, but simple, exactly
+//! correct, and fast enough to resolve hundreds of millions of simulated
+//! responses (see the `rib_lpm` ablation benchmark, which compares it to a
+//! linear scan).
+
+use std::net::Ipv6Addr;
+
+use scent_ipv6::{addr_to_u128, Ipv6Prefix};
+
+/// A binary prefix trie mapping [`Ipv6Prefix`]es to values of type `V`.
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<V> {
+    root: Node<V>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+}
+
+/// Extract bit `i` (0 = most significant) of a 128-bit address.
+#[inline]
+fn bit(bits: u128, i: u8) -> usize {
+    ((bits >> (127 - i)) & 1) as usize
+}
+
+impl<V> PrefixTrie<V> {
+    /// Create an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value for a prefix, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv6Prefix, value: V) -> Option<V> {
+        let bits = prefix.network_bits();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            let b = bit(bits, i);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::default()));
+        }
+        let previous = node.value.replace(value);
+        if previous.is_none() {
+            self.len += 1;
+        }
+        previous
+    }
+
+    /// Exact-match lookup of a prefix.
+    pub fn get(&self, prefix: &Ipv6Prefix) -> Option<&V> {
+        let bits = prefix.network_bits();
+        let mut node = &self.root;
+        for i in 0..prefix.len() {
+            node = node.children[bit(bits, i)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Remove a prefix, returning its value if present.
+    pub fn remove(&mut self, prefix: &Ipv6Prefix) -> Option<V> {
+        let bits = prefix.network_bits();
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() {
+            node = node.children[bit(bits, i)].as_deref_mut()?;
+        }
+        let removed = node.value.take();
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix containing
+    /// `addr`, along with its value.
+    pub fn longest_match(&self, addr: Ipv6Addr) -> Option<(Ipv6Prefix, &V)> {
+        let bits = addr_to_u128(addr);
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = node.value.as_ref().map(|v| (0u8, v));
+        for i in 0..128u8 {
+            match node.children[bit(bits, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            (
+                Ipv6Prefix::from_bits(bits, len).expect("length bounded by 128"),
+                v,
+            )
+        })
+    }
+
+    /// All stored prefixes that contain `addr`, from least to most specific.
+    pub fn all_matches(&self, addr: Ipv6Addr) -> Vec<(Ipv6Prefix, &V)> {
+        let bits = addr_to_u128(addr);
+        let mut node = &self.root;
+        let mut out = Vec::new();
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv6Prefix::ALL, v));
+        }
+        for i in 0..128u8 {
+            match node.children[bit(bits, i)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = child.value.as_ref() {
+                        out.push((
+                            Ipv6Prefix::from_bits(bits, i + 1).expect("length bounded"),
+                            v,
+                        ));
+                    }
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Iterate over all `(prefix, value)` pairs in lexicographic prefix
+    /// order.
+    pub fn iter(&self) -> Vec<(Ipv6Prefix, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        Self::walk(&self.root, 0, 0, &mut out);
+        out
+    }
+
+    fn walk<'a>(node: &'a Node<V>, bits: u128, depth: u8, out: &mut Vec<(Ipv6Prefix, &'a V)>) {
+        if let Some(v) = node.value.as_ref() {
+            out.push((
+                Ipv6Prefix::from_bits(bits, depth).expect("depth bounded"),
+                v,
+            ));
+        }
+        if depth == 128 {
+            return;
+        }
+        if let Some(child) = node.children[0].as_deref() {
+            Self::walk(child, bits, depth + 1, out);
+        }
+        if let Some(child) = node.children[1].as_deref() {
+            Self::walk(child, bits | (1u128 << (127 - depth)), depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut trie = PrefixTrie::new();
+        assert!(trie.is_empty());
+        assert_eq!(trie.insert(p("2001:db8::/32"), 1), None);
+        assert_eq!(trie.insert(p("2001:db8::/32"), 2), Some(1));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.get(&p("2001:db8::/32")), Some(&2));
+        assert_eq!(trie.get(&p("2001:db8::/48")), None);
+        assert_eq!(trie.remove(&p("2001:db8::/32")), Some(2));
+        assert!(trie.is_empty());
+        assert_eq!(trie.remove(&p("2001:db8::/32")), None);
+    }
+
+    #[test]
+    fn longest_match_prefers_most_specific() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(p("2001:16b8::/32"), "provider");
+        trie.insert(p("2001:16b8:100::/46"), "pool");
+        trie.insert(p("2001:16b8:101::/48"), "candidate");
+        let addr: Ipv6Addr = "2001:16b8:101:42::1".parse().unwrap();
+        let (pfx, v) = trie.longest_match(addr).unwrap();
+        assert_eq!(pfx, p("2001:16b8:101::/48"));
+        assert_eq!(*v, "candidate");
+
+        let addr: Ipv6Addr = "2001:16b8:103::1".parse().unwrap();
+        let (pfx, v) = trie.longest_match(addr).unwrap();
+        assert_eq!(pfx, p("2001:16b8:100::/46"));
+        assert_eq!(*v, "pool");
+
+        let addr: Ipv6Addr = "2001:16b8:ffff::1".parse().unwrap();
+        let (pfx, v) = trie.longest_match(addr).unwrap();
+        assert_eq!(pfx, p("2001:16b8::/32"));
+        assert_eq!(*v, "provider");
+
+        let addr: Ipv6Addr = "2a02::1".parse().unwrap();
+        assert!(trie.longest_match(addr).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(Ipv6Prefix::ALL, 0u32);
+        let (pfx, v) = trie.longest_match("1234::1".parse().unwrap()).unwrap();
+        assert_eq!(pfx, Ipv6Prefix::ALL);
+        assert_eq!(*v, 0);
+    }
+
+    #[test]
+    fn all_matches_orders_by_specificity() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(p("2001::/16"), 16);
+        trie.insert(p("2001:db8::/32"), 32);
+        trie.insert(p("2001:db8:0:1::/64"), 64);
+        let matches = trie.all_matches("2001:db8:0:1::5".parse().unwrap());
+        let lens: Vec<u8> = matches.iter().map(|(p, _)| p.len()).collect();
+        assert_eq!(lens, vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn iter_returns_all_prefixes() {
+        let mut trie = PrefixTrie::new();
+        let prefixes = [p("2001:db8::/32"), p("2a01::/16"), p("2001:db8:1::/48")];
+        for (i, pfx) in prefixes.iter().enumerate() {
+            trie.insert(*pfx, i);
+        }
+        let entries = trie.iter();
+        assert_eq!(entries.len(), 3);
+        for pfx in &prefixes {
+            assert!(entries.iter().any(|(q, _)| q == pfx));
+        }
+    }
+
+    #[test]
+    fn host_route_128() {
+        let mut trie = PrefixTrie::new();
+        let host = p("2001:db8::1/128");
+        trie.insert(host, "host");
+        let (pfx, _) = trie.longest_match("2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(pfx, host);
+        assert!(trie.longest_match("2001:db8::2".parse().unwrap()).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn lpm_agrees_with_linear_scan(
+            entries in proptest::collection::vec((any::<u128>(), 0u8..=64), 1..40),
+            probe in any::<u128>(),
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut list: Vec<(Ipv6Prefix, usize)> = Vec::new();
+            for (i, (bits, len)) in entries.iter().enumerate() {
+                let pfx = Ipv6Prefix::from_bits(*bits, *len).unwrap();
+                trie.insert(pfx, i);
+                // Later inserts replace earlier ones for the same prefix.
+                list.retain(|(q, _)| *q != pfx);
+                list.push((pfx, i));
+            }
+            let addr = Ipv6Addr::from(probe);
+            let expected = list
+                .iter()
+                .filter(|(q, _)| q.contains(addr))
+                .max_by_key(|(q, _)| q.len())
+                .map(|(q, v)| (q.len(), *v));
+            let actual = trie.longest_match(addr).map(|(q, v)| (q.len(), *v));
+            prop_assert_eq!(actual, expected);
+        }
+
+        #[test]
+        fn insert_then_get(bits in any::<u128>(), len in 0u8..=128) {
+            let mut trie = PrefixTrie::new();
+            let pfx = Ipv6Prefix::from_bits(bits, len).unwrap();
+            trie.insert(pfx, 42u32);
+            prop_assert_eq!(trie.get(&pfx), Some(&42));
+            prop_assert_eq!(trie.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! EUI-64 density inference for candidate /48 networks (§4.2).
+//!
+//! After the seed /48s are expanded and validated, a probing pass at /56
+//! granularity measures how many *unique* EUI-64 responses each candidate /48
+//! produces. Candidates with two or fewer unique identifiers are classified
+//! *low density* (a /48 delegated to a single device, or a load-balanced
+//! pair) and dropped from further probing; the rest are *high density* and go
+//! on to rotation detection.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_prober::Scan;
+
+/// Density classification of a candidate /48.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DensityClass {
+    /// More than `low_threshold` unique EUI-64 responders: kept for
+    /// rotation detection and the daily campaign.
+    High,
+    /// Responsive, but with too few unique EUI-64 responders to be a
+    /// customer-pool prefix.
+    Low,
+    /// No response at all during the density scan.
+    NoResponse,
+}
+
+/// Density measurement for one candidate /48.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixDensity {
+    /// The candidate /48.
+    pub prefix: Ipv6Prefix,
+    /// Probes sent into the candidate.
+    pub probes: u64,
+    /// Unique EUI-64 identifiers observed in responses.
+    pub unique_eui64: u64,
+    /// Unique response density: unique identifiers / probes.
+    pub density: f64,
+    /// The classification.
+    pub class: DensityClass,
+}
+
+/// The density report over all candidates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DensityReport {
+    /// Per-candidate measurements, in candidate order.
+    pub prefixes: Vec<PrefixDensity>,
+}
+
+impl DensityReport {
+    /// The unique-EUI-64 count at or below which a responsive candidate is
+    /// classified low density. The paper uses a density threshold of 0.01
+    /// over 256 probes per /48, i.e. two or fewer unique responders.
+    pub const LOW_THRESHOLD: u64 = 2;
+
+    /// Measure density per candidate /48 from a scan whose targets were
+    /// generated inside those candidates.
+    pub fn measure(candidates: &[Ipv6Prefix], scan: &Scan) -> Self {
+        // Bucket probes and unique EUI-64 responses by candidate.
+        let mut probes: HashMap<Ipv6Prefix, u64> = HashMap::new();
+        let mut uniques: HashMap<Ipv6Prefix, HashSet<Eui64>> = HashMap::new();
+        let lookup: Vec<Ipv6Prefix> = candidates.to_vec();
+        for record in &scan.records {
+            // Candidates are /48s, so the containing candidate is found by
+            // truncating the target. (A hash lookup keeps this O(1) per
+            // record rather than scanning the candidate list.)
+            let target_48 = Ipv6Prefix::new(record.target, 48).expect("48 is a valid length");
+            if !probes.contains_key(&target_48) && !lookup.contains(&target_48) {
+                continue;
+            }
+            *probes.entry(target_48).or_insert(0) += 1;
+            if let Some(eui) = record.eui64() {
+                uniques.entry(target_48).or_default().insert(eui);
+            }
+        }
+
+        let mut prefixes = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let sent = probes.get(candidate).copied().unwrap_or(0);
+            let unique = uniques.get(candidate).map(|s| s.len() as u64).unwrap_or(0);
+            let density = if sent == 0 {
+                0.0
+            } else {
+                unique as f64 / sent as f64
+            };
+            let responded = scan
+                .records
+                .iter()
+                .any(|r| candidate.contains(r.target) && r.responded());
+            let class = if !responded {
+                DensityClass::NoResponse
+            } else if unique <= Self::LOW_THRESHOLD {
+                DensityClass::Low
+            } else {
+                DensityClass::High
+            };
+            prefixes.push(PrefixDensity {
+                prefix: *candidate,
+                probes: sent,
+                unique_eui64: unique,
+                density,
+                class,
+            });
+        }
+        DensityReport { prefixes }
+    }
+
+    /// The high-density candidates (kept for further probing).
+    pub fn high_density(&self) -> Vec<Ipv6Prefix> {
+        self.of_class(DensityClass::High)
+    }
+
+    /// The low-density candidates (dropped).
+    pub fn low_density(&self) -> Vec<Ipv6Prefix> {
+        self.of_class(DensityClass::Low)
+    }
+
+    /// The unresponsive candidates (dropped).
+    pub fn no_response(&self) -> Vec<Ipv6Prefix> {
+        self.of_class(DensityClass::NoResponse)
+    }
+
+    fn of_class(&self, class: DensityClass) -> Vec<Ipv6Prefix> {
+        self.prefixes
+            .iter()
+            .filter(|p| p.class == class)
+            .map(|p| p.prefix)
+            .collect()
+    }
+
+    /// Counts per class: `(high, low, no-response)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.high_density().len(),
+            self.low_density().len(),
+            self.no_response().len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_prober::{Scanner, TargetGenerator};
+    use scent_simnet::config::{
+        ProviderConfig, RotationPolicy, RotationPoolConfig, SlotLayout, WorldConfig,
+    };
+    use scent_simnet::{Engine, SimTime};
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// A provider with one dense /48, one /48 holding a single device and
+    /// plenty of empty /48s.
+    fn density_world() -> WorldConfig {
+        let provider = ProviderConfig::new(
+            64496u32,
+            "DensityNet",
+            "DE",
+            vec![p("2001:db8::/40")],
+            vec![
+                RotationPoolConfig {
+                    prefix: p("2001:db8:10::/48"),
+                    allocation_len: 56,
+                    occupancy: 0.6,
+                    layout: SlotLayout::Spread,
+                    rotation: RotationPolicy::Static,
+                },
+                RotationPoolConfig {
+                    prefix: p("2001:db8:20::/48"),
+                    allocation_len: 56,
+                    occupancy: 0.004, // a single occupied /56
+                    layout: SlotLayout::Spread,
+                    rotation: RotationPolicy::Static,
+                },
+            ],
+        );
+        let mut world = WorldConfig::new(vec![provider], 17);
+        world.churn_fraction = 0.0;
+        world
+    }
+
+    fn run_density() -> DensityReport {
+        let engine = Engine::build(density_world()).unwrap();
+        let candidates = vec![
+            p("2001:db8:10::/48"),
+            p("2001:db8:20::/48"),
+            p("2001:db8:30::/48"),
+        ];
+        let targets = TargetGenerator::new(4).per_candidate_48(&candidates, 56);
+        let scan = Scanner::at_paper_rate(13).scan(&engine, &targets, SimTime::at(1, 8));
+        DensityReport::measure(&candidates, &scan)
+    }
+
+    #[test]
+    fn classifies_high_low_and_silent() {
+        let report = run_density();
+        assert_eq!(report.prefixes.len(), 3);
+        assert_eq!(report.high_density(), vec![p("2001:db8:10::/48")]);
+        assert_eq!(report.low_density(), vec![p("2001:db8:20::/48")]);
+        assert_eq!(report.no_response(), vec![p("2001:db8:30::/48")]);
+        assert_eq!(report.counts(), (1, 1, 1));
+    }
+
+    #[test]
+    fn density_values_are_consistent() {
+        let report = run_density();
+        let dense = &report.prefixes[0];
+        assert_eq!(dense.probes, 256);
+        assert!(dense.unique_eui64 > DensityReport::LOW_THRESHOLD);
+        assert!((dense.density - dense.unique_eui64 as f64 / 256.0).abs() < 1e-12);
+        let sparse = &report.prefixes[1];
+        assert!(sparse.unique_eui64 <= DensityReport::LOW_THRESHOLD);
+        let silent = &report.prefixes[2];
+        assert_eq!(silent.unique_eui64, 0);
+        assert_eq!(silent.density, 0.0);
+    }
+
+    #[test]
+    fn empty_scan_marks_everything_unresponsive() {
+        let candidates = vec![p("2001:db8:10::/48")];
+        let report = DensityReport::measure(&candidates, &Scan::default());
+        assert_eq!(report.counts(), (0, 0, 1));
+    }
+}

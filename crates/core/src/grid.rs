@@ -1,0 +1,217 @@
+//! Allocation grids (Figures 3 and 6).
+//!
+//! Probing one target in every /64 of a /48 and colouring each cell by the
+//! responding address visualises the provider's customer allocation policy:
+//! /56 delegations appear as 256-cell horizontal bands, /60 delegations as
+//! 16-cell runs, /64 delegations as individual pixels, and unallocated or
+//! silent space as black. The grid is indexed by the 7th byte (rows) and 8th
+//! byte (columns) of the probed address.
+
+use std::collections::HashMap;
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::Ipv6Prefix;
+use scent_prober::{ProbeTransport, Scanner, ScannerConfig, TargetGenerator};
+use scent_simnet::SimTime;
+
+use crate::stats::median;
+
+/// The probed allocation grid of one /48.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationGrid {
+    /// The /48 that was probed.
+    pub prefix: Ipv6Prefix,
+    /// 256×256 cells in row-major order (row = 7th byte, column = 8th byte);
+    /// each cell is the responding address for that /64, if any.
+    pub cells: Vec<Option<Ipv6Addr>>,
+}
+
+impl AllocationGrid {
+    /// Probe every /64 of `prefix48` at time `t` and build the grid.
+    pub fn probe<T: ProbeTransport>(
+        transport: &T,
+        prefix48: Ipv6Prefix,
+        t: SimTime,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(prefix48.len(), 48, "allocation grids are defined over /48s");
+        let targets = TargetGenerator::new(seed).one_per_subnet(&prefix48, 64);
+        let scanner = Scanner::new(ScannerConfig {
+            seed,
+            randomize_order: false,
+            ..ScannerConfig::default()
+        });
+        let scan = scanner.scan(transport, &targets, t);
+        // Targets were generated in subnet order, so record i corresponds to
+        // the i-th /64 — i.e. row-major (byte 6, byte 7) order.
+        let cells = scan.records.iter().map(|r| r.source()).collect();
+        AllocationGrid {
+            prefix: prefix48,
+            cells,
+        }
+    }
+
+    /// The cell for a given (7th byte, 8th byte) coordinate.
+    pub fn cell(&self, row: u8, column: u8) -> Option<Ipv6Addr> {
+        self.cells[row as usize * 256 + column as usize]
+    }
+
+    /// Fraction of cells with no response (the black area of the figures).
+    pub fn unresponsive_fraction(&self) -> f64 {
+        self.cells.iter().filter(|c| c.is_none()).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Number of distinct responding addresses.
+    pub fn distinct_sources(&self) -> usize {
+        let mut sources: Vec<Ipv6Addr> = self.cells.iter().flatten().copied().collect();
+        sources.sort();
+        sources.dedup();
+        sources.len()
+    }
+
+    /// Infer the customer allocation size from the grid: the median length of
+    /// maximal runs of consecutive /64s answered by the same address, rounded
+    /// to a power of two. This is the visual inference of Figure 3 made
+    /// mechanical.
+    pub fn infer_allocation_len(&self) -> Option<u8> {
+        let mut run_lengths: Vec<u64> = Vec::new();
+        let mut current: Option<(Ipv6Addr, u64)> = None;
+        for cell in &self.cells {
+            match (cell, &mut current) {
+                (Some(addr), Some((running, count))) if addr == running => *count += 1,
+                (Some(addr), _) => {
+                    if let Some((_, count)) = current.take() {
+                        run_lengths.push(count);
+                    }
+                    current = Some((*addr, 1));
+                }
+                (None, _) => {
+                    if let Some((_, count)) = current.take() {
+                        run_lengths.push(count);
+                    }
+                }
+            }
+        }
+        if let Some((_, count)) = current.take() {
+            run_lengths.push(count);
+        }
+        let median_run = median(&run_lengths)?;
+        // A run of 2^k /64s corresponds to a /64-k allocation.
+        let bits = 63 - median_run.next_power_of_two().leading_zeros().min(63) as u8;
+        Some(64 - bits.min(16))
+    }
+
+    /// Render the grid as ASCII art: one character per 4×4 cell block, `.`
+    /// for unresponsive space and letters cycling through distinct sources.
+    /// Used by the `allocation_grid` example to eyeball Figure 3.
+    pub fn render_ascii(&self) -> String {
+        let mut palette: HashMap<Ipv6Addr, char> = HashMap::new();
+        let glyphs: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+        let mut out = String::with_capacity(65 * 64);
+        for row_block in 0..64 {
+            for col_block in 0..64 {
+                // Majority vote within the 4×4 block.
+                let mut counts: HashMap<Option<Ipv6Addr>, usize> = HashMap::new();
+                for dr in 0..4 {
+                    for dc in 0..4 {
+                        let cell = self.cell(row_block * 4 + dr, col_block * 4 + dc);
+                        *counts.entry(cell).or_insert(0) += 1;
+                    }
+                }
+                let (winner, _) = counts
+                    .into_iter()
+                    .max_by_key(|(_, count)| *count)
+                    .expect("block is non-empty");
+                let glyph = match winner {
+                    None => '.',
+                    Some(addr) => {
+                        let next = glyphs[palette.len() % glyphs.len()];
+                        *palette.entry(addr).or_insert(next)
+                    }
+                };
+                out.push(glyph);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_simnet::{scenarios, Engine};
+
+    #[test]
+    fn entel_grid_shows_56_bands() {
+        let engine = Engine::build(scenarios::entel_like(101)).unwrap();
+        let prefix = engine.pools()[0].config.prefix;
+        let grid = AllocationGrid::probe(&engine, prefix, SimTime::at(1, 10), 3);
+        assert_eq!(grid.cells.len(), 65_536);
+        assert_eq!(grid.infer_allocation_len(), Some(56));
+        // 85% occupancy, 92% responsive: most of the grid answers.
+        assert!(grid.unresponsive_fraction() < 0.4);
+        assert!(grid.distinct_sources() > 100);
+        // A /56 band: all 256 cells of an occupied row share one source.
+        let mut banded_rows = 0;
+        for row in 0..=255u8 {
+            let first = grid.cell(row, 0);
+            if first.is_some() && (0..=255u8).all(|col| grid.cell(row, col) == first) {
+                banded_rows += 1;
+            }
+        }
+        assert!(banded_rows > 150, "banded rows: {banded_rows}");
+    }
+
+    #[test]
+    fn bhtelecom_grid_shows_60_runs() {
+        let engine = Engine::build(scenarios::bhtelecom_like(102)).unwrap();
+        let prefix = engine.pools()[0].config.prefix;
+        let grid = AllocationGrid::probe(&engine, prefix, SimTime::at(1, 10), 3);
+        assert_eq!(grid.infer_allocation_len(), Some(60));
+    }
+
+    #[test]
+    fn starcat_grid_shows_64_pixels_and_unallocated_quarter() {
+        let engine = Engine::build(scenarios::starcat_like(103)).unwrap();
+        // The four /50 pools tile the /48 2400:d800:300::/48.
+        let prefix: Ipv6Prefix = "2400:d800:300::/48".parse().unwrap();
+        let grid = AllocationGrid::probe(&engine, prefix, SimTime::at(1, 10), 3);
+        assert_eq!(grid.infer_allocation_len(), Some(64));
+        // The top quarter (rows 0xc0..) is essentially unallocated.
+        let top_quarter_unresponsive = (0xc0..=0xffu8)
+            .flat_map(|row| (0..=255u8).map(move |col| (row, col)))
+            .filter(|&(row, col)| grid.cell(row, col).is_none())
+            .count();
+        assert!(top_quarter_unresponsive > 15_000);
+        assert!(grid.unresponsive_fraction() > 0.4);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let engine = Engine::build(scenarios::entel_like(104)).unwrap();
+        let prefix = engine.pools()[0].config.prefix;
+        let grid = AllocationGrid::probe(&engine, prefix, SimTime::at(1, 10), 3);
+        let art = grid.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 64);
+        assert!(lines.iter().all(|l| l.chars().count() == 64));
+        // Both occupied and unoccupied space appear.
+        assert!(art.contains('.'));
+        assert!(art.chars().any(|c| c.is_ascii_alphanumeric()));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation grids are defined over /48s")]
+    fn grids_require_a_48() {
+        let engine = Engine::build(scenarios::entel_like(105)).unwrap();
+        AllocationGrid::probe(
+            &engine,
+            "2803:9810::/32".parse().unwrap(),
+            SimTime::at(1, 10),
+            3,
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Prefix-rotation detection from two snapshots taken 24 hours apart (§4.3).
+//!
+//! Two scans of the same target list (same order, same seed) are compared:
+//! keep the `<target, response>` pairs whose response is an EUI-64 address in
+//! either scan, drop the pairs common to both scans, and what remains are
+//! targets whose EUI-64 responder changed — either to a different EUI-64
+//! address, to a non-EUI-64 address, or to silence. A /48 with at least one
+//! such change is flagged as (likely) rotating.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_prober::Scan;
+
+/// The kind of change observed for one target between the two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChangeKind {
+    /// EUI-64 response in both scans, but from different addresses.
+    EuiToDifferentEui,
+    /// EUI-64 response in the first scan only.
+    EuiToNothing,
+    /// EUI-64 response in the second scan only.
+    NothingToEui,
+    /// EUI-64 response replaced by (or replacing) a non-EUI-64 response.
+    EuiToOtherKind,
+}
+
+/// One changed target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangedTarget {
+    /// The probed target.
+    pub target: Ipv6Addr,
+    /// The response source in the first snapshot, if any.
+    pub first: Option<Ipv6Addr>,
+    /// The response source in the second snapshot, if any.
+    pub second: Option<Ipv6Addr>,
+    /// How the response changed.
+    pub kind: ChangeKind,
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotationDetection {
+    /// Every target whose EUI-64 response changed.
+    pub changes: Vec<ChangedTarget>,
+    /// The /48 networks containing at least one changed target.
+    pub rotating_48s: Vec<Ipv6Prefix>,
+}
+
+impl RotationDetection {
+    /// Compare two snapshots of the same target list.
+    ///
+    /// The scans need not present targets in the same order (the scanner
+    /// already guarantees it, but the comparison is keyed by target address
+    /// so any two scans over the same set can be diffed).
+    pub fn compare(first: &Scan, second: &Scan) -> Self {
+        let first_by_target: HashMap<Ipv6Addr, Option<Ipv6Addr>> = first
+            .records
+            .iter()
+            .map(|r| (r.target, r.source()))
+            .collect();
+        let mut changes = Vec::new();
+        let mut rotating: HashSet<Ipv6Prefix> = HashSet::new();
+
+        for record in &second.records {
+            let Some(&first_source) = first_by_target.get(&record.target) else {
+                continue;
+            };
+            let second_source = record.source();
+            let first_eui = first_source.filter(|a| Eui64::addr_is_eui64(*a));
+            let second_eui = second_source.filter(|a| Eui64::addr_is_eui64(*a));
+            // Only pairs that are EUI-64 in at least one scan matter.
+            if first_eui.is_none() && second_eui.is_none() {
+                continue;
+            }
+            // Identical pairs are removed (the "common between the two scans"
+            // filter of §4.3).
+            if first_source == second_source {
+                continue;
+            }
+            let kind = match (first_eui, second_eui) {
+                (Some(_), Some(_)) => ChangeKind::EuiToDifferentEui,
+                (Some(_), None) if second_source.is_none() => ChangeKind::EuiToNothing,
+                (None, Some(_)) if first_source.is_none() => ChangeKind::NothingToEui,
+                _ => ChangeKind::EuiToOtherKind,
+            };
+            changes.push(ChangedTarget {
+                target: record.target,
+                first: first_source,
+                second: second_source,
+                kind,
+            });
+            rotating.insert(Ipv6Prefix::new(record.target, 48).expect("48 is valid"));
+        }
+
+        let mut rotating_48s: Vec<Ipv6Prefix> = rotating.into_iter().collect();
+        rotating_48s.sort();
+        RotationDetection {
+            changes,
+            rotating_48s,
+        }
+    }
+
+    /// Number of changed targets by change kind.
+    pub fn change_counts(&self) -> HashMap<ChangeKind, usize> {
+        let mut counts = HashMap::new();
+        for change in &self.changes {
+            *counts.entry(change.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Whether a particular /48 was flagged as rotating.
+    pub fn is_rotating(&self, prefix: &Ipv6Prefix) -> bool {
+        self.rotating_48s.binary_search(prefix).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_prober::{Scanner, TargetGenerator};
+    use scent_simnet::{scenarios, Engine, SimTime};
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Scan the Versatel /56-allocation pools on two consecutive days.
+    fn two_snapshots() -> (Engine, Scan, Scan, Vec<Ipv6Prefix>) {
+        let engine = Engine::build(scenarios::versatel_like(51)).unwrap();
+        let generator = TargetGenerator::new(6);
+        let mut targets = Vec::new();
+        let mut pools = Vec::new();
+        for pool in engine.pools() {
+            if pool.config.allocation_len == 56 {
+                targets.extend(generator.one_per_subnet(&pool.config.prefix, 56));
+                pools.push(pool.config.prefix);
+            }
+        }
+        let scanner = Scanner::at_paper_rate(17);
+        let first = scanner.scan(&engine, &targets, SimTime::at(10, 9));
+        let second = scanner.scan(&engine, &targets, SimTime::at(11, 9));
+        (engine, first, second, pools)
+    }
+
+    #[test]
+    fn detects_rotation_in_rotating_pools() {
+        let (_engine, first, second, pools) = two_snapshots();
+        let detection = RotationDetection::compare(&first, &second);
+        assert!(!detection.changes.is_empty());
+        assert!(!detection.rotating_48s.is_empty());
+        // Every flagged /48 lies inside one of the rotating /46 pools.
+        for pfx in &detection.rotating_48s {
+            assert!(pools.iter().any(|pool| pool.contains_prefix(pfx)));
+            assert!(detection.is_rotating(pfx));
+        }
+        // Different EUI-64 devices rotate into probed slots, so the dominant
+        // change kind involves EUI-64 on both sides or appearance/disappearance.
+        let counts = detection.change_counts();
+        assert!(counts.values().sum::<usize>() == detection.changes.len());
+    }
+
+    #[test]
+    fn static_provider_shows_no_rotation() {
+        let engine = Engine::build(scenarios::entel_like(52)).unwrap();
+        let generator = TargetGenerator::new(6);
+        let pool = engine.pools()[0].config.prefix;
+        let targets = generator.one_per_subnet(&pool, 56);
+        let scanner = Scanner::at_paper_rate(17);
+        let first = scanner.scan(&engine, &targets, SimTime::at(10, 9));
+        let second = scanner.scan(&engine, &targets, SimTime::at(11, 9));
+        let detection = RotationDetection::compare(&first, &second);
+        assert!(detection.changes.is_empty());
+        assert!(detection.rotating_48s.is_empty());
+        assert!(!detection.is_rotating(&p("2803:9810:100::/48")));
+    }
+
+    #[test]
+    fn identical_scans_produce_no_changes() {
+        let (_engine, first, _, _) = two_snapshots();
+        let detection = RotationDetection::compare(&first, &first);
+        assert!(detection.changes.is_empty());
+    }
+
+    #[test]
+    fn disjoint_target_sets_are_ignored() {
+        let (_engine, first, second, _) = two_snapshots();
+        // A scan over different targets shares no keys with the first, so no
+        // changes can be attributed.
+        let mut other = second.clone();
+        for record in &mut other.records {
+            let bits = scent_ipv6::addr_to_u128(record.target) ^ (1u128 << 100);
+            record.target = scent_ipv6::addr_from_u128(bits);
+        }
+        let detection = RotationDetection::compare(&first, &other);
+        assert!(detection.changes.is_empty());
+    }
+}

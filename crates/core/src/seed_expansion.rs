@@ -1,0 +1,128 @@
+//! Seed /48 expansion and validation (§4.1).
+//!
+//! The CAIDA seed data nominates /32 networks that contained EUI-64 periphery
+//! more than a year before the campaign. The expansion step probes one
+//! pseudo-random target in a /64 of every /48 of those /32s, both validating
+//! that the seed still produces EUI-64 responses and discovering additional
+//! /48s inside the same announcement that do.
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_prober::{ProbeTransport, Scanner, TargetGenerator};
+use scent_simnet::SimTime;
+
+/// Result of the seed-expansion step.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeedExpansion {
+    /// Every /48 probed.
+    pub probed_48s: u64,
+    /// /48s whose probe elicited an EUI-64 response.
+    pub validated_48s: Vec<Ipv6Prefix>,
+    /// /48s that responded but not with an EUI-64 source.
+    pub non_eui_48s: Vec<Ipv6Prefix>,
+}
+
+impl SeedExpansion {
+    /// Expand the given seed /32 prefixes at time `t`: probe one target per
+    /// /48 (capped at `max_48s_per_seed` per /32) and keep the /48s whose
+    /// response carries an EUI-64 identifier.
+    pub fn run<T: ProbeTransport>(
+        transport: &T,
+        seed_32s: &[Ipv6Prefix],
+        t: SimTime,
+        seed: u64,
+        max_48s_per_seed: u64,
+    ) -> Self {
+        let generator = TargetGenerator::new(seed);
+        let scanner = Scanner::at_paper_rate(seed ^ 0x9e37);
+
+        let mut candidate_48s: Vec<Ipv6Prefix> = Vec::new();
+        for seed_prefix in seed_32s {
+            let total = seed_prefix
+                .num_subnets(48)
+                .expect("seed prefixes are /48 or shorter");
+            let count = total.min(max_48s_per_seed as u128);
+            for i in 0..count {
+                candidate_48s.push(
+                    seed_prefix
+                        .nth_subnet(48, i)
+                        .expect("index bounded by count"),
+                );
+            }
+        }
+        let targets: Vec<_> = candidate_48s
+            .iter()
+            .map(|c| generator.random_addr_in(c))
+            .collect();
+        let scan = scanner.scan(transport, &targets, t);
+
+        let mut validated = Vec::new();
+        let mut non_eui = Vec::new();
+        for record in &scan.records {
+            let target_48 = Ipv6Prefix::new(record.target, 48).expect("48 is valid");
+            match record.response {
+                Some(response) if Eui64::addr_is_eui64(response.source) => {
+                    validated.push(target_48)
+                }
+                Some(_) => non_eui.push(target_48),
+                None => {}
+            }
+        }
+        validated.sort();
+        validated.dedup();
+        non_eui.sort();
+        non_eui.dedup();
+        SeedExpansion {
+            probed_48s: candidate_48s.len() as u64,
+            validated_48s: validated,
+            non_eui_48s: non_eui,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_simnet::{scenarios, Engine, SeedCampaign};
+
+    #[test]
+    fn expansion_validates_and_discovers_48s() {
+        let engine = Engine::build(scenarios::versatel_like(41)).unwrap();
+        // Stale seed collected long before the main campaign.
+        let seed = SeedCampaign::run(&engine, SimTime::at(5, 12), 8_192);
+        let seed_32s = seed.seed_32s();
+        assert!(!seed_32s.is_empty());
+
+        let expansion = SeedExpansion::run(&engine, &seed_32s, SimTime::at(365, 9), 7, 8_192);
+        assert!(expansion.probed_48s >= 8_192);
+        assert!(!expansion.validated_48s.is_empty());
+        // Every validated /48 falls inside a configured pool (that is the
+        // only space where CPE live).
+        for pfx in &expansion.validated_48s {
+            assert!(engine
+                .pools()
+                .iter()
+                .any(|p| p.config.prefix.contains_prefix(pfx) || pfx.contains_prefix(&p.config.prefix)));
+        }
+    }
+
+    #[test]
+    fn privacy_only_provider_yields_non_eui_48s() {
+        let mut world = scenarios::versatel_like(42);
+        world.providers[0].eui64_fraction = 0.0;
+        let engine = Engine::build(world).unwrap();
+        let seed_32s = vec!["2001:16b8::/32".parse().unwrap()];
+        let expansion = SeedExpansion::run(&engine, &seed_32s, SimTime::at(10, 9), 7, 8_192);
+        assert!(expansion.validated_48s.is_empty());
+        assert!(!expansion.non_eui_48s.is_empty());
+    }
+
+    #[test]
+    fn cap_limits_probing() {
+        let engine = Engine::build(scenarios::versatel_like(43)).unwrap();
+        let seed_32s = vec!["2001:16b8::/32".parse().unwrap()];
+        let expansion = SeedExpansion::run(&engine, &seed_32s, SimTime::at(10, 9), 7, 64);
+        assert_eq!(expansion.probed_48s, 64);
+    }
+}

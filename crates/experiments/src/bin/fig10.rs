@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 output; see EXPERIMENTS.md for the
+//! paper-vs-measured comparison. Set SCENT_SCALE=small for a quick run.
+fn main() {
+    println!("{}", scent_experiments::figures::run_fig10());
+}

@@ -1,0 +1,8 @@
+//! Runs every table/figure experiment in sequence and prints each report.
+//! Set SCENT_SCALE=small and/or SCENT_DAYS=N to bound the runtime.
+fn main() {
+    for (name, runner) in scent_experiments::all_experiments() {
+        println!("================ {name} ================");
+        println!("{}", runner());
+    }
+}

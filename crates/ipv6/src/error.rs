@@ -1,0 +1,106 @@
+//! Error type shared by the `scent-ipv6` crate.
+
+use core::fmt;
+
+/// Errors produced while parsing or constructing addresses, prefixes and
+/// wire-format packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A prefix length outside `0..=128` was supplied.
+    InvalidPrefixLength(u8),
+    /// The requested subnet length was shorter than the parent prefix.
+    SubnetShorterThanParent {
+        /// Length of the parent prefix.
+        parent: u8,
+        /// Requested subnet length.
+        requested: u8,
+    },
+    /// A subnet index was out of range for the requested subdivision.
+    SubnetIndexOutOfRange {
+        /// The offending index.
+        index: u128,
+        /// Number of subnets available.
+        available: u128,
+    },
+    /// A textual MAC address could not be parsed.
+    InvalidMac(String),
+    /// A textual prefix could not be parsed.
+    InvalidPrefix(String),
+    /// The interface identifier is not in modified EUI-64 form.
+    NotEui64,
+    /// A packet buffer was too short to contain the claimed structure.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A field in a packet had a value we do not understand.
+    Malformed(&'static str),
+    /// The ICMPv6 checksum did not verify.
+    BadChecksum {
+        /// Checksum found in the packet.
+        found: u16,
+        /// Checksum computed over the packet.
+        computed: u16,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPrefixLength(len) => write!(f, "invalid prefix length /{len}"),
+            Error::SubnetShorterThanParent { parent, requested } => write!(
+                f,
+                "subnet length /{requested} is shorter than parent prefix /{parent}"
+            ),
+            Error::SubnetIndexOutOfRange { index, available } => {
+                write!(f, "subnet index {index} out of range (have {available})")
+            }
+            Error::InvalidMac(s) => write!(f, "invalid MAC address: {s:?}"),
+            Error::InvalidPrefix(s) => write!(f, "invalid IPv6 prefix: {s:?}"),
+            Error::NotEui64 => write!(f, "interface identifier is not modified EUI-64"),
+            Error::Truncated { needed, available } => {
+                write!(f, "buffer truncated: need {needed} bytes, have {available}")
+            }
+            Error::Malformed(what) => write!(f, "malformed packet: {what}"),
+            Error::BadChecksum { found, computed } => write!(
+                f,
+                "ICMPv6 checksum mismatch: found {found:#06x}, computed {computed:#06x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidPrefixLength(129);
+        assert!(e.to_string().contains("129"));
+        let e = Error::BadChecksum {
+            found: 0x1234,
+            computed: 0xabcd,
+        };
+        assert!(e.to_string().contains("0x1234"));
+        assert!(e.to_string().contains("0xabcd"));
+        let e = Error::Truncated {
+            needed: 8,
+            available: 4,
+        };
+        assert!(e.to_string().contains("8"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NotEui64, Error::NotEui64);
+        assert_ne!(Error::NotEui64, Error::InvalidPrefixLength(0));
+    }
+}

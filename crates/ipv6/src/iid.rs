@@ -1,0 +1,130 @@
+//! Classification of IPv6 interface identifiers.
+//!
+//! The measurement methodology only *exploits* EUI-64 identifiers, but to
+//! model a realistic address population (and to validate that non-EUI-64
+//! responses are correctly ignored) we classify the common IID construction
+//! schemes catalogued in RFC 7721 and the address-classification literature.
+
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::interface_id;
+use crate::eui64::Eui64;
+
+/// The construction scheme an interface identifier appears to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IidClass {
+    /// Modified EUI-64: the MAC address is embedded with an `ff:fe` marker.
+    /// These are the identifiers the paper's tracking technique exploits.
+    Eui64,
+    /// A "low-byte" identifier: all bytes zero except the final one or two.
+    /// Typical of manually configured router interfaces (`::1`, `::53`, …).
+    LowByte,
+    /// An IPv4 address embedded in the low 32 bits with the upper IID bits
+    /// zero, as produced by some transition mechanisms and manual schemes.
+    EmbeddedIpv4,
+    /// A small structured value in the low bits (< 2¹⁶) that is not low-byte;
+    /// often a VLAN id, service id or wordy manual assignment.
+    LowValue,
+    /// Anything else — overwhelmingly RFC 4941/7217 pseudo-random privacy
+    /// identifiers, which is what modern end hosts use.
+    Random,
+}
+
+impl IidClass {
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IidClass::Eui64 => "eui64",
+            IidClass::LowByte => "low-byte",
+            IidClass::EmbeddedIpv4 => "embedded-ipv4",
+            IidClass::LowValue => "low-value",
+            IidClass::Random => "random",
+        }
+    }
+}
+
+/// Classify the interface identifier of an address.
+pub fn classify_iid(addr: Ipv6Addr) -> IidClass {
+    let iid = interface_id(addr);
+    if Eui64::is_eui64_iid(iid) {
+        return IidClass::Eui64;
+    }
+    if iid <= 0xff {
+        return IidClass::LowByte;
+    }
+    if iid <= 0xffff {
+        return IidClass::LowValue;
+    }
+    // Embedded IPv4: high 32 bits of the IID are zero and the low 32 look
+    // like a dotted quad would (non-zero, not a tiny value already caught).
+    if iid >> 32 == 0 {
+        return IidClass::EmbeddedIpv4;
+    }
+    IidClass::Random
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn classifies_eui64() {
+        assert_eq!(
+            classify_iid(a("2001:db8::3a10:d5ff:feaa:bbcc")),
+            IidClass::Eui64
+        );
+    }
+
+    #[test]
+    fn classifies_low_byte() {
+        assert_eq!(classify_iid(a("2001:db8::1")), IidClass::LowByte);
+        assert_eq!(classify_iid(a("2001:db8::53")), IidClass::LowByte);
+        assert_eq!(classify_iid(a("2001:db8::ff")), IidClass::LowByte);
+    }
+
+    #[test]
+    fn classifies_low_value() {
+        assert_eq!(classify_iid(a("2001:db8::1001")), IidClass::LowValue);
+        assert_eq!(classify_iid(a("2001:db8::ffff")), IidClass::LowValue);
+    }
+
+    #[test]
+    fn classifies_embedded_ipv4() {
+        // 192.0.2.1 embedded in the low 32 bits.
+        assert_eq!(classify_iid(a("2001:db8::c000:201")), IidClass::EmbeddedIpv4);
+    }
+
+    #[test]
+    fn classifies_random() {
+        assert_eq!(
+            classify_iid(a("2001:db8::8d4f:1a2b:3c4d:5e6f")),
+            IidClass::Random
+        );
+        // ff:fe in the wrong position is not EUI-64.
+        assert_eq!(
+            classify_iid(a("2001:db8::fffe:1a2b:3c4d:5e6f")),
+            IidClass::Random
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            IidClass::Eui64.label(),
+            IidClass::LowByte.label(),
+            IidClass::EmbeddedIpv4.label(),
+            IidClass::LowValue.label(),
+            IidClass::Random.label(),
+        ];
+        let mut unique = labels.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+}

@@ -1,0 +1,518 @@
+//! ICMPv6 messages (RFC 4443).
+//!
+//! The reproduction needs exactly the message types the paper's probing
+//! observes: Echo Request (the probe), Echo Reply, Destination Unreachable
+//! with the codes enumerated in §3.1 (*"Administratively Prohibited, No Route
+//! to Destination, and Address Unreachable are common"*), Time Exceeded
+//! (*"we also observe Hop Limit Exceeded responses"*), and Parameter Problem
+//! for completeness.
+
+use std::net::Ipv6Addr;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::wire::checksum::{icmpv6_checksum, verify_icmpv6_checksum};
+
+/// Maximum number of invoking-packet bytes quoted inside an ICMPv6 error
+/// message. RFC 4443 requires the error not to exceed the minimum IPv6 MTU;
+/// we keep the customary 1232-byte bound (1280 − 40 − 8).
+pub const MAX_INVOKING_BYTES: usize = 1232;
+
+/// ICMPv6 message type numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Icmpv6Type {
+    /// Type 1.
+    DestinationUnreachable,
+    /// Type 2.
+    PacketTooBig,
+    /// Type 3.
+    TimeExceeded,
+    /// Type 4.
+    ParameterProblem,
+    /// Type 128.
+    EchoRequest,
+    /// Type 129.
+    EchoReply,
+}
+
+impl Icmpv6Type {
+    /// The on-wire type number.
+    pub fn value(self) -> u8 {
+        match self {
+            Icmpv6Type::DestinationUnreachable => 1,
+            Icmpv6Type::PacketTooBig => 2,
+            Icmpv6Type::TimeExceeded => 3,
+            Icmpv6Type::ParameterProblem => 4,
+            Icmpv6Type::EchoRequest => 128,
+            Icmpv6Type::EchoReply => 129,
+        }
+    }
+
+    /// Whether this is an error message (type < 128).
+    pub fn is_error(self) -> bool {
+        self.value() < 128
+    }
+}
+
+/// Destination Unreachable codes (RFC 4443 §3.1). These are the response
+/// codes the paper reports eliciting from CPE devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DestUnreachableCode {
+    /// Code 0 — no route to destination.
+    NoRoute,
+    /// Code 1 — communication administratively prohibited.
+    AdminProhibited,
+    /// Code 2 — beyond scope of source address.
+    BeyondScope,
+    /// Code 3 — address unreachable.
+    AddressUnreachable,
+    /// Code 4 — port unreachable.
+    PortUnreachable,
+    /// Code 5 — source address failed ingress/egress policy.
+    FailedPolicy,
+    /// Code 6 — reject route to destination.
+    RejectRoute,
+}
+
+impl DestUnreachableCode {
+    /// The on-wire code value.
+    pub fn value(self) -> u8 {
+        match self {
+            DestUnreachableCode::NoRoute => 0,
+            DestUnreachableCode::AdminProhibited => 1,
+            DestUnreachableCode::BeyondScope => 2,
+            DestUnreachableCode::AddressUnreachable => 3,
+            DestUnreachableCode::PortUnreachable => 4,
+            DestUnreachableCode::FailedPolicy => 5,
+            DestUnreachableCode::RejectRoute => 6,
+        }
+    }
+
+    /// Build from the on-wire code.
+    pub fn from_value(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => DestUnreachableCode::NoRoute,
+            1 => DestUnreachableCode::AdminProhibited,
+            2 => DestUnreachableCode::BeyondScope,
+            3 => DestUnreachableCode::AddressUnreachable,
+            4 => DestUnreachableCode::PortUnreachable,
+            5 => DestUnreachableCode::FailedPolicy,
+            6 => DestUnreachableCode::RejectRoute,
+            _ => return Err(Error::Malformed("unknown destination unreachable code")),
+        })
+    }
+
+    /// All codes, in on-wire order. Useful for exercising OS behaviours in
+    /// the simulator.
+    pub const ALL: [DestUnreachableCode; 7] = [
+        DestUnreachableCode::NoRoute,
+        DestUnreachableCode::AdminProhibited,
+        DestUnreachableCode::BeyondScope,
+        DestUnreachableCode::AddressUnreachable,
+        DestUnreachableCode::PortUnreachable,
+        DestUnreachableCode::FailedPolicy,
+        DestUnreachableCode::RejectRoute,
+    ];
+}
+
+/// Parameter Problem codes (RFC 4443 §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParamProblemCode {
+    /// Code 0 — erroneous header field encountered.
+    ErroneousHeader,
+    /// Code 1 — unrecognized Next Header type.
+    UnrecognizedNextHeader,
+    /// Code 2 — unrecognized IPv6 option.
+    UnrecognizedOption,
+}
+
+impl ParamProblemCode {
+    /// The on-wire code value.
+    pub fn value(self) -> u8 {
+        match self {
+            ParamProblemCode::ErroneousHeader => 0,
+            ParamProblemCode::UnrecognizedNextHeader => 1,
+            ParamProblemCode::UnrecognizedOption => 2,
+        }
+    }
+
+    /// Build from the on-wire code.
+    pub fn from_value(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => ParamProblemCode::ErroneousHeader,
+            1 => ParamProblemCode::UnrecognizedNextHeader,
+            2 => ParamProblemCode::UnrecognizedOption,
+            _ => return Err(Error::Malformed("unknown parameter problem code")),
+        })
+    }
+}
+
+/// An ICMPv6 message body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Icmpv6Message {
+    /// Echo Request (type 128) — the probe sent by the scanner.
+    EchoRequest {
+        /// Echo identifier, used by the scanner to validate responses.
+        identifier: u16,
+        /// Echo sequence number.
+        sequence: u16,
+        /// Arbitrary probe payload.
+        payload: Bytes,
+    },
+    /// Echo Reply (type 129).
+    EchoReply {
+        /// Echo identifier copied from the request.
+        identifier: u16,
+        /// Echo sequence number copied from the request.
+        sequence: u16,
+        /// Payload copied from the request.
+        payload: Bytes,
+    },
+    /// Destination Unreachable (type 1) — the dominant CPE response to probes
+    /// into nonexistent host-subnet addresses.
+    DestinationUnreachable {
+        /// The specific unreachable code.
+        code: DestUnreachableCode,
+        /// The leading bytes of the packet that provoked the error.
+        invoking_packet: Bytes,
+    },
+    /// Packet Too Big (type 2).
+    PacketTooBig {
+        /// The MTU of the constraining link.
+        mtu: u32,
+        /// The leading bytes of the packet that provoked the error.
+        invoking_packet: Bytes,
+    },
+    /// Time Exceeded (type 3, code 0 "hop limit exceeded in transit") — the
+    /// traceroute observable, and occasionally returned by CPE.
+    TimeExceeded {
+        /// The leading bytes of the packet that provoked the error.
+        invoking_packet: Bytes,
+    },
+    /// Parameter Problem (type 4).
+    ParameterProblem {
+        /// The specific problem code.
+        code: ParamProblemCode,
+        /// Offset of the offending byte within the invoking packet.
+        pointer: u32,
+        /// The leading bytes of the packet that provoked the error.
+        invoking_packet: Bytes,
+    },
+}
+
+impl Icmpv6Message {
+    /// The ICMPv6 type of this message.
+    pub fn msg_type(&self) -> Icmpv6Type {
+        match self {
+            Icmpv6Message::EchoRequest { .. } => Icmpv6Type::EchoRequest,
+            Icmpv6Message::EchoReply { .. } => Icmpv6Type::EchoReply,
+            Icmpv6Message::DestinationUnreachable { .. } => Icmpv6Type::DestinationUnreachable,
+            Icmpv6Message::PacketTooBig { .. } => Icmpv6Type::PacketTooBig,
+            Icmpv6Message::TimeExceeded { .. } => Icmpv6Type::TimeExceeded,
+            Icmpv6Message::ParameterProblem { .. } => Icmpv6Type::ParameterProblem,
+        }
+    }
+
+    /// Whether this is an ICMPv6 error message.
+    pub fn is_error(&self) -> bool {
+        self.msg_type().is_error()
+    }
+
+    /// The length of the serialized message in bytes.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Icmpv6Message::EchoRequest { payload, .. }
+            | Icmpv6Message::EchoReply { payload, .. } => 8 + payload.len(),
+            Icmpv6Message::DestinationUnreachable {
+                invoking_packet, ..
+            }
+            | Icmpv6Message::PacketTooBig {
+                invoking_packet, ..
+            }
+            | Icmpv6Message::TimeExceeded { invoking_packet }
+            | Icmpv6Message::ParameterProblem {
+                invoking_packet, ..
+            } => 8 + invoking_packet.len().min(MAX_INVOKING_BYTES),
+        }
+    }
+
+    /// The quoted invoking packet, for error messages.
+    pub fn invoking_packet(&self) -> Option<&Bytes> {
+        match self {
+            Icmpv6Message::DestinationUnreachable {
+                invoking_packet, ..
+            }
+            | Icmpv6Message::PacketTooBig {
+                invoking_packet, ..
+            }
+            | Icmpv6Message::TimeExceeded { invoking_packet }
+            | Icmpv6Message::ParameterProblem {
+                invoking_packet, ..
+            } => Some(invoking_packet),
+            _ => None,
+        }
+    }
+
+    /// Serialize the message (with a correct checksum for the `src`/`dst`
+    /// pseudo-header) into `buf`.
+    pub fn write(&self, buf: &mut Vec<u8>, src: Ipv6Addr, dst: Ipv6Addr) {
+        let start = buf.len();
+        buf.push(self.msg_type().value());
+        let code = match self {
+            Icmpv6Message::DestinationUnreachable { code, .. } => code.value(),
+            Icmpv6Message::ParameterProblem { code, .. } => code.value(),
+            _ => 0,
+        };
+        buf.push(code);
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        match self {
+            Icmpv6Message::EchoRequest {
+                identifier,
+                sequence,
+                payload,
+            }
+            | Icmpv6Message::EchoReply {
+                identifier,
+                sequence,
+                payload,
+            } => {
+                buf.extend_from_slice(&identifier.to_be_bytes());
+                buf.extend_from_slice(&sequence.to_be_bytes());
+                buf.extend_from_slice(payload);
+            }
+            Icmpv6Message::DestinationUnreachable {
+                invoking_packet, ..
+            } => {
+                buf.extend_from_slice(&[0, 0, 0, 0]); // unused
+                let take = invoking_packet.len().min(MAX_INVOKING_BYTES);
+                buf.extend_from_slice(&invoking_packet[..take]);
+            }
+            Icmpv6Message::PacketTooBig {
+                mtu,
+                invoking_packet,
+            } => {
+                buf.extend_from_slice(&mtu.to_be_bytes());
+                let take = invoking_packet.len().min(MAX_INVOKING_BYTES);
+                buf.extend_from_slice(&invoking_packet[..take]);
+            }
+            Icmpv6Message::TimeExceeded { invoking_packet } => {
+                buf.extend_from_slice(&[0, 0, 0, 0]); // unused
+                let take = invoking_packet.len().min(MAX_INVOKING_BYTES);
+                buf.extend_from_slice(&invoking_packet[..take]);
+            }
+            Icmpv6Message::ParameterProblem {
+                pointer,
+                invoking_packet,
+                ..
+            } => {
+                buf.extend_from_slice(&pointer.to_be_bytes());
+                let take = invoking_packet.len().min(MAX_INVOKING_BYTES);
+                buf.extend_from_slice(&invoking_packet[..take]);
+            }
+        }
+        let cksum = icmpv6_checksum(src, dst, &buf[start..]);
+        buf[start + 2] = (cksum >> 8) as u8;
+        buf[start + 3] = cksum as u8;
+    }
+
+    /// Parse a message from the ICMPv6 payload bytes, verifying the checksum
+    /// against the given pseudo-header addresses.
+    pub fn parse(buf: &[u8], src: Ipv6Addr, dst: Ipv6Addr) -> Result<Self> {
+        if buf.len() < 8 {
+            return Err(Error::Truncated {
+                needed: 8,
+                available: buf.len(),
+            });
+        }
+        let (ok, computed) = verify_icmpv6_checksum(src, dst, buf);
+        if !ok {
+            return Err(Error::BadChecksum {
+                found: u16::from_be_bytes([buf[2], buf[3]]),
+                computed,
+            });
+        }
+        let msg_type = buf[0];
+        let code = buf[1];
+        let body = &buf[4..];
+        match msg_type {
+            128 | 129 => {
+                let identifier = u16::from_be_bytes([body[0], body[1]]);
+                let sequence = u16::from_be_bytes([body[2], body[3]]);
+                let payload = Bytes::copy_from_slice(&body[4..]);
+                Ok(if msg_type == 128 {
+                    Icmpv6Message::EchoRequest {
+                        identifier,
+                        sequence,
+                        payload,
+                    }
+                } else {
+                    Icmpv6Message::EchoReply {
+                        identifier,
+                        sequence,
+                        payload,
+                    }
+                })
+            }
+            1 => Ok(Icmpv6Message::DestinationUnreachable {
+                code: DestUnreachableCode::from_value(code)?,
+                invoking_packet: Bytes::copy_from_slice(&body[4..]),
+            }),
+            2 => Ok(Icmpv6Message::PacketTooBig {
+                mtu: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                invoking_packet: Bytes::copy_from_slice(&body[4..]),
+            }),
+            3 => Ok(Icmpv6Message::TimeExceeded {
+                invoking_packet: Bytes::copy_from_slice(&body[4..]),
+            }),
+            4 => Ok(Icmpv6Message::ParameterProblem {
+                code: ParamProblemCode::from_value(code)?,
+                pointer: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                invoking_packet: Bytes::copy_from_slice(&body[4..]),
+            }),
+            _ => Err(Error::Malformed("unsupported ICMPv6 type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn round_trip(msg: Icmpv6Message) {
+        let src = a("2a01:1::1");
+        let dst = a("2001:db8::1");
+        let mut buf = Vec::new();
+        msg.write(&mut buf, src, dst);
+        assert_eq!(buf.len(), msg.wire_len());
+        let parsed = Icmpv6Message::parse(&buf, src, dst).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn echo_pair_round_trip() {
+        round_trip(Icmpv6Message::EchoRequest {
+            identifier: 0x1234,
+            sequence: 0x0042,
+            payload: Bytes::from_static(b"follow the scent"),
+        });
+        round_trip(Icmpv6Message::EchoReply {
+            identifier: 0xffff,
+            sequence: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn error_messages_round_trip() {
+        let invoking = Bytes::from_static(&[0x60, 0, 0, 0, 0, 8, 58, 64, 1, 2, 3, 4]);
+        for code in DestUnreachableCode::ALL {
+            round_trip(Icmpv6Message::DestinationUnreachable {
+                code,
+                invoking_packet: invoking.clone(),
+            });
+        }
+        round_trip(Icmpv6Message::TimeExceeded {
+            invoking_packet: invoking.clone(),
+        });
+        round_trip(Icmpv6Message::PacketTooBig {
+            mtu: 1280,
+            invoking_packet: invoking.clone(),
+        });
+        round_trip(Icmpv6Message::ParameterProblem {
+            code: ParamProblemCode::UnrecognizedNextHeader,
+            pointer: 40,
+            invoking_packet: invoking,
+        });
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(Icmpv6Message::TimeExceeded {
+            invoking_packet: Bytes::new()
+        }
+        .is_error());
+        assert!(!Icmpv6Message::EchoReply {
+            identifier: 0,
+            sequence: 0,
+            payload: Bytes::new()
+        }
+        .is_error());
+        assert_eq!(Icmpv6Type::EchoRequest.value(), 128);
+        assert_eq!(Icmpv6Type::DestinationUnreachable.value(), 1);
+    }
+
+    #[test]
+    fn invoking_packet_is_truncated_to_mtu_bound() {
+        let big = Bytes::from(vec![0xaa; 4000]);
+        let msg = Icmpv6Message::DestinationUnreachable {
+            code: DestUnreachableCode::NoRoute,
+            invoking_packet: big,
+        };
+        assert_eq!(msg.wire_len(), 8 + MAX_INVOKING_BYTES);
+        let src = a("::1");
+        let dst = a("::2");
+        let mut buf = Vec::new();
+        msg.write(&mut buf, src, dst);
+        assert_eq!(buf.len(), 8 + MAX_INVOKING_BYTES);
+        let parsed = Icmpv6Message::parse(&buf, src, dst).unwrap();
+        assert_eq!(
+            parsed.invoking_packet().unwrap().len(),
+            MAX_INVOKING_BYTES
+        );
+    }
+
+    #[test]
+    fn unknown_codes_are_rejected() {
+        assert!(DestUnreachableCode::from_value(9).is_err());
+        assert!(ParamProblemCode::from_value(7).is_err());
+        let src = a("::1");
+        let dst = a("::2");
+        // Hand-build a destination unreachable with an invalid code.
+        let mut buf = vec![1u8, 99, 0, 0, 0, 0, 0, 0];
+        let ck = icmpv6_checksum(src, dst, &buf);
+        buf[2] = (ck >> 8) as u8;
+        buf[3] = ck as u8;
+        assert!(Icmpv6Message::parse(&buf, src, dst).is_err());
+    }
+
+    #[test]
+    fn unsupported_type_is_rejected() {
+        let src = a("::1");
+        let dst = a("::2");
+        let mut buf = vec![133u8, 0, 0, 0, 0, 0, 0, 0]; // router solicitation
+        let ck = icmpv6_checksum(src, dst, &buf);
+        buf[2] = (ck >> 8) as u8;
+        buf[3] = ck as u8;
+        assert!(matches!(
+            Icmpv6Message::parse(&buf, src, dst),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn echo_round_trip_arbitrary(
+            id in any::<u16>(),
+            seq in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let msg = Icmpv6Message::EchoRequest {
+                identifier: id,
+                sequence: seq,
+                payload: Bytes::from(payload),
+            };
+            let src = Ipv6Addr::from(0x2a01_0001u128 << 96);
+            let dst = Ipv6Addr::from(0x2001_0db8u128 << 96);
+            let mut buf = Vec::new();
+            msg.write(&mut buf, src, dst);
+            prop_assert_eq!(Icmpv6Message::parse(&buf, src, dst).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The fixed IPv6 header (RFC 8200 §3).
+
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Length of the fixed IPv6 header in bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// The default hop limit used for probe packets. 64 matches the common OS
+/// default and the value used by the zmap6 prober.
+pub const DEFAULT_HOP_LIMIT: u8 = 64;
+
+/// Next-header (upper-layer protocol) values we care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHeader {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMPv6 (58).
+    Icmpv6,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl NextHeader {
+    /// The protocol number.
+    pub fn value(self) -> u8 {
+        match self {
+            NextHeader::Tcp => 6,
+            NextHeader::Udp => 17,
+            NextHeader::Icmpv6 => 58,
+            NextHeader::Other(v) => v,
+        }
+    }
+
+    /// Build from a protocol number.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            6 => NextHeader::Tcp,
+            17 => NextHeader::Udp,
+            58 => NextHeader::Icmpv6,
+            other => NextHeader::Other(other),
+        }
+    }
+}
+
+/// The fixed 40-byte IPv6 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv6Header {
+    /// Traffic class (DSCP + ECN).
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Length of the payload following this header, in bytes.
+    pub payload_length: u16,
+    /// The upper-layer protocol.
+    pub next_header: NextHeader,
+    /// Hop limit (the IPv6 TTL).
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Construct a header for an ICMPv6 payload of `payload_length` bytes
+    /// with the default hop limit.
+    pub fn for_icmpv6(src: Ipv6Addr, dst: Ipv6Addr, payload_length: u16) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_length,
+            next_header: NextHeader::Icmpv6,
+            hop_limit: DEFAULT_HOP_LIMIT,
+            src,
+            dst,
+        }
+    }
+
+    /// Serialize the header, appending its 40 bytes to `buf`.
+    pub fn write(&self, buf: &mut Vec<u8>) {
+        let vtf: u32 =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0x000f_ffff);
+        buf.extend_from_slice(&vtf.to_be_bytes());
+        buf.extend_from_slice(&self.payload_length.to_be_bytes());
+        buf.push(self.next_header.value());
+        buf.push(self.hop_limit);
+        buf.extend_from_slice(&self.src.octets());
+        buf.extend_from_slice(&self.dst.octets());
+    }
+
+    /// Parse the fixed header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        if buf.len() < IPV6_HEADER_LEN {
+            return Err(Error::Truncated {
+                needed: IPV6_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let vtf = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let version = (vtf >> 28) as u8;
+        if version != 6 {
+            return Err(Error::Malformed("IP version is not 6"));
+        }
+        let traffic_class = ((vtf >> 20) & 0xff) as u8;
+        let flow_label = vtf & 0x000f_ffff;
+        let payload_length = u16::from_be_bytes([buf[4], buf[5]]);
+        let next_header = NextHeader::from_value(buf[6]);
+        let hop_limit = buf[7];
+        let mut src = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        let mut dst = [0u8; 16];
+        dst.copy_from_slice(&buf[24..40]);
+        Ok(Ipv6Header {
+            traffic_class,
+            flow_label,
+            payload_length,
+            next_header,
+            hop_limit,
+            src: Ipv6Addr::from(src),
+            dst: Ipv6Addr::from(dst),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_round_trip() {
+        let h = Ipv6Header {
+            traffic_class: 0x2e,
+            flow_label: 0xabcde,
+            payload_length: 1234,
+            next_header: NextHeader::Icmpv6,
+            hop_limit: 57,
+            src: "2a01:1::1".parse().unwrap(),
+            dst: "2001:db8::42".parse().unwrap(),
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), IPV6_HEADER_LEN);
+        assert_eq!(Ipv6Header::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let h = Ipv6Header::for_icmpv6("::1".parse().unwrap(), "::2".parse().unwrap(), 0);
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        buf[0] = 0x45; // IPv4 version nibble
+        assert!(matches!(
+            Ipv6Header::parse(&buf),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert!(matches!(
+            Ipv6Header::parse(&[0u8; 10]),
+            Err(Error::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn next_header_values() {
+        assert_eq!(NextHeader::Icmpv6.value(), 58);
+        assert_eq!(NextHeader::from_value(58), NextHeader::Icmpv6);
+        assert_eq!(NextHeader::from_value(6), NextHeader::Tcp);
+        assert_eq!(NextHeader::from_value(17), NextHeader::Udp);
+        assert_eq!(NextHeader::from_value(43), NextHeader::Other(43));
+        assert_eq!(NextHeader::Other(43).value(), 43);
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_headers_round_trip(
+            tc in any::<u8>(),
+            fl in 0u32..=0x000f_ffff,
+            plen in any::<u16>(),
+            nh in any::<u8>(),
+            hl in any::<u8>(),
+            src in any::<u128>(),
+            dst in any::<u128>(),
+        ) {
+            let h = Ipv6Header {
+                traffic_class: tc,
+                flow_label: fl,
+                payload_length: plen,
+                next_header: NextHeader::from_value(nh),
+                hop_limit: hl,
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+            };
+            let mut buf = Vec::new();
+            h.write(&mut buf);
+            prop_assert_eq!(Ipv6Header::parse(&buf).unwrap(), h);
+        }
+    }
+}

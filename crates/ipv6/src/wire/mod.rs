@@ -1,0 +1,192 @@
+//! Minimal IPv6 + ICMPv6 wire formats.
+//!
+//! The measurement methodology sends ICMPv6 Echo Requests and consumes the
+//! ICMPv6 error messages (Destination Unreachable in its several codes, Time
+//! Exceeded) and Echo Replies that come back. This module provides
+//! serialization and parsing for exactly those messages, with the ICMPv6
+//! pseudo-header checksum of RFC 4443 §2.3, in the spirit of a sans-IO
+//! network stack: packets are plain `bytes::Bytes` buffers and nothing here
+//! performs I/O.
+
+pub mod checksum;
+pub mod icmpv6;
+pub mod ipv6;
+
+pub use checksum::{icmpv6_checksum, ones_complement_sum};
+pub use icmpv6::{DestUnreachableCode, Icmpv6Message, Icmpv6Type, ParamProblemCode};
+pub use ipv6::{Ipv6Header, NextHeader, DEFAULT_HOP_LIMIT, IPV6_HEADER_LEN};
+
+use std::net::Ipv6Addr;
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+
+/// A fully assembled IPv6 packet carrying an ICMPv6 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Icmpv6Packet {
+    /// The IPv6 header.
+    pub header: Ipv6Header,
+    /// The ICMPv6 message in the payload.
+    pub message: Icmpv6Message,
+}
+
+impl Icmpv6Packet {
+    /// Build an Echo Request probe packet, the probe type used throughout the
+    /// paper's campaigns (§3.1, §7).
+    pub fn echo_request(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        identifier: u16,
+        sequence: u16,
+        payload: Bytes,
+    ) -> Self {
+        let message = Icmpv6Message::EchoRequest {
+            identifier,
+            sequence,
+            payload,
+        };
+        let header = Ipv6Header::for_icmpv6(src, dst, message.wire_len() as u16);
+        Icmpv6Packet { header, message }
+    }
+
+    /// Build an ICMPv6 error response quoting the invoking packet, as a CPE
+    /// or router would emit for an undeliverable probe.
+    pub fn error_response(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        message: Icmpv6Message,
+    ) -> Self {
+        let header = Ipv6Header::for_icmpv6(src, dst, message.wire_len() as u16);
+        Icmpv6Packet { header, message }
+    }
+
+    /// Serialize the packet (IPv6 header + ICMPv6 message with a valid
+    /// checksum) into a byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(IPV6_HEADER_LEN + self.message.wire_len());
+        self.header.write(&mut buf);
+        self.message
+            .write(&mut buf, self.header.src, self.header.dst);
+        Bytes::from(buf)
+    }
+
+    /// Parse a packet from wire bytes, verifying lengths and the ICMPv6
+    /// checksum.
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        let header = Ipv6Header::parse(buf)?;
+        if header.next_header != NextHeader::Icmpv6 {
+            return Err(Error::Malformed("next header is not ICMPv6"));
+        }
+        let payload = &buf[IPV6_HEADER_LEN..];
+        if payload.len() < header.payload_length as usize {
+            return Err(Error::Truncated {
+                needed: IPV6_HEADER_LEN + header.payload_length as usize,
+                available: buf.len(),
+            });
+        }
+        let payload = &payload[..header.payload_length as usize];
+        let message = Icmpv6Message::parse(payload, header.src, header.dst)?;
+        Ok(Icmpv6Packet { header, message })
+    }
+
+    /// The source address of the packet. For error responses elicited by a
+    /// probe this is the CPE WAN address the methodology harvests.
+    pub fn source(&self) -> Ipv6Addr {
+        self.header.src
+    }
+
+    /// The destination address of the packet.
+    pub fn destination(&self) -> Ipv6Addr {
+        self.header.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_request_round_trip() {
+        let src: Ipv6Addr = "2a01:1::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8:0:42:1234:5678:9abc:def0".parse().unwrap();
+        let pkt = Icmpv6Packet::echo_request(src, dst, 0xbeef, 7, Bytes::from_static(b"scent"));
+        let wire = pkt.to_bytes();
+        let parsed = Icmpv6Packet::parse(&wire).unwrap();
+        assert_eq!(parsed, pkt);
+        assert_eq!(parsed.source(), src);
+        assert_eq!(parsed.destination(), dst);
+    }
+
+    #[test]
+    fn error_response_round_trip() {
+        let cpe: Ipv6Addr = "2001:db8:0:42:3a10:d5ff:feaa:bbcc".parse().unwrap();
+        let vantage: Ipv6Addr = "2a01:1::1".parse().unwrap();
+        let invoking = Icmpv6Packet::echo_request(
+            vantage,
+            "2001:db8:0:42:aaaa::1".parse().unwrap(),
+            1,
+            1,
+            Bytes::new(),
+        )
+        .to_bytes();
+        let msg = Icmpv6Message::DestinationUnreachable {
+            code: DestUnreachableCode::AddressUnreachable,
+            invoking_packet: invoking.clone(),
+        };
+        let pkt = Icmpv6Packet::error_response(cpe, vantage, msg);
+        let wire = pkt.to_bytes();
+        let parsed = Icmpv6Packet::parse(&wire).unwrap();
+        assert_eq!(parsed.source(), cpe);
+        match parsed.message {
+            Icmpv6Message::DestinationUnreachable {
+                code,
+                invoking_packet,
+            } => {
+                assert_eq!(code, DestUnreachableCode::AddressUnreachable);
+                assert_eq!(invoking_packet, invoking);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_icmpv6() {
+        let src: Ipv6Addr = "2a01:1::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let mut header = Ipv6Header::for_icmpv6(src, dst, 0);
+        header.next_header = NextHeader::Udp;
+        let mut buf = Vec::new();
+        header.write(&mut buf);
+        assert!(matches!(
+            Icmpv6Packet::parse(&buf),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        let src: Ipv6Addr = "2a01:1::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let pkt = Icmpv6Packet::echo_request(src, dst, 1, 1, Bytes::from_static(b"payload"));
+        let wire = pkt.to_bytes();
+        for cut in [0, 10, IPV6_HEADER_LEN, wire.len() - 1] {
+            assert!(Icmpv6Packet::parse(&wire[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_is_detected() {
+        let src: Ipv6Addr = "2a01:1::1".parse().unwrap();
+        let dst: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let pkt = Icmpv6Packet::echo_request(src, dst, 1, 1, Bytes::from_static(b"payload"));
+        let mut wire = pkt.to_bytes().to_vec();
+        // Flip a payload byte; the checksum no longer verifies.
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff;
+        assert!(matches!(
+            Icmpv6Packet::parse(&wire),
+            Err(Error::BadChecksum { .. })
+        ));
+    }
+}

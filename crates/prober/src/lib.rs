@@ -1,0 +1,64 @@
+//! High-speed active probing over a probe transport.
+//!
+//! The paper's measurements are driven by two tools: the zmap6 IPv6
+//! extensions of zmap (stateless, randomized-order, high-rate ICMPv6 Echo
+//! Request scanning) and yarrp (stateless randomized traceroute). This crate
+//! reimplements the scanning semantics of both against an abstract
+//! [`ProbeTransport`] — in this repository the transport is the simulated
+//! Internet of `scent-simnet`, but the same scanner logic would drive raw
+//! sockets.
+//!
+//! * [`permutation`] — zmap's trick of iterating targets in a pseudo-random
+//!   but stateless and reproducible order (a full-cycle permutation derived
+//!   from the scan seed). The paper probes "the same addresses every 24 hours
+//!   in the same order (same zmap random seed)"; [`RandomPermutation`] is
+//!   what makes that reproducibility possible.
+//! * [`rate`] — token-bucket pacing at a configurable packets-per-second
+//!   budget against the virtual clock (the paper probes at 10 kpps).
+//! * [`targets`] — target generation: one pseudo-random IID per subnet of a
+//!   prefix at a chosen granularity (/64, /56, per-allocation, …).
+//! * [`zmap6`] — the scanner itself and multi-day campaign scheduling.
+//! * [`yarrp`] — randomized traceroute used for the seed campaign and for
+//!   last-hop (periphery) discovery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod permutation;
+pub mod rate;
+pub mod records;
+pub mod targets;
+pub mod yarrp;
+pub mod zmap6;
+
+pub use permutation::RandomPermutation;
+pub use rate::{ProbePacer, TokenBucket};
+pub use records::{ProbeRecord, ResponseRecord, Scan};
+pub use targets::TargetGenerator;
+pub use yarrp::{TraceRecord, Tracer};
+pub use zmap6::{Campaign, Scanner, ScannerConfig};
+
+use std::net::Ipv6Addr;
+
+use scent_simnet::{Engine, ProbeReply, SimTime, TraceHop};
+
+/// Anything that can answer probes: the boundary between the measurement
+/// tooling and the network (real or simulated) underneath it.
+pub trait ProbeTransport: Sync {
+    /// Send one ICMPv6 Echo Request to `target` at virtual time `t` and
+    /// return the elicited response, if any.
+    fn probe(&self, target: Ipv6Addr, t: SimTime) -> Option<ProbeReply>;
+
+    /// Run a hop-limited traceroute toward `target`.
+    fn trace(&self, target: Ipv6Addr, t: SimTime, max_hops: u8) -> Vec<TraceHop>;
+}
+
+impl ProbeTransport for Engine {
+    fn probe(&self, target: Ipv6Addr, t: SimTime) -> Option<ProbeReply> {
+        Engine::probe(self, target, t)
+    }
+
+    fn trace(&self, target: Ipv6Addr, t: SimTime, max_hops: u8) -> Vec<TraceHop> {
+        Engine::trace(self, target, t, max_hops)
+    }
+}

@@ -1,0 +1,151 @@
+//! Probe pacing against the virtual clock.
+//!
+//! The paper probes at a deliberately conservative 10k packets per second
+//! (§3.1, §7), and several of its cost arguments (e.g. "about 13 seconds at
+//! 10 kpps" for a /46 rotation pool of /64s, or the "75 seconds of active
+//! probing" for EUI-64 IID #2 in Table 2) are statements about how long a
+//! probe budget takes to spend at that rate. [`ProbePacer`] converts probe
+//! indices into virtual send times at a fixed rate; [`TokenBucket`] provides
+//! the classic bucket abstraction for burst-limited senders and for modelling
+//! ICMPv6 error rate limits.
+
+use serde::{Deserialize, Serialize};
+
+use scent_simnet::{SimDuration, SimTime};
+
+/// Deterministic pacing: probe `i` of a scan is sent at
+/// `start + i / packets_per_second`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbePacer {
+    /// Time the scan starts.
+    pub start: SimTime,
+    /// Probe budget per second.
+    pub packets_per_second: u64,
+}
+
+impl ProbePacer {
+    /// Create a pacer starting at `start` with the given rate (which must be
+    /// non-zero).
+    pub fn new(start: SimTime, packets_per_second: u64) -> Self {
+        assert!(packets_per_second > 0, "rate must be non-zero");
+        ProbePacer {
+            start,
+            packets_per_second,
+        }
+    }
+
+    /// The virtual send time of the `index`th probe.
+    pub fn send_time(&self, index: u64) -> SimTime {
+        self.start + SimDuration::from_secs(index / self.packets_per_second)
+    }
+
+    /// The duration needed to send `count` probes at this rate, rounded up to
+    /// whole seconds.
+    pub fn duration_for(&self, count: u64) -> SimDuration {
+        SimDuration::from_secs(count.div_ceil(self.packets_per_second))
+    }
+
+    /// The time the scan finishes if it sends `count` probes.
+    pub fn finish_time(&self, count: u64) -> SimTime {
+        self.start + self.duration_for(count)
+    }
+}
+
+/// A token bucket: capacity `burst`, refilled at `rate` tokens per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// Create a bucket that starts full.
+    pub fn new(rate_per_sec: f64, burst: f64, now: SimTime) -> Self {
+        assert!(rate_per_sec > 0.0 && burst > 0.0);
+        TokenBucket {
+            rate: rate_per_sec,
+            burst,
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    /// Refill the bucket up to `now` and try to take one token.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        let elapsed = now.since(self.last).as_secs() as f64;
+        self.tokens = (self.tokens + elapsed * self.rate).min(self.burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after the last refill).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_spreads_probes_over_time() {
+        let pacer = ProbePacer::new(SimTime::at(1, 0), 10_000);
+        assert_eq!(pacer.send_time(0), SimTime::at(1, 0));
+        assert_eq!(pacer.send_time(9_999), SimTime::at(1, 0));
+        assert_eq!(
+            pacer.send_time(10_000),
+            SimTime::at(1, 0) + SimDuration::from_secs(1)
+        );
+        // The paper's example: E[2^18 - 1] probes at 10 kpps is ~13 seconds.
+        let probes = (1u64 << 18) / 2;
+        let duration = pacer.duration_for(probes);
+        assert_eq!(duration.as_secs(), 14); // ceil(131072 / 10000)
+        assert_eq!(
+            pacer.finish_time(probes),
+            SimTime::at(1, 0) + SimDuration::from_secs(14)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be non-zero")]
+    fn pacer_rejects_zero_rate() {
+        ProbePacer::new(SimTime::EPOCH, 0);
+    }
+
+    #[test]
+    fn token_bucket_allows_burst_then_throttles() {
+        let now = SimTime::at(0, 0);
+        let mut bucket = TokenBucket::new(2.0, 3.0, now);
+        assert!(bucket.try_take(now));
+        assert!(bucket.try_take(now));
+        assert!(bucket.try_take(now));
+        assert!(!bucket.try_take(now), "burst exhausted");
+        // One second later two tokens have accrued.
+        let later = now + SimDuration::from_secs(1);
+        assert!(bucket.try_take(later));
+        assert!(bucket.try_take(later));
+        assert!(!bucket.try_take(later));
+        assert!(bucket.available() < 1.0);
+    }
+
+    #[test]
+    fn token_bucket_caps_at_burst() {
+        let now = SimTime::at(0, 0);
+        let mut bucket = TokenBucket::new(10.0, 2.0, now);
+        assert!(bucket.try_take(now));
+        assert!(bucket.try_take(now));
+        // A long idle period refills only to the burst cap.
+        let much_later = now + SimDuration::from_days(1);
+        assert!(bucket.try_take(much_later));
+        assert!(bucket.try_take(much_later));
+        assert!(!bucket.try_take(much_later));
+    }
+}

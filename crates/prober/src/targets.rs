@@ -1,0 +1,155 @@
+//! Target address generation.
+//!
+//! The methodology never probes addresses it expects to exist: it probes one
+//! *pseudo-random* IID inside each subnet of interest and relies on the CPE's
+//! ICMPv6 error to reveal the periphery (§3.1). Target generators therefore
+//! produce "one random address per subnet at granularity G" lists for
+//! prefixes, rotation pools and candidate /48s.
+
+use std::net::Ipv6Addr;
+
+use scent_ipv6::Ipv6Prefix;
+use scent_simnet::det::{hash2, hash3};
+
+/// Deterministic target generation keyed on a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetGenerator {
+    seed: u64,
+}
+
+impl TargetGenerator {
+    /// Create a generator. All addresses produced are pure functions of the
+    /// seed and the subnet they fall in, so re-generating a target list for a
+    /// later scan reproduces the exact same addresses (as the paper does by
+    /// reusing the zmap seed across daily scans).
+    pub fn new(seed: u64) -> Self {
+        TargetGenerator { seed }
+    }
+
+    /// A pseudo-random address inside `prefix` (host bits drawn from the
+    /// seed, network bits preserved).
+    pub fn random_addr_in(&self, prefix: &Ipv6Prefix) -> Ipv6Addr {
+        let h1 = hash3(
+            self.seed,
+            prefix.network_bits() as u64,
+            (prefix.network_bits() >> 64) as u64,
+            prefix.len() as u64,
+        );
+        let h2 = hash2(self.seed, h1, 0x7467_656e); // "tgen"
+        let host = ((h1 as u128) << 64) | h2 as u128;
+        prefix.addr_with_host_bits(host)
+    }
+
+    /// One pseudo-random target per subnet of length `sub_len` inside
+    /// `prefix`, in subnet order.
+    ///
+    /// This is the core workload shape of the paper: one probe per /64 of a
+    /// candidate /48 (§4.3), one probe per /56 for density inference (§4.2),
+    /// one probe per inferred customer allocation for tracking (§6).
+    pub fn one_per_subnet(&self, prefix: &Ipv6Prefix, sub_len: u8) -> Vec<Ipv6Addr> {
+        let count = prefix
+            .num_subnets(sub_len)
+            .expect("sub_len not shorter than prefix");
+        let mut targets = Vec::with_capacity(count.min(1 << 24) as usize);
+        for sub in prefix.subnets(sub_len).expect("validated above") {
+            targets.push(self.random_addr_in(&sub));
+        }
+        targets
+    }
+
+    /// One target per allocation-sized block across each of several pools —
+    /// the tracking workload of §6: "we chose a target in each allocation
+    /// size block throughout the entire pool".
+    pub fn per_allocation(&self, pools: &[Ipv6Prefix], allocation_len: u8) -> Vec<Ipv6Addr> {
+        let mut targets = Vec::new();
+        for pool in pools {
+            targets.extend(self.one_per_subnet(pool, allocation_len.max(pool.len())));
+        }
+        targets
+    }
+
+    /// Targets for a whole list of /48 candidates at a given granularity.
+    pub fn per_candidate_48(&self, candidates: &[Ipv6Prefix], granularity: u8) -> Vec<Ipv6Addr> {
+        let mut targets = Vec::new();
+        for candidate in candidates {
+            targets.extend(self.one_per_subnet(candidate, granularity.max(candidate.len())));
+        }
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn random_addr_is_inside_and_deterministic() {
+        let generator = TargetGenerator::new(42);
+        let prefix = p("2001:db8:1:2::/64");
+        let a = generator.random_addr_in(&prefix);
+        let b = generator.random_addr_in(&prefix);
+        assert_eq!(a, b);
+        assert!(prefix.contains(a));
+        let other = TargetGenerator::new(43).random_addr_in(&prefix);
+        assert_ne!(a, other);
+        // Different subnets produce different host bits (not just different
+        // networks), since the subnet is part of the hash input.
+        let c = generator.random_addr_in(&p("2001:db8:1:3::/64"));
+        assert_ne!(
+            scent_ipv6::interface_id(a),
+            scent_ipv6::interface_id(c),
+            "host bits should vary across subnets"
+        );
+    }
+
+    #[test]
+    fn one_per_subnet_counts_and_membership() {
+        let generator = TargetGenerator::new(1);
+        let prefix = p("2001:db8::/56");
+        let targets = generator.one_per_subnet(&prefix, 64);
+        assert_eq!(targets.len(), 256);
+        let mut subnets = HashSet::new();
+        for t in &targets {
+            assert!(prefix.contains(*t));
+            subnets.insert(Ipv6Prefix::enclosing_64(*t));
+        }
+        // Exactly one target per /64.
+        assert_eq!(subnets.len(), 256);
+    }
+
+    #[test]
+    fn one_per_subnet_same_length_is_single_target() {
+        let generator = TargetGenerator::new(1);
+        let prefix = p("2001:db8::/64");
+        let targets = generator.one_per_subnet(&prefix, 64);
+        assert_eq!(targets.len(), 1);
+        assert!(prefix.contains(targets[0]));
+    }
+
+    #[test]
+    fn per_allocation_covers_all_pools() {
+        let generator = TargetGenerator::new(9);
+        let pools = [p("2001:db8:100::/46"), p("2001:db8:200::/46")];
+        let targets = generator.per_allocation(&pools, 56);
+        // 2^(56-46) = 1024 per pool.
+        assert_eq!(targets.len(), 2048);
+        assert!(targets[..1024].iter().all(|t| pools[0].contains(*t)));
+        assert!(targets[1024..].iter().all(|t| pools[1].contains(*t)));
+    }
+
+    #[test]
+    fn per_candidate_48_clamps_granularity() {
+        let generator = TargetGenerator::new(9);
+        // Granularity shorter than the candidate itself is clamped to the
+        // candidate length (one probe).
+        let targets = generator.per_candidate_48(&[p("2001:db8:5::/48")], 40);
+        assert_eq!(targets.len(), 1);
+        let targets = generator.per_candidate_48(&[p("2001:db8:5::/48")], 56);
+        assert_eq!(targets.len(), 256);
+    }
+}

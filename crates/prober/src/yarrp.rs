@@ -1,0 +1,161 @@
+//! yarrp-style randomized traceroute.
+//!
+//! yarrp (Beverly, IMC 2016) performs high-speed topology discovery by
+//! randomizing `(target, TTL)` probes and reconstructing paths statelessly.
+//! The reproduction only needs its end product — the last responsive hop per
+//! target, which for targets inside customer delegations is the CPE WAN
+//! interface — so [`Tracer`] walks TTLs per target against the transport and
+//! records the full hop list plus the last responsive hop. Target order is
+//! randomized with the same permutation machinery the scanner uses.
+
+use std::net::Ipv6Addr;
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::Eui64;
+use scent_simnet::{SimTime, TraceHop};
+
+use crate::permutation::RandomPermutation;
+use crate::rate::ProbePacer;
+use crate::ProbeTransport;
+
+/// The result of tracerouting one target.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The traceroute destination.
+    pub target: Ipv6Addr,
+    /// All hops elicited, in TTL order.
+    pub hops: Vec<TraceHop>,
+    /// The last responsive hop, if any hop responded.
+    pub last_hop: Option<Ipv6Addr>,
+}
+
+impl TraceRecord {
+    /// Whether the last responsive hop carries an EUI-64 IID (i.e. looks like
+    /// a CPE periphery interface rather than core infrastructure).
+    pub fn last_hop_is_eui64(&self) -> bool {
+        self.last_hop.map(Eui64::addr_is_eui64).unwrap_or(false)
+    }
+}
+
+/// A yarrp-style traceroute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tracer {
+    /// Maximum TTL probed per target.
+    pub max_hops: u8,
+    /// Probe rate in packets per second.
+    pub packets_per_second: u64,
+    /// Seed controlling target order.
+    pub seed: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer {
+            max_hops: 32,
+            packets_per_second: 10_000,
+            seed: 0x79a7,
+        }
+    }
+}
+
+impl Tracer {
+    /// Trace every target, in randomized order, starting at `start`.
+    pub fn trace_all<T: ProbeTransport>(
+        &self,
+        transport: &T,
+        targets: &[Ipv6Addr],
+        start: SimTime,
+    ) -> Vec<TraceRecord> {
+        let pacer = ProbePacer::new(start, self.packets_per_second);
+        let order = RandomPermutation::new(targets.len() as u64, self.seed);
+        let mut records = Vec::with_capacity(targets.len());
+        let mut probes_sent = 0u64;
+        for index in order.iter() {
+            let target = targets[index as usize];
+            let t = pacer.send_time(probes_sent);
+            let hops = transport.trace(target, t, self.max_hops);
+            probes_sent += hops.len().max(1) as u64;
+            let last_hop = hops.iter().filter_map(|h| h.addr).last();
+            records.push(TraceRecord {
+                target,
+                hops,
+                last_hop,
+            });
+        }
+        records
+    }
+
+    /// Trace every target and keep only records whose last responsive hop
+    /// carries an EUI-64 IID — the periphery-discovery filter of the seed
+    /// campaign.
+    pub fn eui64_last_hops<T: ProbeTransport>(
+        &self,
+        transport: &T,
+        targets: &[Ipv6Addr],
+        start: SimTime,
+    ) -> Vec<TraceRecord> {
+        self.trace_all(transport, targets, start)
+            .into_iter()
+            .filter(|r| r.last_hop_is_eui64())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::TargetGenerator;
+    use scent_simnet::{scenarios, Engine};
+
+    fn engine() -> Engine {
+        Engine::build(scenarios::versatel_like(5)).unwrap()
+    }
+
+    #[test]
+    fn traceroutes_reach_the_periphery() {
+        let engine = engine();
+        // One target per /56 of one /46 pool of AS8881.
+        let pool = engine.pools()[3].config.prefix;
+        let targets = TargetGenerator::new(2).one_per_subnet(&pool, 56);
+        let tracer = Tracer::default();
+        let records = tracer.trace_all(&engine, &targets, SimTime::at(1, 10));
+        assert_eq!(records.len(), targets.len());
+        let with_cpe: Vec<_> = records.iter().filter(|r| r.last_hop_is_eui64()).collect();
+        assert!(!with_cpe.is_empty());
+        for record in &with_cpe {
+            // The CPE hop is one past the provider core.
+            assert!(record.hops.len() > 1);
+            assert_eq!(record.last_hop, record.hops.last().unwrap().addr);
+        }
+        // The filtering helper returns exactly the EUI-64 subset.
+        let filtered = tracer.eui64_last_hops(&engine, &targets, SimTime::at(1, 10));
+        assert_eq!(filtered.len(), with_cpe.len());
+    }
+
+    #[test]
+    fn unrouted_targets_produce_empty_traces() {
+        let engine = engine();
+        let tracer = Tracer::default();
+        let records = tracer.trace_all(
+            &engine,
+            &["3fff::1".parse().unwrap()],
+            SimTime::at(1, 10),
+        );
+        assert_eq!(records.len(), 1);
+        assert!(records[0].hops.is_empty());
+        assert_eq!(records[0].last_hop, None);
+        assert!(!records[0].last_hop_is_eui64());
+    }
+
+    #[test]
+    fn tracing_is_deterministic() {
+        let engine = engine();
+        let pool = engine.pools()[3].config.prefix;
+        let targets = TargetGenerator::new(2).one_per_subnet(&pool, 56);
+        let tracer = Tracer::default();
+        let a = tracer.trace_all(&engine, &targets, SimTime::at(1, 10));
+        let b = tracer.trace_all(&engine, &targets, SimTime::at(1, 10));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,284 @@
+//! The zmap6-style scanner and multi-day campaign scheduler.
+//!
+//! The scanner visits a target list in the pseudo-random order given by a
+//! [`RandomPermutation`] of the scan seed, paces probes at a configurable
+//! packets-per-second budget against the virtual clock, and records every
+//! `<target, response>` pair. Re-running a scan with the same seed probes the
+//! same targets in the same order at the same relative times — the property
+//! the paper relies on for its 44 daily snapshots (§5).
+
+use serde::{Deserialize, Serialize};
+
+use scent_simnet::{SimDuration, SimTime};
+
+use crate::permutation::RandomPermutation;
+use crate::rate::ProbePacer;
+use crate::records::{ProbeRecord, ResponseRecord, Scan};
+use crate::ProbeTransport;
+
+/// Scanner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScannerConfig {
+    /// Probe rate in packets per second (the paper uses 10,000).
+    pub packets_per_second: u64,
+    /// Seed controlling probe order; reusing the seed reproduces the order.
+    pub seed: u64,
+    /// Whether to randomize probe order (zmap behaviour). Disabling this
+    /// probes targets in list order, which is occasionally useful in tests
+    /// and in the ordering ablation bench.
+    pub randomize_order: bool,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            packets_per_second: 10_000,
+            seed: 0x5eed,
+            randomize_order: true,
+        }
+    }
+}
+
+/// The zmap6-style scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scanner {
+    config: ScannerConfig,
+}
+
+impl Scanner {
+    /// Create a scanner with the given configuration.
+    pub fn new(config: ScannerConfig) -> Self {
+        Scanner { config }
+    }
+
+    /// Create a scanner probing at the paper's 10 kpps with the given seed.
+    pub fn at_paper_rate(seed: u64) -> Self {
+        Scanner::new(ScannerConfig {
+            seed,
+            ..ScannerConfig::default()
+        })
+    }
+
+    /// The scanner's configuration.
+    pub fn config(&self) -> &ScannerConfig {
+        &self.config
+    }
+
+    /// Scan `targets` starting at `start`, returning one record per target.
+    ///
+    /// Records are returned in probing order (the permuted order), so the
+    /// same scan re-run later yields records whose targets line up
+    /// one-to-one — which is how the rotation-detection step (§4.3) compares
+    /// two snapshots taken 24 hours apart.
+    pub fn scan<T: ProbeTransport>(
+        &self,
+        transport: &T,
+        targets: &[std::net::Ipv6Addr],
+        start: SimTime,
+    ) -> Scan {
+        let pacer = ProbePacer::new(start, self.config.packets_per_second);
+        let order: Vec<u64> = if self.config.randomize_order {
+            RandomPermutation::new(targets.len() as u64, self.config.seed)
+                .iter()
+                .collect()
+        } else {
+            (0..targets.len() as u64).collect()
+        };
+        let mut records = Vec::with_capacity(targets.len());
+        for (sent_index, &target_index) in order.iter().enumerate() {
+            let target = targets[target_index as usize];
+            let sent_at = pacer.send_time(sent_index as u64);
+            let response = transport.probe(target, sent_at).map(|reply| ResponseRecord {
+                source: reply.source,
+                kind: reply.kind,
+            });
+            records.push(ProbeRecord {
+                target,
+                sent_at,
+                response,
+            });
+        }
+        let finished_at = pacer.finish_time(targets.len() as u64);
+        Scan {
+            records,
+            started_at: start,
+            finished_at,
+        }
+    }
+}
+
+/// A multi-day campaign: the same target list scanned once per period (24
+/// hours in the paper), always in the same order, always starting at the same
+/// hour.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// One scan per campaign day, in chronological order.
+    pub scans: Vec<Scan>,
+}
+
+impl Campaign {
+    /// Run a daily campaign: `days` scans of `targets`, the first starting at
+    /// `first_start` and each subsequent scan exactly `interval` later.
+    pub fn run<T: ProbeTransport>(
+        scanner: &Scanner,
+        transport: &T,
+        targets: &[std::net::Ipv6Addr],
+        first_start: SimTime,
+        days: u64,
+        interval: SimDuration,
+    ) -> Self {
+        let mut scans = Vec::with_capacity(days as usize);
+        for day in 0..days {
+            let start = first_start + SimDuration::from_secs(interval.as_secs() * day);
+            scans.push(scanner.scan(transport, targets, start));
+        }
+        Campaign { scans }
+    }
+
+    /// Run the canonical daily campaign (24-hour interval).
+    pub fn daily<T: ProbeTransport>(
+        scanner: &Scanner,
+        transport: &T,
+        targets: &[std::net::Ipv6Addr],
+        first_start: SimTime,
+        days: u64,
+    ) -> Self {
+        Self::run(
+            scanner,
+            transport,
+            targets,
+            first_start,
+            days,
+            SimDuration::from_days(1),
+        )
+    }
+
+    /// Number of scans in the campaign.
+    pub fn len(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// Whether the campaign is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scans.is_empty()
+    }
+
+    /// Total probes sent across all scans.
+    pub fn total_probes(&self) -> usize {
+        self.scans.iter().map(|s| s.probes_sent()).sum()
+    }
+
+    /// Total responses received across all scans.
+    pub fn total_responses(&self) -> usize {
+        self.scans.iter().map(|s| s.responses()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::TargetGenerator;
+    use scent_ipv6::Ipv6Prefix;
+    use scent_simnet::{scenarios, Engine};
+
+    fn engine() -> Engine {
+        Engine::build(scenarios::entel_like(5)).unwrap()
+    }
+
+    fn pool_prefix(engine: &Engine) -> Ipv6Prefix {
+        engine.pools()[0].config.prefix
+    }
+
+    #[test]
+    fn scan_produces_one_record_per_target_and_finds_cpe() {
+        let engine = engine();
+        let targets =
+            TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let scanner = Scanner::at_paper_rate(7);
+        let scan = scanner.scan(&engine, &targets, SimTime::at(1, 9));
+        assert_eq!(scan.probes_sent(), 256);
+        // Entel-like: 85% occupancy, 92% responsive — most probes answer.
+        assert!(scan.responses() > 150, "responses={}", scan.responses());
+        assert!(scan.eui64_responses() > 100);
+        assert!(scan.finished_at > scan.started_at);
+    }
+
+    #[test]
+    fn scan_order_is_permuted_but_reproducible() {
+        let engine = engine();
+        let targets =
+            TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let scanner = Scanner::at_paper_rate(7);
+        let a = scanner.scan(&engine, &targets, SimTime::at(1, 9));
+        let b = scanner.scan(&engine, &targets, SimTime::at(1, 9));
+        assert_eq!(a, b, "same seed, same start: identical scan");
+        let probed_order: Vec<_> = a.records.iter().map(|r| r.target).collect();
+        assert_ne!(probed_order, targets, "order should be permuted");
+        // A different seed probes in a different order but the same set.
+        let c = Scanner::at_paper_rate(8).scan(&engine, &targets, SimTime::at(1, 9));
+        let mut a_sorted: Vec<_> = probed_order.clone();
+        a_sorted.sort();
+        let mut c_sorted: Vec<_> = c.records.iter().map(|r| r.target).collect();
+        c_sorted.sort();
+        assert_eq!(a_sorted, c_sorted);
+        assert_ne!(
+            probed_order,
+            c.records.iter().map(|r| r.target).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn in_order_scanning_can_be_requested() {
+        let engine = engine();
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 60);
+        let scanner = Scanner::new(ScannerConfig {
+            randomize_order: false,
+            ..ScannerConfig::default()
+        });
+        let scan = scanner.scan(&engine, &targets, SimTime::at(1, 9));
+        let probed: Vec<_> = scan.records.iter().map(|r| r.target).collect();
+        assert_eq!(probed, targets);
+    }
+
+    #[test]
+    fn pacing_matches_rate() {
+        let engine = engine();
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let scanner = Scanner::new(ScannerConfig {
+            packets_per_second: 100,
+            seed: 1,
+            randomize_order: true,
+        });
+        let scan = scanner.scan(&engine, &targets, SimTime::at(1, 0));
+        // 256 targets at 100 pps: finishes ceil(256/100) = 3 seconds later.
+        assert_eq!(
+            scan.finished_at,
+            SimTime::at(1, 0) + scent_simnet::SimDuration::from_secs(3)
+        );
+        // Send times are non-decreasing and within the window.
+        for pair in scan.records.windows(2) {
+            assert!(pair[0].sent_at <= pair[1].sent_at);
+        }
+    }
+
+    #[test]
+    fn daily_campaign_runs_every_day_at_same_hour() {
+        let engine = engine();
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let scanner = Scanner::at_paper_rate(3);
+        let campaign =
+            Campaign::daily(&scanner, &engine, &targets, SimTime::at(10, 6), 5);
+        assert_eq!(campaign.len(), 5);
+        assert!(!campaign.is_empty());
+        assert_eq!(campaign.total_probes(), 5 * 256);
+        assert!(campaign.total_responses() > 0);
+        for (day, scan) in campaign.scans.iter().enumerate() {
+            assert_eq!(scan.started_at, SimTime::at(10 + day as u64, 6));
+            // Same order every day: targets line up across scans.
+            assert_eq!(
+                scan.records[0].target,
+                campaign.scans[0].records[0].target
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! A deterministic, simulated IPv6 Internet for reproducing the measurement
+//! campaigns of *"Follow the Scent: Defeating IPv6 Prefix Rotation Privacy"*
+//! (IMC 2021).
+//!
+//! The paper's measurements require a privileged vantage point probing the
+//! real Internet at 10k packets per second for weeks. This crate substitutes
+//! a fully deterministic model that produces the same *observable* the
+//! methodology consumes: for every probe `(target address, time)` the engine
+//! computes whether an ICMPv6 response is generated, from which source
+//! address, and with which error code — as a function of
+//!
+//! * provider address plans (announced prefixes, rotation pools, customer
+//!   allocation sizes),
+//! * per-provider prefix-rotation policies (daily increments within a pool,
+//!   periodic random reassignment, or no rotation),
+//! * the CPE population (vendor mix, EUI-64 vs. privacy addressing,
+//!   responsiveness, churn, planted pathologies such as MAC reuse), and
+//! * network imperfections (loss, ICMPv6 rate limiting, silent filtering).
+//!
+//! Everything is derived from a single 64-bit seed via counter-based hashing,
+//! so identical configurations replay identical "Internets" — the property
+//! the repeated daily scans of §5 of the paper rely on.
+//!
+//! The crate is organised as:
+//!
+//! * [`time`] — the virtual clock ([`SimTime`], [`SimDuration`]).
+//! * [`det`] — deterministic hashing / pseudo-randomness helpers.
+//! * [`config`] — provider, pool and world configuration types.
+//! * [`population`] — the generated CPE population.
+//! * [`engine`] — the probe/traceroute responder ([`Engine`]).
+//! * [`seed_campaign`] — the CAIDA-style seed traceroute campaign.
+//! * [`scenarios`] — ready-made worlds mirroring the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod det;
+pub mod engine;
+pub mod population;
+pub mod scenarios;
+pub mod seed_campaign;
+pub mod time;
+
+pub use config::{
+    PlantedCpe, ProviderConfig, RotationPolicy, RotationPoolConfig, SlotLayout, VendorShare,
+    WorldConfig,
+};
+pub use engine::{Engine, ProbeReply, ReplyKind, TraceHop};
+pub use population::{CpeId, CpeRecord, PoolPopulation};
+pub use scenarios::WorldScale;
+pub use seed_campaign::{SeedCampaign, SeedEntry};
+pub use time::{SimDuration, SimTime};
+
+pub use scent_bgp::{AsRegistry, Asn, CountryCode, Rib};
+pub use scent_ipv6::{Eui64, Ipv6Prefix, MacAddr};

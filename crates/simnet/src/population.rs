@@ -1,0 +1,437 @@
+//! The generated CPE population.
+//!
+//! Each rotation pool is inhabited by a set of CPE devices derived
+//! deterministically from the world seed: their MAC addresses (and therefore
+//! vendors and EUI-64 identifiers), addressing mode, responsiveness, initial
+//! allocation slot, churn dates and rotation jitter are all pure functions of
+//! `(seed, provider, pool, customer index)`.
+
+use serde::{Deserialize, Serialize};
+
+use scent_ipv6::{Eui64, MacAddr};
+use scent_oui::ALL_VENDORS;
+
+use crate::config::{PlantedCpe, ProviderConfig, RotationPoolConfig, SlotLayout, WorldConfig};
+use crate::det::{coin, hash2, hash3, uniform, weighted_pick};
+
+/// A globally unique identifier for a CPE device within an [`crate::Engine`]:
+/// the global pool index and the device's position within that pool's
+/// population vector.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CpeId {
+    /// Global pool index within the engine.
+    pub pool: u32,
+    /// Index into the pool's population vector.
+    pub index: u32,
+}
+
+/// One CPE device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpeRecord {
+    /// The WAN interface MAC address.
+    pub mac: MacAddr,
+    /// Index into [`ALL_VENDORS`].
+    pub vendor_idx: u16,
+    /// Whether the WAN interface uses EUI-64 SLAAC addressing (as opposed to
+    /// privacy/random IIDs).
+    pub eui64: bool,
+    /// Whether the device responds to probes at all.
+    pub responsive: bool,
+    /// The allocation slot the device held at the simulation epoch.
+    pub initial_slot: u64,
+    /// First day (inclusive) the device is online.
+    pub join_day: u64,
+    /// Last day (exclusive) the device is online.
+    pub leave_day: u64,
+    /// This device's rotation jitter, in seconds after the pool's rotation
+    /// hour.
+    pub jitter_secs: u32,
+}
+
+impl CpeRecord {
+    /// The EUI-64 interface identifier derived from the device MAC. Only
+    /// meaningful when [`CpeRecord::eui64`] is set.
+    pub fn eui64_iid(&self) -> Eui64 {
+        Eui64::from_mac(self.mac)
+    }
+
+    /// Whether the device is online on the given day.
+    pub fn active_on(&self, day: u64) -> bool {
+        day >= self.join_day && day < self.leave_day
+    }
+}
+
+/// The population of one rotation pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolPopulation {
+    /// Index of the owning provider within the world configuration.
+    pub provider_idx: usize,
+    /// Index of this pool within the provider's pool list.
+    pub pool_idx: usize,
+    /// The pool configuration.
+    pub config: RotationPoolConfig,
+    /// Devices, sorted by `initial_slot` (each slot appears at most once).
+    pub cpes: Vec<CpeRecord>,
+    /// Seed scoped to this pool, used for rotation permutations and privacy
+    /// IID derivation.
+    pub pool_seed: u64,
+}
+
+impl PoolPopulation {
+    /// Number of devices in the pool.
+    pub fn len(&self) -> usize {
+        self.cpes.len()
+    }
+
+    /// Whether the pool has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.cpes.is_empty()
+    }
+
+    /// Find the device whose initial slot is exactly `slot`.
+    pub fn by_initial_slot(&self, slot: u64) -> Option<(usize, &CpeRecord)> {
+        self.cpes
+            .binary_search_by_key(&slot, |c| c.initial_slot)
+            .ok()
+            .map(|idx| (idx, &self.cpes[idx]))
+    }
+
+    /// Build the population of one pool.
+    pub fn build(
+        world: &WorldConfig,
+        provider_idx: usize,
+        provider: &ProviderConfig,
+        pool_idx: usize,
+        pool: &RotationPoolConfig,
+    ) -> Self {
+        let pool_seed = hash3(
+            world.seed,
+            provider.asn.value() as u64,
+            pool_idx as u64,
+            0x706f_6f6c, // "pool"
+        );
+        let n_slots = pool.num_slots();
+        let n_customers = ((pool.occupancy * n_slots as f64).round() as u64).min(n_slots);
+
+        // Spread layout: an affine bijection over the slot space (n_slots is a
+        // power of two, so any odd multiplier is invertible).
+        let spread_mul = hash2(pool_seed, 1, 0) | 1;
+        let spread_add = hash2(pool_seed, 2, 0);
+        let slot_mask = n_slots - 1;
+
+        let weights: Vec<f64> = provider.vendor_mix.iter().map(|s| s.weight).collect();
+
+        // Collect planted slots for this pool so generated devices never
+        // collide with them.
+        let planted: Vec<&PlantedCpe> = provider
+            .planted
+            .iter()
+            .filter(|p| p.pool_idx == pool_idx)
+            .collect();
+        let planted_slots: std::collections::HashSet<u64> =
+            planted.iter().map(|p| p.initial_slot).collect();
+
+        let mut cpes = Vec::with_capacity(n_customers as usize + planted.len());
+        for i in 0..n_customers {
+            let slot = match pool.layout {
+                SlotLayout::Contiguous => i,
+                SlotLayout::Spread => (i.wrapping_mul(spread_mul).wrapping_add(spread_add))
+                    & slot_mask,
+            };
+            if planted_slots.contains(&slot) {
+                continue;
+            }
+            let h = hash2(pool_seed, 0x6370_6531, i); // "cpe1"
+            let vendor_pos = weighted_pick(h, &weights);
+            let vendor_idx = provider
+                .vendor_mix
+                .get(vendor_pos)
+                .map(|s| s.vendor_idx)
+                .unwrap_or(0);
+            let vendor = &ALL_VENDORS[vendor_idx.min(ALL_VENDORS.len() - 1)];
+            let oui_pick = uniform(hash2(pool_seed, 0x6f75_69, i), vendor.ouis.len() as u64);
+            let oui = scent_ipv6::Oui::from_u32(vendor.ouis[oui_pick as usize]);
+            let nic_bits = hash2(pool_seed, 0x6e69_63, i);
+            let mac = oui.with_nic([
+                (nic_bits >> 16) as u8,
+                (nic_bits >> 8) as u8,
+                nic_bits as u8,
+            ]);
+
+            let eui64 = coin(hash2(pool_seed, 0x6575_69, i), provider.eui64_fraction);
+            let responsive = coin(hash2(pool_seed, 0x7265_7370, i), provider.response_rate);
+
+            let (join_day, leave_day) =
+                churn_dates(world, hash2(pool_seed, 0x6368_7572, i));
+
+            let jitter_secs = rotation_jitter(pool, hash2(pool_seed, 0x6a69_74, i));
+
+            cpes.push(CpeRecord {
+                mac,
+                vendor_idx: vendor_idx as u16,
+                eui64,
+                responsive,
+                initial_slot: slot,
+                join_day,
+                leave_day,
+                jitter_secs,
+            });
+        }
+
+        // Planted devices are always responsive and never churned beyond the
+        // window the scenario gives them.
+        for (k, plant) in planted.iter().enumerate() {
+            let vendor_idx = vendor_of_mac(plant.mac).unwrap_or(0);
+            cpes.push(CpeRecord {
+                mac: plant.mac,
+                vendor_idx: vendor_idx as u16,
+                eui64: plant.eui64,
+                responsive: true,
+                initial_slot: plant.initial_slot,
+                join_day: plant.join_day,
+                leave_day: plant.leave_day,
+                jitter_secs: rotation_jitter(pool, hash2(pool_seed, 0x706c_6e74, k as u64)),
+            });
+        }
+
+        cpes.sort_by_key(|c| c.initial_slot);
+        cpes.dedup_by_key(|c| c.initial_slot);
+
+        PoolPopulation {
+            provider_idx,
+            pool_idx,
+            config: pool.clone(),
+            cpes,
+            pool_seed,
+        }
+    }
+}
+
+/// Draw churn dates for a device: most devices are online for the whole
+/// horizon; a `churn_fraction` of devices either join late or leave early.
+fn churn_dates(world: &WorldConfig, h: u64) -> (u64, u64) {
+    if !coin(h, world.churn_fraction) {
+        return (0, u64::MAX);
+    }
+    let h2 = crate::det::splitmix64(h);
+    let day = 1 + uniform(h2, world.horizon_days.max(2) - 1);
+    if h2 & 1 == 0 {
+        (day, u64::MAX) // joins late
+    } else {
+        (0, day) // leaves early
+    }
+}
+
+/// Per-device rotation jitter in seconds, bounded by the pool policy's jitter
+/// window.
+fn rotation_jitter(pool: &RotationPoolConfig, h: u64) -> u32 {
+    let jitter_hours = match pool.rotation {
+        crate::config::RotationPolicy::Static => 0,
+        crate::config::RotationPolicy::DailyIncrement { jitter_hours, .. } => jitter_hours,
+        crate::config::RotationPolicy::PeriodicRandom { jitter_hours, .. } => jitter_hours,
+    };
+    if jitter_hours == 0 {
+        0
+    } else {
+        uniform(h, jitter_hours as u64 * 3_600) as u32
+    }
+}
+
+/// Find the built-in vendor owning a MAC address's OUI, if any.
+fn vendor_of_mac(mac: MacAddr) -> Option<usize> {
+    let oui = mac.oui().to_u32();
+    ALL_VENDORS
+        .iter()
+        .position(|v| v.ouis.contains(&oui))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RotationPolicy, SlotLayout};
+    use scent_ipv6::Ipv6Prefix;
+
+    fn world_with(pool: RotationPoolConfig, provider_tweak: impl Fn(&mut ProviderConfig)) -> WorldConfig {
+        let mut provider = ProviderConfig::new(
+            8881u32,
+            "Versatel",
+            "DE",
+            vec!["2001:16b8::/32".parse::<Ipv6Prefix>().unwrap()],
+            vec![pool],
+        );
+        provider_tweak(&mut provider);
+        WorldConfig::new(vec![provider], 42)
+    }
+
+    fn default_pool() -> RotationPoolConfig {
+        RotationPoolConfig {
+            prefix: "2001:16b8:100::/48".parse().unwrap(),
+            allocation_len: 56,
+            occupancy: 0.5,
+            layout: SlotLayout::Spread,
+            rotation: RotationPolicy::Static,
+        }
+    }
+
+    fn build(world: &WorldConfig) -> PoolPopulation {
+        PoolPopulation::build(
+            world,
+            0,
+            &world.providers[0],
+            0,
+            &world.providers[0].pools[0],
+        )
+    }
+
+    #[test]
+    fn population_size_tracks_occupancy() {
+        let world = world_with(default_pool(), |_| {});
+        let pop = build(&world);
+        // 50% of 256 slots, possibly minus dedup collisions (there are none
+        // for an affine bijection).
+        assert_eq!(pop.len(), 128);
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn slots_are_unique_and_sorted() {
+        let world = world_with(default_pool(), |_| {});
+        let pop = build(&world);
+        for window in pop.cpes.windows(2) {
+            assert!(window[0].initial_slot < window[1].initial_slot);
+        }
+        for cpe in &pop.cpes {
+            assert!(cpe.initial_slot < 256);
+        }
+    }
+
+    #[test]
+    fn contiguous_layout_uses_low_slots() {
+        let mut pool = default_pool();
+        pool.layout = SlotLayout::Contiguous;
+        pool.occupancy = 0.25;
+        let world = world_with(pool, |_| {});
+        let pop = build(&world);
+        assert_eq!(pop.len(), 64);
+        assert_eq!(pop.cpes[0].initial_slot, 0);
+        assert_eq!(pop.cpes.last().unwrap().initial_slot, 63);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let world = world_with(default_pool(), |_| {});
+        let a = build(&world);
+        let b = build(&world);
+        assert_eq!(a, b);
+        let mut other = world.clone();
+        other.seed = 43;
+        let c = build(&other);
+        assert_ne!(a.cpes[0].mac, c.cpes[0].mac);
+    }
+
+    #[test]
+    fn eui64_fraction_is_respected() {
+        let world = world_with(default_pool(), |p| p.eui64_fraction = 0.0);
+        let pop = build(&world);
+        assert!(pop.cpes.iter().all(|c| !c.eui64));
+        let world = world_with(default_pool(), |p| p.eui64_fraction = 1.0);
+        let pop = build(&world);
+        assert!(pop.cpes.iter().all(|c| c.eui64));
+    }
+
+    #[test]
+    fn vendor_mix_dominates_correctly() {
+        // 95% vendor 0 (AVM), 5% vendor 1 (ZTE) — like NetCologne in §5.1.
+        let mut pool = default_pool();
+        pool.allocation_len = 64;
+        pool.occupancy = 0.3;
+        let world = world_with(pool, |p| {
+            p.vendor_mix = vec![
+                crate::config::VendorShare {
+                    vendor_idx: 0,
+                    weight: 0.95,
+                },
+                crate::config::VendorShare {
+                    vendor_idx: 1,
+                    weight: 0.05,
+                },
+            ];
+        });
+        let pop = build(&world);
+        let avm = pop.cpes.iter().filter(|c| c.vendor_idx == 0).count() as f64;
+        let share = avm / pop.len() as f64;
+        assert!(share > 0.9 && share < 0.99, "share={share}");
+        // MAC OUIs belong to the configured vendors.
+        for cpe in &pop.cpes {
+            let vendor = &ALL_VENDORS[cpe.vendor_idx as usize];
+            assert!(vendor.ouis.contains(&cpe.mac.oui().to_u32()));
+        }
+    }
+
+    #[test]
+    fn planted_devices_present_and_deduplicated() {
+        let mac = MacAddr::new([0x00, 0x00, 0x5e, 0x00, 0x53, 0x01]);
+        let world = world_with(default_pool(), |p| {
+            p.planted.push(PlantedCpe::always(0, mac, 17));
+            p.planted.push(PlantedCpe {
+                pool_idx: 0,
+                mac: MacAddr::ZERO,
+                initial_slot: 18,
+                join_day: 10,
+                leave_day: 20,
+                eui64: true,
+            });
+        });
+        let pop = build(&world);
+        let (_, planted) = pop.by_initial_slot(17).expect("planted CPE at slot 17");
+        assert_eq!(planted.mac, mac);
+        assert!(planted.responsive);
+        let (_, zero) = pop.by_initial_slot(18).expect("planted CPE at slot 18");
+        assert!(zero.mac.is_zero());
+        assert!(zero.active_on(15));
+        assert!(!zero.active_on(25));
+        assert!(!zero.active_on(5));
+    }
+
+    #[test]
+    fn by_initial_slot_misses_unoccupied() {
+        let mut pool = default_pool();
+        pool.layout = SlotLayout::Contiguous;
+        pool.occupancy = 0.25;
+        let world = world_with(pool, |_| {});
+        let pop = build(&world);
+        assert!(pop.by_initial_slot(200).is_none());
+        assert!(pop.by_initial_slot(0).is_some());
+    }
+
+    #[test]
+    fn churn_fraction_zero_means_everyone_always_online() {
+        let mut world = world_with(default_pool(), |_| {});
+        world.churn_fraction = 0.0;
+        let pop = build(&world);
+        assert!(pop
+            .cpes
+            .iter()
+            .all(|c| c.join_day == 0 && c.leave_day == u64::MAX));
+    }
+
+    #[test]
+    fn jitter_respects_policy_window() {
+        let mut pool = default_pool();
+        pool.rotation = RotationPolicy::DailyIncrement {
+            step_slots: 1,
+            period_days: 1,
+            hour: 0,
+            jitter_hours: 6,
+        };
+        let world = world_with(pool, |_| {});
+        let pop = build(&world);
+        assert!(pop.cpes.iter().all(|c| (c.jitter_secs as u64) < 6 * 3_600));
+        assert!(
+            pop.cpes.iter().any(|c| c.jitter_secs > 0),
+            "jitter should not be all zero"
+        );
+    }
+}

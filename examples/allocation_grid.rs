@@ -1,0 +1,35 @@
+//! Render Figure 3-style allocation grids as ASCII art: probe every /64 of a
+//! /48 and colour cells by the responding CPE address.
+//!
+//! Run with: `cargo run --release --example allocation_grid`
+
+use followscent::core::AllocationGrid;
+use followscent::simnet::{scenarios, Engine, SimTime};
+
+fn main() {
+    let worlds = [
+        ("Entel-like (/56 allocations)", scenarios::entel_like(1)),
+        ("BH-Telecom-like (/60 allocations)", scenarios::bhtelecom_like(2)),
+        ("Starcat-like (/64 allocations)", scenarios::starcat_like(3)),
+    ];
+    for (label, world) in worlds {
+        let engine = Engine::build(world).expect("world builds");
+        // Probe the first /48 covered by the provider's pools.
+        let prefix = followscent::ipv6::Ipv6Prefix::from_bits(
+            engine.pools()[0].config.prefix.network_bits(),
+            48,
+        )
+        .unwrap();
+        let grid = AllocationGrid::probe(&engine, prefix, SimTime::at(1, 10), 9);
+        println!("== {label}: {prefix} ==");
+        println!(
+            "inferred allocation size: {}   distinct responders: {}   unresponsive cells: {:.1}%",
+            grid.infer_allocation_len()
+                .map(|l| format!("/{l}"))
+                .unwrap_or_else(|| "?".into()),
+            grid.distinct_sources(),
+            grid.unresponsive_fraction() * 100.0
+        );
+        println!("{}", grid.render_ascii());
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the followscent workspace.
+pub use scent_bgp as bgp;
+pub use scent_core as core;
+pub use scent_experiments as experiments;
+pub use scent_ipv6 as ipv6;
+pub use scent_oui as oui;
+pub use scent_prober as prober;
+pub use scent_simnet as simnet;
