@@ -33,9 +33,17 @@ fn bench_allocation_granularity(c: &mut Criterion) {
         // One /48 of the pool, to keep the /64 case bounded.
         let prefix48 = Ipv6Prefix::from_bits(pool.network_bits(), 48).unwrap();
         let targets = generator.one_per_subnet(&prefix48, granularity);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &targets, |b, targets| {
-            b.iter(|| scanner.scan(&engine, targets, SimTime::at(3, 9)).eui64_responses())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &targets,
+            |b, targets| {
+                b.iter(|| {
+                    scanner
+                        .scan(&engine, targets, SimTime::at(3, 9))
+                        .eui64_responses()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -62,20 +70,24 @@ fn bench_tracking_search_space(c: &mut Criterion) {
     group.sample_size(10);
     for (label, space) in [("inferred_pool_46", pool), ("bgp_slice_40", wide)] {
         let targets = generator.one_per_subnet(&space, 56);
-        group.bench_with_input(BenchmarkId::from_parameter(label), &targets, |b, targets| {
-            b.iter(|| {
-                let mut probes = 0u64;
-                for &target in targets.iter() {
-                    probes += 1;
-                    if let Some(reply) = engine.probe(target, t) {
-                        if scent_ipv6::Eui64::from_addr(reply.source) == Some(target_iid) {
-                            break;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &targets,
+            |b, targets| {
+                b.iter(|| {
+                    let mut probes = 0u64;
+                    for &target in targets.iter() {
+                        probes += 1;
+                        if let Some(reply) = engine.probe(target, t) {
+                            if scent_ipv6::Eui64::from_addr(reply.source) == Some(target_iid) {
+                                break;
+                            }
                         }
                     }
-                }
-                probes
-            })
-        });
+                    probes
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -100,8 +112,7 @@ fn bench_lpm_vs_linear(c: &mut Criterion) {
     let mut rib = Rib::new();
     let mut table: Vec<(Ipv6Prefix, Asn)> = Vec::new();
     for i in 0..2_000u32 {
-        let prefix =
-            Ipv6Prefix::from_bits(((0x2600_0000u128 + i as u128) << 96) | 0, 32).unwrap();
+        let prefix = Ipv6Prefix::from_bits((0x2600_0000u128 + i as u128) << 96, 32).unwrap();
         rib.announce(prefix, Asn(64_000 + i));
         table.push((prefix, Asn(64_000 + i)));
     }

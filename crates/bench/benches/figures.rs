@@ -34,7 +34,9 @@ fn bench_fig4_homogeneity(c: &mut Criterion) {
     let generator = TargetGenerator::new(1);
     let mut targets = Vec::new();
     for pool in engine.pools() {
-        targets.extend(generator.one_per_subnet(&pool.config.prefix, pool.config.allocation_len.min(60)));
+        targets.extend(
+            generator.one_per_subnet(&pool.config.prefix, pool.config.allocation_len.min(60)),
+        );
     }
     let scan = Scanner::at_paper_rate(2).scan(&engine, &targets, SimTime::at(100, 9));
     let registry = builtin_registry();
@@ -51,15 +53,26 @@ fn bench_fig5_fig7_fig8_campaign_analyses(c: &mut Criterion) {
     let scans = short_campaign(&engine, 8);
     let refs: Vec<&Scan> = scans.iter().collect();
     c.bench_function("fig5/allocation_inference", |b| {
-        b.iter(|| AllocationInference::infer(&refs[..1], engine.rib()).per_iid.len())
+        b.iter(|| {
+            AllocationInference::infer(&refs[..1], engine.rib())
+                .per_iid
+                .len()
+        })
     });
     c.bench_function("fig7/rotation_pool_inference", |b| {
-        b.iter(|| RotationPoolInference::infer(&refs, engine.rib()).per_as.len())
+        b.iter(|| {
+            RotationPoolInference::infer(&refs, engine.rib())
+                .per_as
+                .len()
+        })
     });
     c.bench_function("fig8/prefixes_per_iid_cdf", |b| {
         b.iter(|| {
             let stats = CampaignStats::compute(&refs);
-            (stats.prefixes_per_iid_cdf().median(), stats.fraction_multi_prefix())
+            (
+                stats.prefixes_per_iid_cdf().median(),
+                stats.fraction_multi_prefix(),
+            )
         })
     });
 }
@@ -120,9 +133,7 @@ fn bench_fig13_daily_counts(c: &mut Criterion) {
         true,
     );
     let report = tracker.track(&engine, &devices, 15, 7);
-    c.bench_function("fig13/daily_counts", |b| {
-        b.iter(|| report.daily_counts())
-    });
+    c.bench_function("fig13/daily_counts", |b| b.iter(|| report.daily_counts()));
 }
 
 criterion_group! {

@@ -35,7 +35,7 @@ fn bench_prefix(c: &mut Criterion) {
 fn bench_rib(c: &mut Criterion) {
     let mut rib = Rib::new();
     for i in 0..1_000u32 {
-        let prefix = Ipv6Prefix::from_bits(((0x2600_0000u128 + i as u128) << 96) | 0, 32).unwrap();
+        let prefix = Ipv6Prefix::from_bits((0x2600_0000u128 + i as u128) << 96, 32).unwrap();
         rib.announce(prefix, Asn(64_000 + i));
     }
     let addr = "2600:1ff::1".parse().unwrap();

@@ -1,0 +1,75 @@
+//! Streaming vs batch pipeline throughput on the same world.
+//!
+//! The streamed pipeline pays for channel hops and thread handoffs but
+//! overlaps probing with inference across shards; the batch pipeline runs
+//! everything inline on one thread. This bench measures both on identical
+//! worlds so the crossover is visible, plus the continuous monitor's
+//! ingest rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scent_core::{Pipeline, PipelineConfig};
+use scent_ipv6::Ipv6Prefix;
+use scent_simnet::{scenarios, Engine, WorldScale};
+use scent_stream::{MonitorConfig, StreamMonitor, StreamPipeline};
+
+fn small_config() -> PipelineConfig {
+    PipelineConfig {
+        max_48s_per_seed: 128,
+        ..PipelineConfig::default()
+    }
+}
+
+fn bench_batch_vs_streaming(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::small())).unwrap();
+    let mut group = c.benchmark_group("streaming/pipeline");
+    group.sample_size(10);
+    group.bench_function("batch", |b| {
+        b.iter(|| Pipeline::new(small_config()).run(black_box(&engine)))
+    });
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("streamed", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    StreamPipeline::with_shards(small_config(), shards).run(black_box(&engine))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monitor_ingest(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::continuous_world(7)).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("streaming/monitor_3_windows");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let config = MonitorConfig {
+                    shards,
+                    windows: 3,
+                    ..MonitorConfig::default()
+                };
+                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = streaming;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batch_vs_streaming, bench_monitor_ingest
+}
+criterion_main!(streaming);

@@ -38,8 +38,7 @@ fn bench_table2_tracking(c: &mut Criterion) {
         .unwrap()
         .config
         .prefix;
-    let first_48 =
-        scent_ipv6::Ipv6Prefix::from_bits(pool56.network_bits(), 48).unwrap();
+    let first_48 = scent_ipv6::Ipv6Prefix::from_bits(pool56.network_bits(), 48).unwrap();
     let alloc_scan = Scanner::at_paper_rate(5).scan(
         &engine,
         &TargetGenerator::new(4).one_per_subnet(&first_48, 64),

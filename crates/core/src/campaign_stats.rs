@@ -51,7 +51,9 @@ impl CampaignStats {
             probes += scan.probes_sent() as u64;
             responses += scan.responses() as u64;
             for record in &scan.records {
-                let Some(source) = record.source() else { continue };
+                let Some(source) = record.source() else {
+                    continue;
+                };
                 unique_addresses.insert(source);
                 if let Some(eui) = Eui64::from_addr(source) {
                     unique_eui64.insert(source);
@@ -122,11 +124,7 @@ impl CampaignStats {
 /// Build the daily-campaign target list for a set of /48 (or larger) probe
 /// regions at a fixed granularity — the workload of §5, reused by several
 /// experiments.
-pub fn campaign_targets(
-    regions: &[Ipv6Prefix],
-    granularity: u8,
-    seed: u64,
-) -> Vec<Ipv6Addr> {
+pub fn campaign_targets(regions: &[Ipv6Prefix], granularity: u8, seed: u64) -> Vec<Ipv6Addr> {
     scent_prober::TargetGenerator::new(seed).per_candidate_48(regions, granularity)
 }
 

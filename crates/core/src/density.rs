@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use scent_ipv6::{Eui64, Ipv6Prefix};
-use scent_prober::Scan;
+use scent_prober::{ProbeRecord, Scan};
 
 /// Density classification of a candidate /48.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -49,6 +49,68 @@ pub struct DensityReport {
     pub prefixes: Vec<PrefixDensity>,
 }
 
+/// Online density state for one candidate /48: the incremental counterpart of
+/// [`DensityReport::measure`], consumed one probe record at a time by the
+/// streaming engine (`scent-stream`) and mergeable across shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DensityAccumulator {
+    /// Probes observed inside the candidate.
+    pub probes: u64,
+    /// Unique EUI-64 identifiers observed in responses.
+    pub uniques: HashSet<Eui64>,
+    /// Whether any probe inside the candidate received any response.
+    pub responded: bool,
+}
+
+impl DensityAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one probe record (whose target lies inside this candidate) into
+    /// the running state.
+    pub fn observe(&mut self, record: &ProbeRecord) {
+        self.probes += 1;
+        self.responded |= record.responded();
+        if let Some(eui) = record.eui64() {
+            self.uniques.insert(eui);
+        }
+    }
+
+    /// Merge another accumulator for the same candidate (used when partial
+    /// states for one /48 ever need recombining).
+    pub fn merge(&mut self, other: DensityAccumulator) {
+        self.probes += other.probes;
+        self.responded |= other.responded;
+        self.uniques.extend(other.uniques);
+    }
+
+    /// Finalize into the per-candidate measurement.
+    pub fn finish(&self, prefix: Ipv6Prefix) -> PrefixDensity {
+        let unique = self.uniques.len() as u64;
+        let density = if self.probes == 0 {
+            0.0
+        } else {
+            unique as f64 / self.probes as f64
+        };
+        let class = if !self.responded {
+            DensityClass::NoResponse
+        } else if unique <= DensityReport::LOW_THRESHOLD {
+            DensityClass::Low
+        } else {
+            DensityClass::High
+        };
+        PrefixDensity {
+            prefix,
+            probes: self.probes,
+            unique_eui64: unique,
+            density,
+            class,
+        }
+    }
+}
+
 impl DensityReport {
     /// The unique-EUI-64 count at or below which a responsive candidate is
     /// classified low density. The paper uses a density threshold of 0.01
@@ -57,53 +119,39 @@ impl DensityReport {
 
     /// Measure density per candidate /48 from a scan whose targets were
     /// generated inside those candidates.
+    ///
+    /// Implemented on top of [`DensityAccumulator`], the same incremental
+    /// state the streaming engine folds one record at a time, so the batch
+    /// and streaming paths agree by construction.
     pub fn measure(candidates: &[Ipv6Prefix], scan: &Scan) -> Self {
-        // Bucket probes and unique EUI-64 responses by candidate.
-        let mut probes: HashMap<Ipv6Prefix, u64> = HashMap::new();
-        let mut uniques: HashMap<Ipv6Prefix, HashSet<Eui64>> = HashMap::new();
-        let lookup: Vec<Ipv6Prefix> = candidates.to_vec();
+        let members: HashSet<Ipv6Prefix> = candidates.iter().copied().collect();
+        let mut states: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
         for record in &scan.records {
             // Candidates are /48s, so the containing candidate is found by
             // truncating the target. (A hash lookup keeps this O(1) per
             // record rather than scanning the candidate list.)
             let target_48 = Ipv6Prefix::new(record.target, 48).expect("48 is a valid length");
-            if !probes.contains_key(&target_48) && !lookup.contains(&target_48) {
+            if !members.contains(&target_48) {
                 continue;
             }
-            *probes.entry(target_48).or_insert(0) += 1;
-            if let Some(eui) = record.eui64() {
-                uniques.entry(target_48).or_default().insert(eui);
-            }
+            states.entry(target_48).or_default().observe(record);
         }
+        Self::from_accumulators(candidates, &states)
+    }
 
-        let mut prefixes = Vec::with_capacity(candidates.len());
-        for candidate in candidates {
-            let sent = probes.get(candidate).copied().unwrap_or(0);
-            let unique = uniques.get(candidate).map(|s| s.len() as u64).unwrap_or(0);
-            let density = if sent == 0 {
-                0.0
-            } else {
-                unique as f64 / sent as f64
-            };
-            let responded = scan
-                .records
-                .iter()
-                .any(|r| candidate.contains(r.target) && r.responded());
-            let class = if !responded {
-                DensityClass::NoResponse
-            } else if unique <= Self::LOW_THRESHOLD {
-                DensityClass::Low
-            } else {
-                DensityClass::High
-            };
-            prefixes.push(PrefixDensity {
-                prefix: *candidate,
-                probes: sent,
-                unique_eui64: unique,
-                density,
-                class,
-            });
-        }
+    /// Finalize per-candidate accumulators into a report, preserving the
+    /// candidate order. Candidates with no accumulated state are classified
+    /// [`DensityClass::NoResponse`] with zero probes, matching what a scan
+    /// that never reached them would produce.
+    pub fn from_accumulators(
+        candidates: &[Ipv6Prefix],
+        states: &HashMap<Ipv6Prefix, DensityAccumulator>,
+    ) -> Self {
+        let empty = DensityAccumulator::new();
+        let prefixes = candidates
+            .iter()
+            .map(|candidate| states.get(candidate).unwrap_or(&empty).finish(*candidate))
+            .collect();
         DensityReport { prefixes }
     }
 

@@ -128,12 +128,11 @@ impl PoolDensityTimeline {
     /// pool. Density is the number of distinct EUI-64 source addresses seen
     /// in the /48 divided by the number of probes aimed into it.
     pub fn measure(pool: &Ipv6Prefix, scans: &[&Scan]) -> Self {
-        let subnets_48: Vec<Ipv6Prefix> = pool
-            .subnets(48)
-            .expect("pool is /48 or shorter")
-            .collect();
+        let subnets_48: Vec<Ipv6Prefix> =
+            pool.subnets(48).expect("pool is /48 or shorter").collect();
         let index_of = |prefix: &Ipv6Prefix| -> Option<usize> {
-            pool.subnet_index(&prefix.supernet(48).ok()?).map(|i| i as usize)
+            pool.subnet_index(&prefix.supernet(48).ok()?)
+                .map(|i| i as usize)
         };
         let mut rows = Vec::with_capacity(scans.len());
         for scan in scans {
@@ -142,7 +141,9 @@ impl PoolDensityTimeline {
                 vec![HashSet::new(); subnets_48.len()];
             for record in &scan.records {
                 let target_48 = Ipv6Prefix::new(record.target, 48).expect("valid length");
-                let Some(idx) = index_of(&target_48) else { continue };
+                let Some(idx) = index_of(&target_48) else {
+                    continue;
+                };
                 probes[idx] += 1;
                 if let Some(response) = record.response {
                     if Eui64::addr_is_eui64(response.source) {
@@ -248,7 +249,8 @@ mod tests {
         let unknown = Eui64::from_mac("02:00:00:00:00:99".parse().unwrap());
         assert!(filtered.for_iid(unknown).is_none());
         assert_eq!(
-            IidTrajectories::default().is_monotone_modulo(unknown, &"2001:db8::/46".parse().unwrap()),
+            IidTrajectories::default()
+                .is_monotone_modulo(unknown, &"2001:db8::/46".parse().unwrap()),
             None
         );
     }

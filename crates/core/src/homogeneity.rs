@@ -50,12 +50,7 @@ impl HomogeneityReport {
     pub const PAPER_MIN_IIDS: usize = 100;
 
     /// Analyse one or more scans.
-    pub fn analyse(
-        scans: &[&Scan],
-        rib: &Rib,
-        registry: &OuiRegistry,
-        min_iids: usize,
-    ) -> Self {
+    pub fn analyse(scans: &[&Scan], rib: &Rib, registry: &OuiRegistry, min_iids: usize) -> Self {
         // asn -> set of unique EUI-64 identifiers.
         let mut iids_by_as: HashMap<Asn, HashSet<Eui64>> = HashMap::new();
         for scan in scans {
@@ -153,8 +148,7 @@ mod tests {
     #[test]
     fn versatel_is_avm_dominated() {
         let (engine, scan) = scan_world(scenarios::versatel_like(61));
-        let report =
-            HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 50);
+        let report = HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 50);
         let versatel = report.for_as(Asn(8881)).expect("AS8881 included");
         assert_eq!(versatel.dominant.0, "AVM GmbH");
         assert!(
@@ -170,8 +164,7 @@ mod tests {
     fn world_homogeneity_distribution_matches_paper_shape() {
         let world = scenarios::paper_world(62, WorldScale::small());
         let (engine, scan) = scan_world(world);
-        let report =
-            HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 20);
+        let report = HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 20);
         assert!(report.per_as.len() >= 5, "ASes={}", report.per_as.len());
         // The paper: >half of ASes above 0.9, three-quarters above 0.67, and
         // even the least homogeneous AS above ~1/3.
@@ -186,17 +179,12 @@ mod tests {
     #[test]
     fn threshold_excludes_small_ases() {
         let (engine, scan) = scan_world(scenarios::entel_like(63));
-        let strict = HomogeneityReport::analyse(
-            &[&scan],
-            engine.rib(),
-            &builtin_registry(),
-            1_000_000,
-        );
+        let strict =
+            HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 1_000_000);
         assert!(strict.per_as.is_empty());
         assert_eq!(strict.excluded_ases, 1);
         assert_eq!(strict.fraction_above(0.5), 0.0);
-        let lenient =
-            HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 1);
+        let lenient = HomogeneityReport::analyse(&[&scan], engine.rib(), &builtin_registry(), 1);
         assert_eq!(lenient.per_as.len(), 1);
         assert_eq!(lenient.excluded_ases, 0);
     }

@@ -23,6 +23,14 @@
 //!
 //! Supporting modules: [`stats`] (medians, CDFs), [`report`] (plain-text
 //! table rendering used by the experiment binaries).
+//!
+//! The classifier and detector modules also expose *incremental* entry
+//! points — [`density::DensityAccumulator`],
+//! [`rotation_detect::WindowedRotationDetector`] (which emits
+//! [`rotation_detect::RotationEvent`]s), and [`tracker::IncrementalTracker`]
+//! — used by the `scent-stream` crate to run the same inferences continuously
+//! over a sharded observation stream. The batch functions are implemented on
+//! top of the incremental state, so the two paths agree by construction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,16 +52,16 @@ pub mod tracker;
 
 pub use allocation::AllocationInference;
 pub use campaign_stats::CampaignStats;
-pub use density::{DensityClass, DensityReport};
+pub use density::{DensityAccumulator, DensityClass, DensityReport};
 pub use grid::AllocationGrid;
 pub use homogeneity::HomogeneityReport;
 pub use pathology::PathologyReport;
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
-pub use rotation_detect::RotationDetection;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RotatingCounts};
+pub use rotation_detect::{RotationDetection, RotationEvent, WindowedRotationDetector};
 pub use rotation_pool::RotationPoolInference;
 pub use seed_expansion::SeedExpansion;
 pub use stats::Cdf;
-pub use tracker::{TrackedDevice, Tracker, TrackerConfig, TrackingReport};
+pub use tracker::{IncrementalTracker, TrackedDevice, Tracker, TrackerConfig, TrackingReport};
 
 pub use scent_bgp::{Asn, CountryCode, Rib};
 pub use scent_ipv6::{Eui64, Ipv6Prefix, MacAddr};

@@ -102,7 +102,9 @@ impl PathologyReport {
             for record in &scan.records {
                 let Some(eui) = record.eui64() else { continue };
                 let source = record.source().expect("eui64 implies response");
-                let Some(asn) = rib.origin(source) else { continue };
+                let Some(asn) = rib.origin(source) else {
+                    continue;
+                };
                 timelines
                     .entry(eui)
                     .or_default()
@@ -170,9 +172,8 @@ mod tests {
         let generator = TargetGenerator::new(14);
         let mut targets = Vec::new();
         for pool in engine.pools() {
-            targets.extend(
-                generator.one_per_subnet(&pool.config.prefix, pool.config.allocation_len),
-            );
+            targets
+                .extend(generator.one_per_subnet(&pool.config.prefix, pool.config.allocation_len));
         }
         let scanner = Scanner::at_paper_rate(37);
         let campaign = Campaign::daily(&scanner, &engine, &targets, SimTime::at(1, 10), days);

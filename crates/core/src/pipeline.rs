@@ -78,6 +78,38 @@ pub struct RotatingCounts {
     pub total: u64,
 }
 
+impl RotatingCounts {
+    /// Build Table 1 from a list of rotating /48s: counts per origin ASN and
+    /// per country, sorted descending with deterministic tie-breaks. Shared
+    /// by the batch pipeline and the streaming engine.
+    pub fn tally(
+        rib: &scent_bgp::Rib,
+        registry: &scent_bgp::AsRegistry,
+        rotating_48s: &[Ipv6Prefix],
+    ) -> Self {
+        let mut per_asn: HashMap<Asn, u64> = HashMap::new();
+        let mut per_country: HashMap<CountryCode, u64> = HashMap::new();
+        for prefix in rotating_48s {
+            let Some(entry) = rib.lookup(prefix.network()) else {
+                continue;
+            };
+            *per_asn.entry(entry.origin).or_insert(0) += 1;
+            if let Some(country) = registry.country(entry.origin) {
+                *per_country.entry(country).or_insert(0) += 1;
+            }
+        }
+        let mut per_asn: Vec<_> = per_asn.into_iter().collect();
+        per_asn.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
+        let mut per_country: Vec<_> = per_country.into_iter().collect();
+        per_country.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.as_str().cmp(b.0.as_str())));
+        RotatingCounts {
+            total: rotating_48s.len() as u64,
+            per_asn,
+            per_country,
+        }
+    }
+}
+
 /// Everything the pipeline produced.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PipelineReport {
@@ -198,26 +230,7 @@ impl Pipeline {
 
     /// Build Table 1: rotating /48 counts per ASN and per country.
     fn count_rotating(&self, engine: &Engine, rotating_48s: &[Ipv6Prefix]) -> RotatingCounts {
-        let mut per_asn: HashMap<Asn, u64> = HashMap::new();
-        let mut per_country: HashMap<CountryCode, u64> = HashMap::new();
-        for prefix in rotating_48s {
-            let Some(entry) = engine.rib().lookup(prefix.network()) else {
-                continue;
-            };
-            *per_asn.entry(entry.origin).or_insert(0) += 1;
-            if let Some(country) = engine.as_registry().country(entry.origin) {
-                *per_country.entry(country).or_insert(0) += 1;
-            }
-        }
-        let mut per_asn: Vec<_> = per_asn.into_iter().collect();
-        per_asn.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
-        let mut per_country: Vec<_> = per_country.into_iter().collect();
-        per_country.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.as_str().cmp(b.0.as_str())));
-        RotatingCounts {
-            total: rotating_48s.len() as u64,
-            per_asn,
-            per_country,
-        }
+        RotatingCounts::tally(engine.rib(), engine.as_registry(), rotating_48s)
     }
 }
 
@@ -229,7 +242,9 @@ pub fn address_statistics(scans: &[&Scan]) -> (usize, usize, usize) {
     let mut iids: HashSet<Eui64> = HashSet::new();
     for scan in scans {
         for record in &scan.records {
-            let Some(source) = record.source() else { continue };
+            let Some(source) = record.source() else {
+                continue;
+            };
             addresses.insert(source);
             if let Some(eui) = Eui64::from_addr(source) {
                 eui_addresses.insert(source);

@@ -131,10 +131,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(percent(0.9964), "99.6%");
         assert_eq!(slash(56), "/56");
-        assert_eq!(
-            cdf_series(&[(56.0, 0.5), (64.0, 1.0)]),
-            "56:0.500 64:1.000"
-        );
+        assert_eq!(cdf_series(&[(56.0, 0.5), (64.0, 1.0)]), "56:0.500 64:1.000");
         assert_eq!(cdf_series(&[]), "");
     }
 

@@ -50,58 +50,150 @@ pub struct RotationDetection {
     pub rotating_48s: Vec<Ipv6Prefix>,
 }
 
-impl RotationDetection {
-    /// Compare two snapshots of the same target list.
-    ///
-    /// The scans need not present targets in the same order (the scanner
-    /// already guarantees it, but the comparison is keyed by target address
-    /// so any two scans over the same set can be diffed).
-    pub fn compare(first: &Scan, second: &Scan) -> Self {
-        let first_by_target: HashMap<Ipv6Addr, Option<Ipv6Addr>> = first
-            .records
-            .iter()
-            .map(|r| (r.target, r.source()))
-            .collect();
-        let mut changes = Vec::new();
-        let mut rotating: HashSet<Ipv6Prefix> = HashSet::new();
+/// Apply the §4.3 per-target rule to one `<first, second>` response pair:
+/// keep the pair if it involves an EUI-64 response in at least one snapshot
+/// and the two responses differ, classifying how it changed.
+pub fn classify_change(
+    target: Ipv6Addr,
+    first_source: Option<Ipv6Addr>,
+    second_source: Option<Ipv6Addr>,
+) -> Option<ChangedTarget> {
+    let first_eui = first_source.filter(|a| Eui64::addr_is_eui64(*a));
+    let second_eui = second_source.filter(|a| Eui64::addr_is_eui64(*a));
+    // Only pairs that are EUI-64 in at least one scan matter.
+    if first_eui.is_none() && second_eui.is_none() {
+        return None;
+    }
+    // Identical pairs are removed (the "common between the two scans" filter
+    // of §4.3).
+    if first_source == second_source {
+        return None;
+    }
+    let kind = match (first_eui, second_eui) {
+        (Some(_), Some(_)) => ChangeKind::EuiToDifferentEui,
+        (Some(_), None) if second_source.is_none() => ChangeKind::EuiToNothing,
+        (None, Some(_)) if first_source.is_none() => ChangeKind::NothingToEui,
+        _ => ChangeKind::EuiToOtherKind,
+    };
+    Some(ChangedTarget {
+        target,
+        first: first_source,
+        second: second_source,
+        kind,
+    })
+}
 
-        for record in &second.records {
-            let Some(&first_source) = first_by_target.get(&record.target) else {
-                continue;
-            };
-            let second_source = record.source();
-            let first_eui = first_source.filter(|a| Eui64::addr_is_eui64(*a));
-            let second_eui = second_source.filter(|a| Eui64::addr_is_eui64(*a));
-            // Only pairs that are EUI-64 in at least one scan matter.
-            if first_eui.is_none() && second_eui.is_none() {
-                continue;
-            }
-            // Identical pairs are removed (the "common between the two scans"
-            // filter of §4.3).
-            if first_source == second_source {
-                continue;
-            }
-            let kind = match (first_eui, second_eui) {
-                (Some(_), Some(_)) => ChangeKind::EuiToDifferentEui,
-                (Some(_), None) if second_source.is_none() => ChangeKind::EuiToNothing,
-                (None, Some(_)) if first_source.is_none() => ChangeKind::NothingToEui,
-                _ => ChangeKind::EuiToOtherKind,
-            };
-            changes.push(ChangedTarget {
-                target: record.target,
-                first: first_source,
-                second: second_source,
-                kind,
-            });
-            rotating.insert(Ipv6Prefix::new(record.target, 48).expect("48 is valid"));
+/// A rotation event: one changed target, stamped with the observation window
+/// it was detected in and a sequence number that orders events the way a
+/// batch comparison would (probing order of the later snapshot).
+///
+/// Emitted incrementally by [`WindowedRotationDetector`] the moment a
+/// target's EUI-64 responder is seen to differ from the previous window, and
+/// consumed by the incremental tracker and the streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotationEvent {
+    /// The observation window in which the change was detected (the window of
+    /// the *later* observation).
+    pub window: u64,
+    /// Probing-order sequence number of the later observation.
+    pub seq: u64,
+    /// The change itself.
+    pub change: ChangedTarget,
+    /// The /48 containing the changed target.
+    pub prefix_48: Ipv6Prefix,
+}
+
+/// Online rotation detection over a stream of per-target observations
+/// grouped into windows (one window per scan pass).
+///
+/// This is the incremental counterpart of [`RotationDetection::compare`]:
+/// feeding it the records of two scans as windows 0 and 1 emits exactly the
+/// changes the batch comparison reports, but it keeps going — every later
+/// window is diffed against each target's previous observation, which is what
+/// turns the paper's one-shot "two snapshots 24h apart" methodology into a
+/// continuous monitor.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedRotationDetector {
+    /// Per target: the window and response source of the last observation.
+    last: HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>,
+}
+
+impl WindowedRotationDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of targets currently tracked.
+    pub fn targets_tracked(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Observe one probe of `target` during `window` (windows must be fed in
+    /// non-decreasing order per target; `seq` is the probing-order index of
+    /// this observation within its window). Returns a [`RotationEvent`] if
+    /// the response differs from the previous window's in the §4.3 sense.
+    pub fn observe(
+        &mut self,
+        window: u64,
+        seq: u64,
+        target: Ipv6Addr,
+        source: Option<Ipv6Addr>,
+    ) -> Option<RotationEvent> {
+        let previous = self.last.insert(target, (window, source));
+        let (prev_window, prev_source) = previous?;
+        if prev_window >= window {
+            // Re-observation within the same window (or out of order):
+            // nothing to diff against.
+            return None;
         }
+        let change = classify_change(target, prev_source, source)?;
+        Some(RotationEvent {
+            window,
+            seq,
+            change,
+            prefix_48: Ipv6Prefix::new(target, 48).expect("48 is valid"),
+        })
+    }
 
+    /// Fold a batch of rotation events into a [`RotationDetection`]. Events
+    /// are ordered by `(window, seq)` so a sharded run merges into the same
+    /// report regardless of shard count.
+    pub fn collect(mut events: Vec<RotationEvent>) -> RotationDetection {
+        events.sort_by_key(|e| (e.window, e.seq));
+        let changes: Vec<ChangedTarget> = events.iter().map(|e| e.change).collect();
+        let rotating: HashSet<Ipv6Prefix> = events.iter().map(|e| e.prefix_48).collect();
         let mut rotating_48s: Vec<Ipv6Prefix> = rotating.into_iter().collect();
         rotating_48s.sort();
         RotationDetection {
             changes,
             rotating_48s,
         }
+    }
+}
+
+impl RotationDetection {
+    /// Compare two snapshots of the same target list.
+    ///
+    /// The scans need not present targets in the same order (the scanner
+    /// already guarantees it, but the comparison is keyed by target address
+    /// so any two scans over the same set can be diffed).
+    ///
+    /// Implemented on top of [`WindowedRotationDetector`] — the incremental
+    /// detector the streaming engine drives one observation at a time — so
+    /// the batch and streaming paths agree by construction.
+    pub fn compare(first: &Scan, second: &Scan) -> Self {
+        let mut detector = WindowedRotationDetector::new();
+        for record in &first.records {
+            detector.observe(0, 0, record.target, record.source());
+        }
+        let mut events = Vec::new();
+        for (seq, record) in second.records.iter().enumerate() {
+            if let Some(event) = detector.observe(1, seq as u64, record.target, record.source()) {
+                events.push(event);
+            }
+        }
+        WindowedRotationDetector::collect(events)
     }
 
     /// Number of changed targets by change kind.

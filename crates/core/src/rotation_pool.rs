@@ -185,7 +185,10 @@ mod tests {
         // Daily step of 96 slots over 20 days covers ~1920 of the 1024-slot
         // pool (wrapping), so the observed span approaches the true /46.
         assert!(pool <= 48, "inferred pool /{pool} should be /48 or wider");
-        assert!(pool >= 44, "inferred pool /{pool} should not exceed the /44 span");
+        assert!(
+            pool >= 44,
+            "inferred pool /{pool} should not exceed the /44 span"
+        );
         // The BGP prefix is the /32 announcement, giving a ≥12-bit search
         // space reduction.
         assert_eq!(inference.bgp_prefix_len.get(&Asn(8881)), Some(&32));

@@ -24,19 +24,10 @@ pub struct SeedExpansion {
 }
 
 impl SeedExpansion {
-    /// Expand the given seed /32 prefixes at time `t`: probe one target per
-    /// /48 (capped at `max_48s_per_seed` per /32) and keep the /48s whose
-    /// response carries an EUI-64 identifier.
-    pub fn run<T: ProbeTransport>(
-        transport: &T,
-        seed_32s: &[Ipv6Prefix],
-        t: SimTime,
-        seed: u64,
-        max_48s_per_seed: u64,
-    ) -> Self {
-        let generator = TargetGenerator::new(seed);
-        let scanner = Scanner::at_paper_rate(seed ^ 0x9e37);
-
+    /// Enumerate the candidate /48s of the given seed /32s, capped at
+    /// `max_48s_per_seed` per seed prefix. Shared by the batch run and the
+    /// streaming engine (which probes the same candidates as a stream).
+    pub fn candidate_48s(seed_32s: &[Ipv6Prefix], max_48s_per_seed: u64) -> Vec<Ipv6Prefix> {
         let mut candidate_48s: Vec<Ipv6Prefix> = Vec::new();
         for seed_prefix in seed_32s {
             let total = seed_prefix
@@ -51,6 +42,31 @@ impl SeedExpansion {
                 );
             }
         }
+        candidate_48s
+    }
+
+    /// Classify one expansion probe outcome: `Some(true)` when the /48
+    /// validated (EUI-64 response), `Some(false)` for a non-EUI response,
+    /// `None` for silence. The single-record rule both the batch run and the
+    /// per-shard streaming classifier apply.
+    pub fn classify_record(source: Option<std::net::Ipv6Addr>) -> Option<bool> {
+        source.map(Eui64::addr_is_eui64)
+    }
+
+    /// Expand the given seed /32 prefixes at time `t`: probe one target per
+    /// /48 (capped at `max_48s_per_seed` per /32) and keep the /48s whose
+    /// response carries an EUI-64 identifier.
+    pub fn run<T: ProbeTransport>(
+        transport: &T,
+        seed_32s: &[Ipv6Prefix],
+        t: SimTime,
+        seed: u64,
+        max_48s_per_seed: u64,
+    ) -> Self {
+        let generator = TargetGenerator::new(seed);
+        let scanner = Scanner::at_paper_rate(seed ^ 0x9e37);
+
+        let candidate_48s = Self::candidate_48s(seed_32s, max_48s_per_seed);
         let targets: Vec<_> = candidate_48s
             .iter()
             .map(|c| generator.random_addr_in(c))
@@ -61,11 +77,9 @@ impl SeedExpansion {
         let mut non_eui = Vec::new();
         for record in &scan.records {
             let target_48 = Ipv6Prefix::new(record.target, 48).expect("48 is valid");
-            match record.response {
-                Some(response) if Eui64::addr_is_eui64(response.source) => {
-                    validated.push(target_48)
-                }
-                Some(_) => non_eui.push(target_48),
+            match Self::classify_record(record.source()) {
+                Some(true) => validated.push(target_48),
+                Some(false) => non_eui.push(target_48),
                 None => {}
             }
         }
@@ -103,7 +117,8 @@ mod tests {
             assert!(engine
                 .pools()
                 .iter()
-                .any(|p| p.config.prefix.contains_prefix(pfx) || pfx.contains_prefix(&p.config.prefix)));
+                .any(|p| p.config.prefix.contains_prefix(pfx)
+                    || pfx.contains_prefix(&p.config.prefix)));
         }
     }
 

@@ -140,7 +140,19 @@ impl Cdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic pseudo-random u64s for property-style tests (no external
+    /// property-testing crate is available offline).
+    fn rng_stream(seed: u64) -> impl Iterator<Item = u64> {
+        let mut state = seed;
+        std::iter::repeat_with(move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+    }
 
     #[test]
     fn median_odd_even_empty() {
@@ -195,26 +207,38 @@ mod tests {
         assert_eq!(with_nan.len(), 2);
     }
 
-    proptest! {
-        #[test]
-        fn cdf_is_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    #[test]
+    fn cdf_is_monotone() {
+        for case in 0..64u64 {
+            let mut rng = rng_stream(case);
+            let len = 1 + (rng.next().unwrap() % 99) as usize;
+            let samples: Vec<f64> = rng
+                .by_ref()
+                .take(len)
+                .map(|v| (v % 2_000_000) as f64 - 1e6)
+                .collect();
             let cdf = Cdf::from_samples(samples.clone());
             let mut previous = 0.0;
             for x in [-1e7, -10.0, 0.0, 10.0, 1e7] {
                 let f = cdf.fraction_at(x);
-                prop_assert!(f >= previous);
-                prop_assert!((0.0..=1.0).contains(&f));
+                assert!(f >= previous, "case {case}: CDF not monotone at {x}");
+                assert!((0.0..=1.0).contains(&f), "case {case}: CDF out of range");
                 previous = f;
             }
-            prop_assert_eq!(cdf.fraction_at(1e7), 1.0);
+            assert_eq!(cdf.fraction_at(1e7), 1.0, "case {case}");
         }
+    }
 
-        #[test]
-        fn median_is_between_min_and_max(values in proptest::collection::vec(any::<i32>(), 1..50)) {
+    #[test]
+    fn median_is_between_min_and_max() {
+        for case in 0..64u64 {
+            let mut rng = rng_stream(0x6d65_6469 ^ case);
+            let len = 1 + (rng.next().unwrap() % 49) as usize;
+            let values: Vec<i32> = rng.by_ref().take(len).map(|v| v as i32).collect();
             let m = median(&values).unwrap();
             let min = *values.iter().min().unwrap();
             let max = *values.iter().max().unwrap();
-            prop_assert!(m >= min && m <= max);
+            assert!(m >= min && m <= max, "case {case}: median outside range");
         }
     }
 }

@@ -9,17 +9,18 @@
 //! from the announced BGP prefix down to the space the device actually moves
 //! within.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv6Addr;
 
 use serde::{Deserialize, Serialize};
 
 use scent_bgp::{AsRegistry, Asn, CountryCode, Rib};
-use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_ipv6::{addr_to_u128, Eui64, Ipv6Prefix};
 use scent_prober::{ProbePacer, ProbeTransport, RandomPermutation, TargetGenerator};
 use scent_simnet::{SimDuration, SimTime};
 
 use crate::allocation::AllocationInference;
+use crate::rotation_detect::RotationEvent;
 use crate::rotation_pool::RotationPoolInference;
 use crate::stats::{mean, std_dev};
 
@@ -296,13 +297,8 @@ impl Tracker {
             let round_start = SimTime::at(start_day + day_index, self.config.start_hour);
             for result in &mut results {
                 let device = &result.device;
-                let daily = self.track_one_round(
-                    transport,
-                    &generator,
-                    device,
-                    day_index,
-                    round_start,
-                );
+                let daily =
+                    self.track_one_round(transport, &generator, device, day_index, round_start);
                 result.daily.push(daily);
             }
         }
@@ -367,6 +363,220 @@ impl Tracker {
     pub fn probing_time(&self, probes: u64) -> SimDuration {
         SimDuration::from_secs(probes.div_ceil(self.config.packets_per_second))
     }
+}
+
+/// One passive sighting of an EUI-64 identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// Probing-order sequence number of the observation within its window
+    /// (used to keep merges deterministic: the earliest sighting wins).
+    pub seq: u64,
+    /// The address the identifier was observed at.
+    pub address: Ipv6Addr,
+}
+
+/// The incremental, passive counterpart of [`Tracker`]: instead of actively
+/// searching a pool for one device per day, it follows *every* EUI-64
+/// identifier visible in a continuous observation stream, consuming the
+/// [`RotationEvent`]s the windowed detector emits and folding the result into
+/// the same [`TrackingReport`] type the batch experiments consume.
+///
+/// State is mergeable across shards: identifiers are routed by announced
+/// prefix, so one identifier's history always lives in a single shard, and
+/// `merge` is a disjoint union.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalTracker {
+    /// Per identifier, per window: the earliest sighting.
+    sightings: BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
+    /// Probes observed per (window, /48) — the attributable passive cost.
+    probes: HashMap<(u64, Ipv6Prefix), u64>,
+    /// Confirmed rotation events per identifier.
+    moves: BTreeMap<Eui64, u64>,
+}
+
+impl IncrementalTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one probe observation into the running state.
+    pub fn observe(&mut self, window: u64, seq: u64, target: Ipv6Addr, source: Option<Ipv6Addr>) {
+        let target_48 = Ipv6Prefix::new(target, 48).expect("48 is valid");
+        *self.probes.entry((window, target_48)).or_insert(0) += 1;
+        let Some(source) = source else { return };
+        let Some(eui) = Eui64::from_addr(source) else {
+            return;
+        };
+        let sighting = Sighting {
+            seq,
+            address: source,
+        };
+        self.sightings
+            .entry(eui)
+            .or_default()
+            .entry(window)
+            .and_modify(|existing| {
+                if seq < existing.seq {
+                    *existing = sighting;
+                }
+            })
+            .or_insert(sighting);
+    }
+
+    /// Consume a rotation event: attribute a confirmed move to the EUI-64
+    /// identifiers on either side of the change.
+    pub fn apply_event(&mut self, event: &RotationEvent) {
+        for side in [event.change.first, event.change.second] {
+            if let Some(eui) = side.and_then(Eui64::from_addr) {
+                *self.moves.entry(eui).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Identifiers currently followed.
+    pub fn identifiers_seen(&self) -> usize {
+        self.sightings.len()
+    }
+
+    /// Confirmed rotation events attributed to `eui`.
+    pub fn moves_for(&self, eui: Eui64) -> u64 {
+        self.moves.get(&eui).copied().unwrap_or(0)
+    }
+
+    /// Drop all per-window state older than `window` (exclusive). This is
+    /// what keeps a genuinely endless monitor bounded: without compaction,
+    /// probes grow by one entry per watched /48 per window and sightings by
+    /// one entry per live identifier per window. Identifiers with no
+    /// retained sightings are forgotten entirely (their move counts too), so
+    /// a `finish` after compaction reports only the retained horizon.
+    pub fn compact_before(&mut self, window: u64) {
+        self.probes.retain(|(w, _), _| *w >= window);
+        self.sightings.retain(|_, windows| {
+            windows.retain(|w, _| *w >= window);
+            !windows.is_empty()
+        });
+        let live: std::collections::HashSet<Eui64> = self.sightings.keys().copied().collect();
+        self.moves.retain(|eui, _| live.contains(eui));
+    }
+
+    /// Merge another tracker's state (shards hold disjoint identifier sets,
+    /// but the merge is written to be correct even when they overlap).
+    pub fn merge(&mut self, other: IncrementalTracker) {
+        for (eui, windows) in other.sightings {
+            let mine = self.sightings.entry(eui).or_default();
+            for (window, sighting) in windows {
+                mine.entry(window)
+                    .and_modify(|existing| {
+                        if sighting.seq < existing.seq {
+                            *existing = sighting;
+                        }
+                    })
+                    .or_insert(sighting);
+            }
+        }
+        for (key, count) in other.probes {
+            *self.probes.entry(key).or_insert(0) += count;
+        }
+        for (eui, count) in other.moves {
+            *self.moves.entry(eui).or_insert(0) += count;
+        }
+    }
+
+    /// Fold the accumulated state into the batch [`TrackingReport`] shape.
+    ///
+    /// Devices are the up-to-`max_devices` identifiers seen in the most
+    /// windows (ties broken by identifier, so shard count never changes the
+    /// selection). Each device's daily probe count is the number of passive
+    /// observations that landed in its inferred pool that window — the
+    /// streaming analogue of the active tracker's per-round probe cost.
+    pub fn finish(
+        &self,
+        rib: &Rib,
+        registry: &AsRegistry,
+        windows: u64,
+        max_devices: usize,
+    ) -> TrackingReport {
+        let mut ranked: Vec<(&Eui64, &BTreeMap<u64, Sighting>)> = self
+            .sightings
+            .iter()
+            .filter(|(_, w)| !w.is_empty())
+            .collect();
+        ranked.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(b.0)));
+
+        let mut devices = Vec::new();
+        for (&eui, window_sightings) in ranked {
+            if devices.len() >= max_devices {
+                break;
+            }
+            let first = window_sightings
+                .values()
+                .next()
+                .expect("non-empty sighting map");
+            // Unroutable identifiers are skipped *without* consuming a report
+            // slot, so the cap always yields the best routable devices.
+            let Some(asn) = rib.origin(first.address) else {
+                continue;
+            };
+            let pool = common_pool(window_sightings.values().map(|s| s.address));
+            let device = TrackedDevice {
+                iid: eui,
+                asn,
+                country: registry.country(asn),
+                bgp_prefix_len: rib.encompassing_prefix_len(first.address),
+                first_observed: first.address,
+                allocation_len: 64,
+                pool,
+            };
+            let daily = (0..windows)
+                .map(|window| {
+                    let sighting = window_sightings.get(&window);
+                    DailyResult {
+                        day: window,
+                        found: sighting.is_some(),
+                        probes_sent: self.pool_probes(window, &pool),
+                        address: sighting.map(|s| s.address),
+                    }
+                })
+                .collect();
+            devices.push(DeviceTrackingResult { device, daily });
+        }
+        TrackingReport { devices }
+    }
+
+    /// Passive probes attributable to `pool` during `window`: the probes of
+    /// every /48 the pool covers, or — for a pool narrower than /48 — the
+    /// probes of the /48 containing it (per-/48 counting is the tracker's
+    /// granularity floor).
+    fn pool_probes(&self, window: u64, pool: &Ipv6Prefix) -> u64 {
+        if pool.len() >= 48 {
+            let enclosing_48 = pool.supernet(48).expect("pool is /48 or longer");
+            self.probes
+                .get(&(window, enclosing_48))
+                .copied()
+                .unwrap_or(0)
+        } else {
+            self.probes
+                .iter()
+                .filter(|((w, p48), _)| *w == window && pool.contains_prefix(p48))
+                .map(|(_, count)| count)
+                .sum()
+        }
+    }
+}
+
+/// The tightest prefix containing every sighted address — the passively
+/// inferred rotation pool, clamped to /64 (an address's own subnet) at the
+/// narrow end.
+fn common_pool<I: Iterator<Item = Ipv6Addr>>(mut addresses: I) -> Ipv6Prefix {
+    let first = addresses.next().expect("at least one sighting");
+    let first_bits = addr_to_u128(first);
+    let mut len: u8 = 64;
+    for addr in addresses {
+        let differing = (first_bits ^ addr_to_u128(addr)).leading_zeros() as u8;
+        len = len.min(differing);
+    }
+    Ipv6Prefix::from_bits(first_bits, len).expect("length clamped to <= 64")
 }
 
 #[cfg(test)]
@@ -446,7 +656,11 @@ mod tests {
         let result = &report.devices[0];
         assert_eq!(result.daily.len(), 7);
         // The device rotates daily but is found almost every day.
-        assert!(result.days_found() >= 6, "found {} days", result.days_found());
+        assert!(
+            result.days_found() >= 6,
+            "found {} days",
+            result.days_found()
+        );
         assert!(result.distinct_prefixes() >= 5);
         let (mean_probes, _std) = result.probe_stats();
         // The inferred pool has at most 2^(56-44) = 4096 allocation blocks;
@@ -519,5 +733,88 @@ mod tests {
         let report = TrackingReport::default();
         assert!(report.daily_counts().is_empty());
         assert_eq!(report.overall_accuracy(), 0.0);
+    }
+
+    fn incremental_setup() -> (Rib, AsRegistry) {
+        let mut rib = Rib::new();
+        rib.announce("2001:db8::/32".parse().unwrap(), Asn(64496));
+        let mut registry = AsRegistry::new();
+        registry.register(64496, "TestNet", "DE");
+        (rib, registry)
+    }
+
+    fn eui_at(mac_low: u8, prefix64: u64) -> (Eui64, Ipv6Addr) {
+        let mac = scent_ipv6::MacAddr::new([0xc8, 0x0e, 0x14, 0, 0, mac_low]);
+        let eui = Eui64::from_mac(mac);
+        (eui, eui.with_prefix64(prefix64))
+    }
+
+    #[test]
+    fn incremental_tracker_attributes_probes_to_sub_48_pools() {
+        let (rib, registry) = incremental_setup();
+        let mut tracker = IncrementalTracker::new();
+        // A device sighted twice inside one /56 — the inferred pool is
+        // narrower than /48, but per-window probe cost must still be the
+        // containing /48's count, not zero.
+        let (_eui, addr0) = eui_at(1, 0x2001_0db8_0001_1000);
+        let (_eui, addr1) = eui_at(1, 0x2001_0db8_0001_1100);
+        for (window, addr) in [(0u64, addr0), (1u64, addr1)] {
+            tracker.observe(window, 0, addr, Some(addr));
+            tracker.observe(window, 1, "2001:db8:1:2::9".parse().unwrap(), None);
+        }
+        let report = tracker.finish(&rib, &registry, 2, 4);
+        assert_eq!(report.devices.len(), 1);
+        let device = &report.devices[0];
+        assert!(device.device.pool.len() > 48, "pool {}", device.device.pool);
+        for daily in &device.daily {
+            assert_eq!(daily.probes_sent, 2, "window {}", daily.day);
+        }
+    }
+
+    #[test]
+    fn incremental_tracker_cap_skips_unroutable_identifiers() {
+        let (rib, registry) = incremental_setup();
+        let mut tracker = IncrementalTracker::new();
+        // Two identifiers in unannounced space, seen in MORE windows than the
+        // routable one: they must not consume the single report slot.
+        for window in 0..3u64 {
+            let (_e, unrouted_a) = eui_at(2, 0x3fff_0000_0000_0000 + window);
+            let (_e, unrouted_b) = eui_at(3, 0x3fff_0000_0001_0000 + window);
+            tracker.observe(window, 0, unrouted_a, Some(unrouted_a));
+            tracker.observe(window, 1, unrouted_b, Some(unrouted_b));
+        }
+        let (routable_eui, routable_addr) = eui_at(4, 0x2001_0db8_0002_0000);
+        tracker.observe(0, 2, routable_addr, Some(routable_addr));
+        let report = tracker.finish(&rib, &registry, 3, 1);
+        assert_eq!(report.devices.len(), 1);
+        assert_eq!(report.devices[0].device.iid, routable_eui);
+        assert_eq!(report.devices[0].device.asn, Asn(64496));
+    }
+
+    #[test]
+    fn incremental_tracker_compaction_bounds_state() {
+        let (rib, registry) = incremental_setup();
+        let mut tracker = IncrementalTracker::new();
+        let (eui, _) = eui_at(5, 0);
+        for window in 0..10u64 {
+            let (_e, addr) = eui_at(5, 0x2001_0db8_0003_0000 + (window << 8));
+            tracker.observe(window, 0, addr, Some(addr));
+        }
+        assert_eq!(tracker.identifiers_seen(), 1);
+        tracker.compact_before(8);
+        // Only windows 8 and 9 survive.
+        let report = tracker.finish(&rib, &registry, 10, 4);
+        let found: Vec<u64> = report.devices[0]
+            .daily
+            .iter()
+            .filter(|d| d.found)
+            .map(|d| d.day)
+            .collect();
+        assert_eq!(found, vec![8, 9]);
+        // Compacting past everything forgets the identifier entirely.
+        tracker.compact_before(100);
+        assert_eq!(tracker.identifiers_seen(), 0);
+        assert_eq!(tracker.moves_for(eui), 0);
+        assert!(tracker.finish(&rib, &registry, 10, 4).devices.is_empty());
     }
 }

@@ -47,7 +47,7 @@ impl Scale {
 
 /// The seed used by every experiment world, so independent experiment
 /// binaries observe the same simulated Internet.
-pub const WORLD_SEED: u64 = 0x5ce_47;
+pub const WORLD_SEED: u64 = 0x0005_ce47;
 
 /// A daily campaign over the Internet-wide world plus the inferences the
 /// analyses need — the common substrate of Table 1, Figures 4, 5, 7, 8 and

@@ -110,9 +110,8 @@ pub fn run_fig4() -> String {
 /// Figure 5: CDFs of inferred allocation size per EUI-64 IID (a) and per AS (b).
 pub fn run_fig5() -> String {
     let data = CampaignData::collect(Scale::from_env());
-    let iid_cdf = scent_core::Cdf::from_samples(
-        data.allocation.iid_sizes().iter().map(|&s| s as f64),
-    );
+    let iid_cdf =
+        scent_core::Cdf::from_samples(data.allocation.iid_sizes().iter().map(|&s| s as f64));
     let as_cdf =
         scent_core::Cdf::from_samples(data.allocation.as_sizes().iter().map(|&s| s as f64));
     format!(
@@ -131,12 +130,8 @@ pub fn run_fig5() -> String {
 /// sizes, as CDFs over ASes.
 pub fn run_fig7() -> String {
     let data = CampaignData::collect(Scale::from_env());
-    let (pool_cdf, bgp_cdf) =
-        CampaignStats::pool_vs_bgp_cdfs(&data.scan_refs(), data.engine.rib());
-    let reduction = data
-        .pools
-        .median_search_space_reduction_bits()
-        .unwrap_or(0);
+    let (pool_cdf, bgp_cdf) = CampaignStats::pool_vs_bgp_cdfs(&data.scan_refs(), data.engine.rib());
+    let reduction = data.pools.median_search_space_reduction_bits().unwrap_or(0);
     format!(
         "Figure 7: inferred rotation pool size vs encompassing BGP prefix size (CDF over ASes)\n\
          rotation pool CDF: {}\n\
@@ -166,12 +161,7 @@ pub fn run_fig8() -> String {
         cdf_series(&cdf.steps()),
         percent(1.0 - stats.fraction_multi_prefix()),
         percent(stats.fraction_multi_prefix()),
-        stats
-            .prefixes_per_iid
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(0),
+        stats.prefixes_per_iid.values().copied().max().unwrap_or(0),
     )
 }
 

@@ -23,9 +23,12 @@ pub mod tables;
 
 pub use campaign::{CampaignData, Scale};
 
+/// One experiment: its name and the runner producing its plain-text report.
+pub type NamedExperiment = (&'static str, fn() -> String);
+
 /// Every experiment, as `(name, runner)` pairs, in the order `run_all`
 /// executes them.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
+pub fn all_experiments() -> Vec<NamedExperiment> {
     vec![
         ("table1", tables::run_table1 as fn() -> String),
         ("table2", tables::run_table2),

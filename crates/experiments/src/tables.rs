@@ -3,9 +3,7 @@
 use std::collections::HashSet;
 
 use scent_core::report::TextTable;
-use scent_core::{
-    CampaignStats, Pipeline, PipelineConfig, Tracker, TrackerConfig,
-};
+use scent_core::{CampaignStats, Pipeline, PipelineConfig, Tracker, TrackerConfig};
 use scent_simnet::{scenarios, Engine};
 
 use crate::campaign::{CampaignData, Scale, WORLD_SEED};
@@ -20,9 +18,9 @@ pub fn run_table1() -> String {
 
     let mut out = String::new();
     out.push_str("Table 1: Top ASNs and countries by number of rotating /48 prefixes\n");
-    out.push_str(&format!(
-        "(paper: 12,885 rotating /48s across >100 ASes in 25 countries; scaled world)\n\n"
-    ));
+    out.push_str(
+        "(paper: 12,885 rotating /48s across >100 ASes in 25 countries; scaled world)\n\n",
+    );
     let mut asn_table = TextTable::new(["ASN", "# /48"]);
     for (asn, count) in report.rotating_counts.per_asn.iter().take(5) {
         asn_table.row([asn.value().to_string(), count.to_string()]);
@@ -35,10 +33,16 @@ pub fn run_table1() -> String {
         .map(|(_, c)| c)
         .sum();
     asn_table.row([
-        format!("{} other ASNs", report.rotating_counts.per_asn.len().saturating_sub(5)),
+        format!(
+            "{} other ASNs",
+            report.rotating_counts.per_asn.len().saturating_sub(5)
+        ),
         (report.rotating_counts.total - shown).to_string(),
     ]);
-    asn_table.row(["Total".to_string(), report.rotating_counts.total.to_string()]);
+    asn_table.row([
+        "Total".to_string(),
+        report.rotating_counts.total.to_string(),
+    ]);
     out.push_str(&asn_table.render());
 
     out.push('\n');
@@ -60,7 +64,10 @@ pub fn run_table1() -> String {
         ),
         (report.rotating_counts.total - shown).to_string(),
     ]);
-    cc_table.row(["Total".to_string(), report.rotating_counts.total.to_string()]);
+    cc_table.row([
+        "Total".to_string(),
+        report.rotating_counts.total.to_string(),
+    ]);
     out.push_str(&cc_table.render());
     out.push_str(&format!(
         "\nrotating ASes: {} (paper: >100)   rotating countries: {} (paper: 25)\n",
@@ -78,16 +85,56 @@ pub fn run_pipeline_counts() -> String {
     let report = Pipeline::new(PipelineConfig::default()).run(&engine);
 
     let mut table = TextTable::new(["quantity", "measured", "paper"]);
-    table.row(["seed /48s (unique EUI-64 last hop)".to_string(), report.seed_unique_48s.to_string(), "32,325".into()]);
-    table.row(["seed /32s".to_string(), report.seed_32s.to_string(), "938".into()]);
-    table.row(["validated /48s (EUI-64 response)".to_string(), report.validated_48s.to_string(), "48,970".into()]);
-    table.row(["high-density /48s".to_string(), report.high_density.to_string(), "17,513".into()]);
-    table.row(["low-density /48s".to_string(), report.low_density.to_string(), "27,429".into()]);
-    table.row(["unresponsive candidates".to_string(), report.no_response.to_string(), "4,028".into()]);
-    table.row(["rotating /48s".to_string(), report.rotating_counts.total.to_string(), "12,885".into()]);
-    table.row(["total addresses (detection phase)".to_string(), report.total_addresses.to_string(), "19.4M".into()]);
-    table.row(["EUI-64 addresses".to_string(), report.eui64_addresses.to_string(), "14.8M".into()]);
-    table.row(["unique EUI-64 IIDs".to_string(), report.unique_iids.to_string(), "6.2M".into()]);
+    table.row([
+        "seed /48s (unique EUI-64 last hop)".to_string(),
+        report.seed_unique_48s.to_string(),
+        "32,325".into(),
+    ]);
+    table.row([
+        "seed /32s".to_string(),
+        report.seed_32s.to_string(),
+        "938".into(),
+    ]);
+    table.row([
+        "validated /48s (EUI-64 response)".to_string(),
+        report.validated_48s.to_string(),
+        "48,970".into(),
+    ]);
+    table.row([
+        "high-density /48s".to_string(),
+        report.high_density.to_string(),
+        "17,513".into(),
+    ]);
+    table.row([
+        "low-density /48s".to_string(),
+        report.low_density.to_string(),
+        "27,429".into(),
+    ]);
+    table.row([
+        "unresponsive candidates".to_string(),
+        report.no_response.to_string(),
+        "4,028".into(),
+    ]);
+    table.row([
+        "rotating /48s".to_string(),
+        report.rotating_counts.total.to_string(),
+        "12,885".into(),
+    ]);
+    table.row([
+        "total addresses (detection phase)".to_string(),
+        report.total_addresses.to_string(),
+        "19.4M".into(),
+    ]);
+    table.row([
+        "EUI-64 addresses".to_string(),
+        report.eui64_addresses.to_string(),
+        "14.8M".into(),
+    ]);
+    table.row([
+        "unique EUI-64 IIDs".to_string(),
+        report.unique_iids.to_string(),
+        "6.2M".into(),
+    ]);
     format!(
         "Pipeline counts (§4) — absolute values scale with the world divisor; ratios are comparable\n\n{}",
         table.render()
@@ -100,12 +147,36 @@ pub fn run_campaign_totals() -> String {
     let data = CampaignData::collect(Scale::from_env());
     let stats = CampaignStats::compute(&data.scan_refs());
     let mut table = TextTable::new(["quantity", "measured", "paper"]);
-    table.row(["campaign days".to_string(), data.scans.len().to_string(), "44".into()]);
-    table.row(["probes sent".to_string(), stats.probes_sent.to_string(), "37B".into()]);
-    table.row(["responses".to_string(), stats.responses.to_string(), "24B".into()]);
-    table.row(["unique addresses".to_string(), stats.unique_addresses.to_string(), "134M".into()]);
-    table.row(["unique EUI-64 addresses".to_string(), stats.unique_eui64_addresses.to_string(), "110M".into()]);
-    table.row(["unique EUI-64 IIDs".to_string(), stats.unique_iids.to_string(), "9M".into()]);
+    table.row([
+        "campaign days".to_string(),
+        data.scans.len().to_string(),
+        "44".into(),
+    ]);
+    table.row([
+        "probes sent".to_string(),
+        stats.probes_sent.to_string(),
+        "37B".into(),
+    ]);
+    table.row([
+        "responses".to_string(),
+        stats.responses.to_string(),
+        "24B".into(),
+    ]);
+    table.row([
+        "unique addresses".to_string(),
+        stats.unique_addresses.to_string(),
+        "134M".into(),
+    ]);
+    table.row([
+        "unique EUI-64 addresses".to_string(),
+        stats.unique_eui64_addresses.to_string(),
+        "110M".into(),
+    ]);
+    table.row([
+        "unique EUI-64 IIDs".to_string(),
+        stats.unique_iids.to_string(),
+        "9M".into(),
+    ]);
     table.row([
         "EUI-64 addresses per IID".to_string(),
         format!("{:.1}", stats.addresses_per_iid()),

@@ -114,6 +114,33 @@ impl fmt::Display for Eui64 {
     }
 }
 
+impl std::str::FromStr for Eui64 {
+    type Err = Error;
+
+    /// Parse the [`fmt::Display`] form: four colon-separated groups of up to
+    /// four hex digits (`3a10:d5ff:feaa:bbcc`). The identifier must carry the
+    /// `ff:fe` EUI-64 marker; anything else fails with [`Error::NotEui64`].
+    fn from_str(s: &str) -> Result<Self, Error> {
+        let mut groups = s.split(':');
+        let mut iid: u64 = 0;
+        for _ in 0..4 {
+            let group = groups.next().ok_or(Error::NotEui64)?;
+            // from_str_radix accepts a leading sign; only bare hex digits are
+            // part of the Display form.
+            if group.is_empty() || group.len() > 4 || !group.bytes().all(|b| b.is_ascii_hexdigit())
+            {
+                return Err(Error::NotEui64);
+            }
+            let value = u16::from_str_radix(group, 16).map_err(|_| Error::NotEui64)?;
+            iid = (iid << 16) | value as u64;
+        }
+        if groups.next().is_some() {
+            return Err(Error::NotEui64);
+        }
+        Self::from_iid(iid)
+    }
+}
+
 impl From<MacAddr> for Eui64 {
     fn from(mac: MacAddr) -> Self {
         Eui64::from_mac(mac)

@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn classifies_embedded_ipv4() {
         // 192.0.2.1 embedded in the low 32 bits.
-        assert_eq!(classify_iid(a("2001:db8::c000:201")), IidClass::EmbeddedIpv4);
+        assert_eq!(
+            classify_iid(a("2001:db8::c000:201")),
+            IidClass::EmbeddedIpv4
+        );
     }
 
     #[test]

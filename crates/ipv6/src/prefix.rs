@@ -63,6 +63,9 @@ impl Ipv6Prefix {
     }
 
     /// The prefix length.
+    // `len` here is a prefix length, not a container size; an `is_empty`
+    // counterpart would be meaningless.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         self.len
     }
@@ -119,7 +122,11 @@ impl Ipv6Prefix {
             });
         }
         let extra = sub_len - self.len;
-        Ok(if extra >= 128 { u128::MAX } else { 1u128 << extra })
+        Ok(if extra >= 128 {
+            u128::MAX
+        } else {
+            1u128 << extra
+        })
     }
 
     /// The `index`th subnet of length `sub_len` inside this prefix.

@@ -462,10 +462,7 @@ mod tests {
         msg.write(&mut buf, src, dst);
         assert_eq!(buf.len(), 8 + MAX_INVOKING_BYTES);
         let parsed = Icmpv6Message::parse(&buf, src, dst).unwrap();
-        assert_eq!(
-            parsed.invoking_packet().unwrap().len(),
-            MAX_INVOKING_BYTES
-        );
+        assert_eq!(parsed.invoking_packet().unwrap().len(), MAX_INVOKING_BYTES);
     }
 
     #[test]

@@ -156,10 +156,7 @@ mod tests {
         let mut buf = Vec::new();
         h.write(&mut buf);
         buf[0] = 0x45; // IPv4 version nibble
-        assert!(matches!(
-            Ipv6Header::parse(&buf),
-            Err(Error::Malformed(_))
-        ));
+        assert!(matches!(Ipv6Header::parse(&buf), Err(Error::Malformed(_))));
     }
 
     #[test]

@@ -52,11 +52,7 @@ impl Icmpv6Packet {
 
     /// Build an ICMPv6 error response quoting the invoking packet, as a CPE
     /// or router would emit for an undeliverable probe.
-    pub fn error_response(
-        src: Ipv6Addr,
-        dst: Ipv6Addr,
-        message: Icmpv6Message,
-    ) -> Self {
+    pub fn error_response(src: Ipv6Addr, dst: Ipv6Addr, message: Icmpv6Message) -> Self {
         let header = Ipv6Header::for_icmpv6(src, dst, message.wire_len() as u16);
         Icmpv6Packet { header, message }
     }

@@ -1,0 +1,114 @@
+//! Property-style parse↔display round-trip tests for the crate's textual
+//! types: every value that can be displayed parses back to itself, and
+//! malformed inputs are rejected rather than mangled.
+
+use proptest::prelude::*;
+
+use scent_ipv6::{Eui64, Ipv6Prefix, MacAddr};
+
+proptest! {
+    #[test]
+    fn mac_display_parse_round_trip(bits in any::<u64>()) {
+        let mac = MacAddr::from_u64(bits & 0xffff_ffff_ffff);
+        let text = mac.to_string();
+        let parsed: MacAddr = text.parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+        // The display form is the canonical colon-separated lowercase form.
+        prop_assert_eq!(text.len(), 17);
+        prop_assert!(text.chars().all(|c| c == ':' || c.is_ascii_hexdigit()));
+        prop_assert!(!text.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn mac_alternate_separators_parse_to_same_value(bits in any::<u64>()) {
+        let mac = MacAddr::from_u64(bits & 0xffff_ffff_ffff);
+        let colons = mac.to_string();
+        let dashes = colons.replace(':', "-");
+        let bare: String = colons.chars().filter(|c| *c != ':').collect();
+        let dotted = format!("{}.{}.{}", &bare[0..4], &bare[4..8], &bare[8..12]);
+        prop_assert_eq!(dashes.parse::<MacAddr>().unwrap(), mac);
+        prop_assert_eq!(dotted.parse::<MacAddr>().unwrap(), mac);
+        prop_assert_eq!(bare.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn eui64_display_parse_round_trip(bits in any::<u64>()) {
+        // Every EUI-64 formed from a MAC (the only way the methodology meets
+        // them) survives display → parse.
+        let eui = Eui64::from_mac(MacAddr::from_u64(bits & 0xffff_ffff_ffff));
+        let text = eui.to_string();
+        let parsed: Eui64 = text.parse().unwrap();
+        prop_assert_eq!(parsed, eui);
+        // And the embedded MAC survives the full journey.
+        prop_assert_eq!(parsed.to_mac(), eui.to_mac());
+    }
+
+    #[test]
+    fn eui64_parse_rejects_unmarked_iids(bits in any::<u64>()) {
+        // An IID without the ff:fe marker displays fine but must not parse
+        // as an EUI-64 identifier.
+        let mut iid = bits;
+        if Eui64::is_eui64_iid(iid) {
+            iid ^= 1 << 24; // break the marker
+        }
+        let text = Eui64(iid).to_string();
+        prop_assert!(text.parse::<Eui64>().is_err());
+    }
+
+    #[test]
+    fn prefix_display_parse_round_trip(bits in any::<u128>(), len in 0u8..=128) {
+        let prefix = Ipv6Prefix::from_bits(bits, len).unwrap();
+        let text = prefix.to_string();
+        let parsed: Ipv6Prefix = text.parse().unwrap();
+        prop_assert_eq!(parsed, prefix);
+        prop_assert_eq!(parsed.len(), len);
+        prop_assert_eq!(parsed.network_bits(), prefix.network_bits());
+    }
+
+    #[test]
+    fn prefix_parse_canonicalizes_host_bits(bits in any::<u128>(), len in 0u8..=128) {
+        // Parsing an address with host bits set inside a prefix string yields
+        // the canonical (truncated) prefix, which then round-trips stably.
+        let addr = scent_ipv6::addr_from_u128(bits);
+        let text = format!("{addr}/{len}");
+        let parsed: Ipv6Prefix = text.parse().unwrap();
+        prop_assert_eq!(parsed, Ipv6Prefix::new(addr, len).unwrap());
+        let reparsed: Ipv6Prefix = parsed.to_string().parse().unwrap();
+        prop_assert_eq!(reparsed, parsed);
+    }
+}
+
+#[test]
+fn malformed_inputs_are_rejected() {
+    for bad in [
+        "",
+        "zz:zz:zz:zz:zz:zz",
+        "aa:bb:cc:dd:ee",
+        "aa:bb:cc:dd:ee:ff:00",
+    ] {
+        assert!(bad.parse::<MacAddr>().is_err(), "{bad:?} must not parse");
+    }
+    for bad in [
+        "",
+        "3a10",
+        "3a10:d5ff:feaa",
+        "3a10:d5ff:feaa:bbcc:0",
+        "xxxx:d5ff:feaa:bbcc",
+        "+3a1:d5ff:feaa:bbcc",
+        "3a10:+5ff:feaa:bbcc",
+        "3a10:d5ff:eeaa:bbcc",
+        ":d5ff:feaa:bbcc",
+        "12345:d5ff:feaa:bbcc",
+    ] {
+        assert!(bad.parse::<Eui64>().is_err(), "{bad:?} must not parse");
+    }
+    for bad in [
+        "",
+        "2001:db8::/129",
+        "2001:db8::",
+        "not-a-prefix/32",
+        "2001:db8::/x",
+    ] {
+        assert!(bad.parse::<Ipv6Prefix>().is_err(), "{bad:?} must not parse");
+    }
+}

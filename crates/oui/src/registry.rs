@@ -192,7 +192,10 @@ F4CAE5     (base 16)\t\tFREEBOX SAS
     fn ouis_of_vendor() {
         let mut reg = OuiRegistry::new();
         reg.insert(Oui::from_u32(1), "AVM GmbH");
-        reg.insert(Oui::from_u32(2), "AVM Audiovisuelles Marketing und Computersysteme GmbH");
+        reg.insert(
+            Oui::from_u32(2),
+            "AVM Audiovisuelles Marketing und Computersysteme GmbH",
+        );
         reg.insert(Oui::from_u32(3), "ZTE Corporation");
         let avm = reg.ouis_of("avm");
         assert_eq!(avm.len(), 2);

@@ -154,7 +154,9 @@ pub fn builtin_registry() -> OuiRegistry {
 
 /// Look up a built-in vendor by its short label.
 pub fn vendor_by_short(short: &str) -> Option<&'static CpeVendor> {
-    ALL_VENDORS.iter().find(|v| v.short.eq_ignore_ascii_case(short))
+    ALL_VENDORS
+        .iter()
+        .find(|v| v.short.eq_ignore_ascii_case(short))
 }
 
 #[cfg(test)]

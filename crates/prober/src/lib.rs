@@ -32,9 +32,9 @@ pub mod yarrp;
 pub mod zmap6;
 
 pub use permutation::RandomPermutation;
-pub use rate::{ProbePacer, TokenBucket};
+pub use rate::{FeedbackPacer, ProbePacer, TokenBucket};
 pub use records::{ProbeRecord, ResponseRecord, Scan};
-pub use targets::TargetGenerator;
+pub use targets::{StreamedTarget, TargetGenerator, TargetStream};
 pub use yarrp::{TraceRecord, Tracer};
 pub use zmap6::{Campaign, Scanner, ScannerConfig};
 

@@ -22,6 +22,23 @@ pub struct RandomPermutation {
 }
 
 impl RandomPermutation {
+    /// The probing order of a scan over `n` targets: the seeded permutation
+    /// when `randomize` is set, list order otherwise.
+    ///
+    /// Every scanner-shaped component (the batch [`Scanner`], the streamed
+    /// scan replay, the continuous target stream) derives its order through
+    /// this one function — the streamed/batch bit-equivalence guarantee
+    /// depends on them never diverging.
+    ///
+    /// [`Scanner`]: crate::zmap6::Scanner
+    pub fn scan_order(n: u64, seed: u64, randomize: bool) -> Vec<u64> {
+        if randomize {
+            RandomPermutation::new(n, seed).iter().collect()
+        } else {
+            (0..n).collect()
+        }
+    }
+
     /// Create a permutation of `0..n` determined by `seed`. `n` may be zero
     /// (the permutation is then empty).
     pub fn new(n: u64, seed: u64) -> Self {
@@ -29,7 +46,7 @@ impl RandomPermutation {
         // Any odd multiplier is a bijection modulo a power of two. Mix the
         // seed twice so `mul` and `add` are independent.
         let mul = (hash2(seed, 0x7065_726d, domain) | 1) & (domain - 1).max(1);
-        let add = hash2(seed, 0x6164_64, domain) & (domain - 1);
+        let add = hash2(seed, 0x0061_6464, domain) & (domain - 1);
         RandomPermutation {
             n,
             domain,

@@ -51,6 +51,84 @@ impl ProbePacer {
     }
 }
 
+/// A pacer with AIMD rate feedback for continuous streaming scans.
+///
+/// The batch [`ProbePacer`] computes send times from a fixed rate; a
+/// long-running monitor instead has consumers (inference shards) that can
+/// fall behind. `FeedbackPacer` keeps a current rate that backs off
+/// multiplicatively when the consumer signals backpressure
+/// ([`FeedbackPacer::on_backpressure`]) and recovers additively while the
+/// stream drains freely ([`FeedbackPacer::on_progress`]) — classic AIMD
+/// against the virtual clock, bounded below so the monitor never stalls
+/// entirely and above by the configured budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackPacer {
+    base_pps: u64,
+    current_pps: u64,
+    min_pps: u64,
+    cursor: SimTime,
+    sent_in_second: u64,
+}
+
+impl FeedbackPacer {
+    /// Create a pacer starting at `start` with a non-zero probe budget.
+    pub fn new(start: SimTime, packets_per_second: u64) -> Self {
+        assert!(packets_per_second > 0, "rate must be non-zero");
+        FeedbackPacer {
+            base_pps: packets_per_second,
+            current_pps: packets_per_second,
+            min_pps: (packets_per_second / 64).max(1),
+            cursor: start,
+            sent_in_second: 0,
+        }
+    }
+
+    /// The send time of the next probe at the current rate.
+    pub fn next_send_time(&mut self) -> SimTime {
+        if self.sent_in_second >= self.current_pps {
+            self.cursor += SimDuration::from_secs(1);
+            self.sent_in_second = 0;
+        }
+        self.sent_in_second += 1;
+        self.cursor
+    }
+
+    /// Multiplicative back-off: the consumer could not keep up.
+    pub fn on_backpressure(&mut self) {
+        self.current_pps = (self.current_pps / 2).max(self.min_pps);
+    }
+
+    /// Additive recovery: the stream is draining freely.
+    pub fn on_progress(&mut self) {
+        let step = (self.base_pps / 16).max(1);
+        self.current_pps = (self.current_pps + step).min(self.base_pps);
+    }
+
+    /// The current effective rate.
+    pub fn rate(&self) -> u64 {
+        self.current_pps
+    }
+
+    /// The configured (maximum) rate.
+    pub fn base_rate(&self) -> u64 {
+        self.base_pps
+    }
+
+    /// Advance to a window boundary: the next probe is sent no earlier than
+    /// `start` (virtual time never runs backwards).
+    pub fn advance_to(&mut self, start: SimTime) {
+        if start > self.cursor {
+            self.cursor = start;
+            self.sent_in_second = 0;
+        }
+    }
+
+    /// The virtual time the pacer has reached.
+    pub fn now(&self) -> SimTime {
+        self.cursor
+    }
+}
+
 /// A token bucket: capacity `burst`, refilled at `rate` tokens per second.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TokenBucket {
@@ -94,6 +172,62 @@ impl TokenBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn feedback_pacer_matches_fixed_pacer_without_feedback() {
+        let start = SimTime::at(2, 0);
+        let fixed = ProbePacer::new(start, 100);
+        let mut adaptive = FeedbackPacer::new(start, 100);
+        for i in 0..350u64 {
+            assert_eq!(adaptive.next_send_time(), fixed.send_time(i), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn feedback_pacer_backs_off_and_recovers() {
+        let mut pacer = FeedbackPacer::new(SimTime::EPOCH, 1024);
+        pacer.on_backpressure();
+        assert_eq!(pacer.rate(), 512);
+        pacer.on_backpressure();
+        assert_eq!(pacer.rate(), 256);
+        // Additive recovery climbs back to (and not beyond) the base rate.
+        for _ in 0..100 {
+            pacer.on_progress();
+        }
+        assert_eq!(pacer.rate(), 1024);
+        assert_eq!(pacer.base_rate(), 1024);
+        // The floor prevents a total stall.
+        for _ in 0..100 {
+            pacer.on_backpressure();
+        }
+        assert_eq!(pacer.rate(), 16);
+    }
+
+    #[test]
+    fn feedback_pacer_slows_virtual_time_under_backpressure() {
+        let mut fast = FeedbackPacer::new(SimTime::EPOCH, 1000);
+        let mut slow = FeedbackPacer::new(SimTime::EPOCH, 1000);
+        slow.on_backpressure(); // 500 pps
+        let mut last_fast = SimTime::EPOCH;
+        let mut last_slow = SimTime::EPOCH;
+        for _ in 0..2_000 {
+            last_fast = fast.next_send_time();
+            last_slow = slow.next_send_time();
+        }
+        assert!(last_slow > last_fast, "halved rate must take longer");
+    }
+
+    #[test]
+    fn feedback_pacer_advances_to_window_start() {
+        let mut pacer = FeedbackPacer::new(SimTime::at(0, 0), 10);
+        pacer.next_send_time();
+        pacer.advance_to(SimTime::at(1, 0));
+        assert_eq!(pacer.now(), SimTime::at(1, 0));
+        assert_eq!(pacer.next_send_time(), SimTime::at(1, 0));
+        // Moving backwards is a no-op.
+        pacer.advance_to(SimTime::at(0, 12));
+        assert_eq!(pacer.now(), SimTime::at(1, 0));
+    }
 
     #[test]
     fn pacer_spreads_probes_over_time() {

@@ -126,9 +126,9 @@ pub struct AsAnnotated {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use scent_ipv6::wire::DestUnreachableCode;
     use scent_ipv6::MacAddr;
     use scent_simnet::ReplyKind;
-    use scent_ipv6::wire::DestUnreachableCode;
 
     fn eui_source() -> Ipv6Addr {
         let mac: MacAddr = "c8:0e:14:01:02:03".parse().unwrap();

@@ -11,6 +11,8 @@ use std::net::Ipv6Addr;
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::det::{hash2, hash3};
 
+use crate::permutation::RandomPermutation;
+
 /// Deterministic target generation keyed on a seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TargetGenerator {
@@ -78,6 +80,91 @@ impl TargetGenerator {
     }
 }
 
+/// One target drawn from a [`TargetStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamedTarget {
+    /// The scan pass (window) this target belongs to.
+    pub window: u64,
+    /// Probing-order index of the target within its window.
+    pub seq: u64,
+    /// The target address.
+    pub target: Ipv6Addr,
+}
+
+/// An endless target stream for continuous monitoring: the same target list,
+/// revisited window after window in the same zmap-permuted order (the paper
+/// probes "the same addresses every 24 hours in the same order").
+///
+/// This is the streaming counterpart of building a target `Vec` and scanning
+/// it repeatedly: instead of materializing per-window scans, a consumer pulls
+/// one [`StreamedTarget`] at a time, forever.
+#[derive(Debug, Clone)]
+pub struct TargetStream {
+    targets: Vec<Ipv6Addr>,
+    order: Vec<u64>,
+    window: u64,
+    pos: usize,
+}
+
+impl TargetStream {
+    /// Build a stream over one target per subnet (at `granularity`) of each
+    /// candidate prefix, visiting targets in the pseudo-random order given by
+    /// `order_seed` (or list order when `randomize` is false).
+    pub fn new(
+        generator: &TargetGenerator,
+        candidates: &[Ipv6Prefix],
+        granularity: u8,
+        order_seed: u64,
+        randomize: bool,
+    ) -> Self {
+        let targets = generator.per_candidate_48(candidates, granularity);
+        Self::over(targets, order_seed, randomize)
+    }
+
+    /// Build a stream over an explicit target list.
+    pub fn over(targets: Vec<Ipv6Addr>, order_seed: u64, randomize: bool) -> Self {
+        let order = RandomPermutation::scan_order(targets.len() as u64, order_seed, randomize);
+        TargetStream {
+            targets,
+            order,
+            window: 0,
+            pos: 0,
+        }
+    }
+
+    /// Number of targets per window.
+    pub fn window_len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The window the next target will come from.
+    pub fn current_window(&self) -> u64 {
+        self.window
+    }
+
+    /// Draw the next target. Returns `None` only for an empty target list;
+    /// otherwise the stream is infinite, advancing to the next window after
+    /// each full pass.
+    pub fn next_target(&mut self) -> Option<StreamedTarget> {
+        if self.targets.is_empty() {
+            return None;
+        }
+        let seq = self.pos as u64;
+        let target = self.targets[self.order[self.pos] as usize];
+        let window = self.window;
+        self.pos += 1;
+        if self.pos == self.targets.len() {
+            self.pos = 0;
+            self.window += 1;
+        }
+        Some(StreamedTarget {
+            window,
+            seq,
+            target,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +227,42 @@ mod tests {
         assert_eq!(targets.len(), 2048);
         assert!(targets[..1024].iter().all(|t| pools[0].contains(*t)));
         assert!(targets[1024..].iter().all(|t| pools[1].contains(*t)));
+    }
+
+    #[test]
+    fn target_stream_cycles_windows_in_stable_order() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        let mut stream = TargetStream::new(&generator, &candidates, 56, 77, true);
+        assert_eq!(stream.window_len(), 256);
+        let first_pass: Vec<_> = (0..256).map(|_| stream.next_target().unwrap()).collect();
+        assert!(first_pass.iter().all(|t| t.window == 0));
+        assert_eq!(stream.current_window(), 1);
+        let second_pass: Vec<_> = (0..256).map(|_| stream.next_target().unwrap()).collect();
+        assert!(second_pass.iter().all(|t| t.window == 1));
+        // Same order every window, and the order is a permutation of the
+        // whole target set.
+        let a: Vec<_> = first_pass.iter().map(|t| t.target).collect();
+        let b: Vec<_> = second_pass.iter().map(|t| t.target).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<HashSet<_>>().len(), 256);
+        // Seq restarts each window.
+        assert_eq!(second_pass[0].seq, 0);
+        assert_eq!(second_pass[255].seq, 255);
+    }
+
+    #[test]
+    fn target_stream_in_order_and_empty() {
+        let mut empty = TargetStream::over(Vec::new(), 1, true);
+        assert!(empty.next_target().is_none());
+        let targets = vec![
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+        ];
+        let mut stream = TargetStream::over(targets.clone(), 1, false);
+        assert_eq!(stream.next_target().unwrap().target, targets[0]);
+        assert_eq!(stream.next_target().unwrap().target, targets[1]);
+        assert_eq!(stream.next_target().unwrap().window, 1);
     }
 
     #[test]

@@ -76,7 +76,7 @@ impl Tracer {
             let t = pacer.send_time(probes_sent);
             let hops = transport.trace(target, t, self.max_hops);
             probes_sent += hops.len().max(1) as u64;
-            let last_hop = hops.iter().filter_map(|h| h.addr).last();
+            let last_hop = hops.iter().filter_map(|h| h.addr).next_back();
             records.push(TraceRecord {
                 target,
                 hops,
@@ -137,11 +137,7 @@ mod tests {
     fn unrouted_targets_produce_empty_traces() {
         let engine = engine();
         let tracer = Tracer::default();
-        let records = tracer.trace_all(
-            &engine,
-            &["3fff::1".parse().unwrap()],
-            SimTime::at(1, 10),
-        );
+        let records = tracer.trace_all(&engine, &["3fff::1".parse().unwrap()], SimTime::at(1, 10));
         assert_eq!(records.len(), 1);
         assert!(records[0].hops.is_empty());
         assert_eq!(records[0].last_hop, None);

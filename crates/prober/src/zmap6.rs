@@ -77,21 +77,21 @@ impl Scanner {
         start: SimTime,
     ) -> Scan {
         let pacer = ProbePacer::new(start, self.config.packets_per_second);
-        let order: Vec<u64> = if self.config.randomize_order {
-            RandomPermutation::new(targets.len() as u64, self.config.seed)
-                .iter()
-                .collect()
-        } else {
-            (0..targets.len() as u64).collect()
-        };
+        let order = RandomPermutation::scan_order(
+            targets.len() as u64,
+            self.config.seed,
+            self.config.randomize_order,
+        );
         let mut records = Vec::with_capacity(targets.len());
         for (sent_index, &target_index) in order.iter().enumerate() {
             let target = targets[target_index as usize];
             let sent_at = pacer.send_time(sent_index as u64);
-            let response = transport.probe(target, sent_at).map(|reply| ResponseRecord {
-                source: reply.source,
-                kind: reply.kind,
-            });
+            let response = transport
+                .probe(target, sent_at)
+                .map(|reply| ResponseRecord {
+                    source: reply.source,
+                    kind: reply.kind,
+                });
             records.push(ProbeRecord {
                 target,
                 sent_at,
@@ -192,8 +192,7 @@ mod tests {
     #[test]
     fn scan_produces_one_record_per_target_and_finds_cpe() {
         let engine = engine();
-        let targets =
-            TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
         let scanner = Scanner::at_paper_rate(7);
         let scan = scanner.scan(&engine, &targets, SimTime::at(1, 9));
         assert_eq!(scan.probes_sent(), 256);
@@ -206,8 +205,7 @@ mod tests {
     #[test]
     fn scan_order_is_permuted_but_reproducible() {
         let engine = engine();
-        let targets =
-            TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
         let scanner = Scanner::at_paper_rate(7);
         let a = scanner.scan(&engine, &targets, SimTime::at(1, 9));
         let b = scanner.scan(&engine, &targets, SimTime::at(1, 9));
@@ -266,8 +264,7 @@ mod tests {
         let engine = engine();
         let targets = TargetGenerator::new(1).one_per_subnet(&pool_prefix(&engine), 56);
         let scanner = Scanner::at_paper_rate(3);
-        let campaign =
-            Campaign::daily(&scanner, &engine, &targets, SimTime::at(10, 6), 5);
+        let campaign = Campaign::daily(&scanner, &engine, &targets, SimTime::at(10, 6), 5);
         assert_eq!(campaign.len(), 5);
         assert!(!campaign.is_empty());
         assert_eq!(campaign.total_probes(), 5 * 256);
@@ -275,10 +272,7 @@ mod tests {
         for (day, scan) in campaign.scans.iter().enumerate() {
             assert_eq!(scan.started_at, SimTime::at(10 + day as u64, 6));
             // Same order every day: targets line up across scans.
-            assert_eq!(
-                scan.records[0].target,
-                campaign.scans[0].records[0].target
-            );
+            assert_eq!(scan.records[0].target, campaign.scans[0].records[0].target);
         }
     }
 }

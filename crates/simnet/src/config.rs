@@ -410,11 +410,9 @@ mod tests {
         assert!(bad_vendor.validate().is_err());
 
         let mut bad_planted = good.clone();
-        bad_planted.planted.push(PlantedCpe::always(
-            3,
-            MacAddr::new([0, 1, 2, 3, 4, 5]),
-            0,
-        ));
+        bad_planted
+            .planted
+            .push(PlantedCpe::always(3, MacAddr::new([0, 1, 2, 3, 4, 5]), 0));
         assert!(bad_planted.validate().is_err());
 
         let mut bad_slot = good.clone();

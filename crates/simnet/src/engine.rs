@@ -255,8 +255,7 @@ impl Engine {
         for r in candidate_rotations(r_lo, r_hi) {
             let initial = inverse_slot(&pop.config.rotation, pop.pool_seed, slot, n_slots, r);
             if let Some((idx, cpe)) = pop.by_initial_slot(initial) {
-                let r_cpe =
-                    rotations_at(&pop.config.rotation, cpe.jitter_secs as u64, t.as_secs());
+                let r_cpe = rotations_at(&pop.config.rotation, cpe.jitter_secs as u64, t.as_secs());
                 let actual = slot_at(
                     &pop.config.rotation,
                     pop.pool_seed,
@@ -408,7 +407,7 @@ impl Engine {
         self.trace(target, t, 32)
             .into_iter()
             .filter_map(|h| h.addr)
-            .last()
+            .next_back()
     }
 
     fn pool_of(&self, target: Ipv6Addr) -> Option<(usize, &PoolPopulation)> {
@@ -592,9 +591,7 @@ fn core_router_address(provider: &ProviderConfig, ttl: u8) -> Ipv6Addr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{
-        PlantedCpe, RotationPoolConfig, SlotLayout, WorldConfig,
-    };
+    use crate::config::{PlantedCpe, RotationPoolConfig, SlotLayout, WorldConfig};
     use crate::time::SimDuration;
     use scent_ipv6::MacAddr;
 
@@ -664,10 +661,7 @@ mod tests {
         assert!(engine.total_eui64_cpes() > 0);
         assert_eq!(engine.rib().len(), 2);
         assert_eq!(engine.as_registry().len(), 2);
-        assert_eq!(
-            engine.as_registry().name(Asn(8881)),
-            Some("Versatel")
-        );
+        assert_eq!(engine.as_registry().name(Asn(8881)), Some("Versatel"));
     }
 
     #[test]
@@ -735,15 +729,9 @@ mod tests {
     fn rotation_moves_delegation_daily() {
         let engine = engine();
         let id = CpeId { pool: 0, index: 0 };
-        let d1 = engine
-            .current_delegation(id, SimTime::at(10, 12))
-            .unwrap();
-        let d2 = engine
-            .current_delegation(id, SimTime::at(11, 12))
-            .unwrap();
-        let d3 = engine
-            .current_delegation(id, SimTime::at(12, 12))
-            .unwrap();
+        let d1 = engine.current_delegation(id, SimTime::at(10, 12)).unwrap();
+        let d2 = engine.current_delegation(id, SimTime::at(11, 12)).unwrap();
+        let d3 = engine.current_delegation(id, SimTime::at(12, 12)).unwrap();
         assert_ne!(d1, d2);
         assert_ne!(d2, d3);
         // The delegation stays inside the rotation pool.
@@ -768,9 +756,7 @@ mod tests {
             index: 5,
         };
         let d1 = engine.current_delegation(id, SimTime::at(0, 12)).unwrap();
-        let d2 = engine
-            .current_delegation(id, SimTime::at(40, 12))
-            .unwrap();
+        let d2 = engine.current_delegation(id, SimTime::at(40, 12)).unwrap();
         assert_eq!(d1, d2);
     }
 
@@ -953,9 +939,7 @@ mod tests {
         assert_eq!(hops.len(), provider.core_hops as usize);
         assert!(hops.iter().all(|h| h.addr.is_some()));
         // Unrouted space yields nothing at all.
-        assert!(engine
-            .trace("3fff::1".parse().unwrap(), t, 32)
-            .is_empty());
+        assert!(engine.trace("3fff::1".parse().unwrap(), t, 32).is_empty());
     }
 
     #[test]
@@ -964,17 +948,13 @@ mod tests {
         let t = SimTime::at(1, 12);
         let id = CpeId { pool: 0, index: 4 };
         let target = target_inside(&engine, id, t);
-        let request =
-            Icmpv6Packet::echo_request(engine.vantage(), target, 0xbeef, 1, Bytes::new())
-                .to_bytes();
+        let request = Icmpv6Packet::echo_request(engine.vantage(), target, 0xbeef, 1, Bytes::new())
+            .to_bytes();
         let response = engine
             .respond_packet(&request, t)
             .expect("CPE responds at packet level");
         let parsed = Icmpv6Packet::parse(&response).unwrap();
-        assert_eq!(
-            parsed.source(),
-            engine.current_wan_address(id, t).unwrap()
-        );
+        assert_eq!(parsed.source(), engine.current_wan_address(id, t).unwrap());
         assert_eq!(parsed.destination(), engine.vantage());
         assert!(parsed.message.is_error());
         assert_eq!(
@@ -993,10 +973,7 @@ mod tests {
         let t = SimTime::at(9, 15);
         for index in 0..20u32 {
             let id = CpeId { pool: 0, index };
-            assert_eq!(
-                a.current_wan_address(id, t),
-                b.current_wan_address(id, t)
-            );
+            assert_eq!(a.current_wan_address(id, t), b.current_wan_address(id, t));
         }
         let id = CpeId { pool: 0, index: 3 };
         let target = target_inside(&a, id, t);

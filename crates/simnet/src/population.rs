@@ -17,9 +17,7 @@ use crate::det::{coin, hash2, hash3, uniform, weighted_pick};
 /// A globally unique identifier for a CPE device within an [`crate::Engine`]:
 /// the global pool index and the device's position within that pool's
 /// population vector.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CpeId {
     /// Global pool index within the engine.
     pub pool: u32,
@@ -137,8 +135,9 @@ impl PoolPopulation {
         for i in 0..n_customers {
             let slot = match pool.layout {
                 SlotLayout::Contiguous => i,
-                SlotLayout::Spread => (i.wrapping_mul(spread_mul).wrapping_add(spread_add))
-                    & slot_mask,
+                SlotLayout::Spread => {
+                    (i.wrapping_mul(spread_mul).wrapping_add(spread_add)) & slot_mask
+                }
             };
             if planted_slots.contains(&slot) {
                 continue;
@@ -151,22 +150,21 @@ impl PoolPopulation {
                 .map(|s| s.vendor_idx)
                 .unwrap_or(0);
             let vendor = &ALL_VENDORS[vendor_idx.min(ALL_VENDORS.len() - 1)];
-            let oui_pick = uniform(hash2(pool_seed, 0x6f75_69, i), vendor.ouis.len() as u64);
+            let oui_pick = uniform(hash2(pool_seed, 0x006f_7569, i), vendor.ouis.len() as u64);
             let oui = scent_ipv6::Oui::from_u32(vendor.ouis[oui_pick as usize]);
-            let nic_bits = hash2(pool_seed, 0x6e69_63, i);
+            let nic_bits = hash2(pool_seed, 0x006e_6963, i);
             let mac = oui.with_nic([
                 (nic_bits >> 16) as u8,
                 (nic_bits >> 8) as u8,
                 nic_bits as u8,
             ]);
 
-            let eui64 = coin(hash2(pool_seed, 0x6575_69, i), provider.eui64_fraction);
+            let eui64 = coin(hash2(pool_seed, 0x0065_7569, i), provider.eui64_fraction);
             let responsive = coin(hash2(pool_seed, 0x7265_7370, i), provider.response_rate);
 
-            let (join_day, leave_day) =
-                churn_dates(world, hash2(pool_seed, 0x6368_7572, i));
+            let (join_day, leave_day) = churn_dates(world, hash2(pool_seed, 0x6368_7572, i));
 
-            let jitter_secs = rotation_jitter(pool, hash2(pool_seed, 0x6a69_74, i));
+            let jitter_secs = rotation_jitter(pool, hash2(pool_seed, 0x006a_6974, i));
 
             cpes.push(CpeRecord {
                 mac,
@@ -242,9 +240,7 @@ fn rotation_jitter(pool: &RotationPoolConfig, h: u64) -> u32 {
 /// Find the built-in vendor owning a MAC address's OUI, if any.
 fn vendor_of_mac(mac: MacAddr) -> Option<usize> {
     let oui = mac.oui().to_u32();
-    ALL_VENDORS
-        .iter()
-        .position(|v| v.ouis.contains(&oui))
+    ALL_VENDORS.iter().position(|v| v.ouis.contains(&oui))
 }
 
 #[cfg(test)]
@@ -253,7 +249,10 @@ mod tests {
     use crate::config::{RotationPolicy, SlotLayout};
     use scent_ipv6::Ipv6Prefix;
 
-    fn world_with(pool: RotationPoolConfig, provider_tweak: impl Fn(&mut ProviderConfig)) -> WorldConfig {
+    fn world_with(
+        pool: RotationPoolConfig,
+        provider_tweak: impl Fn(&mut ProviderConfig),
+    ) -> WorldConfig {
         let mut provider = ProviderConfig::new(
             8881u32,
             "Versatel",

@@ -199,20 +199,14 @@ fn versatel_provider(pools_64: usize, pools_56: usize) -> ProviderConfig {
             },
         });
     }
-    ProviderConfig::new(
-        8881u32,
-        "Versatel",
-        "DE",
-        vec![p("2001:16b8::/32")],
-        pools,
-    )
-    .with_vendor_mix(vec![
-        (vendor::AVM, 0.93),
-        (vendor::LANCOM, 0.04),
-        (vendor::ZYXEL, 0.03),
-    ])
-    .with_eui64_fraction(0.85)
-    .with_response_rate(0.93)
+    ProviderConfig::new(8881u32, "Versatel", "DE", vec![p("2001:16b8::/32")], pools)
+        .with_vendor_mix(vec![
+            (vendor::AVM, 0.93),
+            (vendor::LANCOM, 0.04),
+            (vendor::ZYXEL, 0.03),
+        ])
+        .with_eui64_fraction(0.85)
+        .with_response_rate(0.93)
 }
 
 /// The Deutsche Telekom / AS3320 style provider (the second German ISP of
@@ -234,14 +228,20 @@ fn telekom_provider(pools_56: usize) -> ProviderConfig {
             },
         });
     }
-    ProviderConfig::new(3320u32, "Deutsche Telekom", "DE", vec![p("2003:e2::/32")], pools)
-        .with_vendor_mix(vec![
-            (vendor::AVM, 0.6),
-            (vendor::SAGEMCOM, 0.25),
-            (vendor::ZYXEL, 0.15),
-        ])
-        .with_eui64_fraction(0.75)
-        .with_response_rate(0.92)
+    ProviderConfig::new(
+        3320u32,
+        "Deutsche Telekom",
+        "DE",
+        vec![p("2003:e2::/32")],
+        pools,
+    )
+    .with_vendor_mix(vec![
+        (vendor::AVM, 0.6),
+        (vendor::SAGEMCOM, 0.25),
+        (vendor::ZYXEL, 0.15),
+    ])
+    .with_eui64_fraction(0.75)
+    .with_response_rate(0.92)
 }
 
 /// The MAC-reuse pathology world of Figure 11: the same EUI-64 IID appears
@@ -406,8 +406,8 @@ impl WorldScale {
 /// Countries used for the long-tail ASes (25 countries total appear in the
 /// paper's campaign).
 const TAIL_COUNTRIES: &[&str] = &[
-    "BR", "CN", "BO", "VN", "AR", "UY", "RU", "FR", "IT", "ES", "PL", "NL", "AT", "CH", "SE",
-    "NO", "FI", "JP", "KR", "TW", "MX", "CO", "CL", "PT", "GB",
+    "BR", "CN", "BO", "VN", "AR", "UY", "RU", "FR", "IT", "ES", "PL", "NL", "AT", "CH", "SE", "NO",
+    "FI", "JP", "KR", "TW", "MX", "CO", "CL", "PT", "GB",
 ];
 
 /// Dominant vendors by country (drives the per-AS homogeneity fingerprints
@@ -416,14 +416,14 @@ fn dominant_vendor_for(country: &str, h: u64) -> usize {
     match country {
         "DE" | "AT" | "CH" => vendor::AVM,
         "VN" | "CN" => {
-            if h % 2 == 0 {
+            if h.is_multiple_of(2) {
                 vendor::ZTE
             } else {
                 vendor::HUAWEI
             }
         }
         "BR" | "AR" | "UY" | "CO" | "CL" | "MX" => {
-            if h % 2 == 0 {
+            if h.is_multiple_of(2) {
                 vendor::INTELBRAS
             } else {
                 vendor::ARRIS
@@ -465,7 +465,14 @@ pub fn paper_world(seed: u64, scale: WorldScale) -> WorldConfig {
         (8881, "Versatel", "DE", 5_149, 56, vendor::AVM),
         (6799, "OTE", "GR", 3_386, 56, vendor::ZTE),
         (1241, "Forthnet", "GR", 635, 60, vendor::ZTE),
-        (9808, "China Mobile Guangdong", "CN", 608, 64, vendor::HUAWEI),
+        (
+            9808,
+            "China Mobile Guangdong",
+            "CN",
+            608,
+            64,
+            vendor::HUAWEI,
+        ),
         (3320, "Deutsche Telekom", "DE", 530, 56, vendor::AVM),
     ];
     let head_prefixes = [
@@ -507,7 +514,7 @@ pub fn paper_world(seed: u64, scale: WorldScale) -> WorldConfig {
             2 => 60,
             _ => 64,
         };
-        let rotating = h % 2 == 0;
+        let rotating = h.is_multiple_of(2);
         let homogeneity = match (h >> 8) % 4 {
             0 | 1 => 0.9 + ((h >> 16) % 100) as f64 / 1_000.0, // 0.90..1.00
             2 => 0.67 + ((h >> 16) % 230) as f64 / 1_000.0,    // 0.67..0.90
@@ -550,7 +557,11 @@ fn provider_from_spec(seed: u64, spec: &AsSpec) -> ProviderConfig {
 
     // Group the AS's /48s into /46 pools when rotating (4 /48s per pool),
     // or use standalone /48 pools when static.
-    let pool_len: u8 = if spec.rotating && spec.n_48s >= 4 { 46 } else { 48 };
+    let pool_len: u8 = if spec.rotating && spec.n_48s >= 4 {
+        46
+    } else {
+        48
+    };
     let n_pools = if pool_len == 46 {
         (spec.n_48s / 4).max(1)
     } else {
@@ -582,7 +593,7 @@ fn provider_from_spec(seed: u64, spec: &AsSpec) -> ProviderConfig {
             // the containing /46, which is what we want for pool alignment.
             ;
         let rotation = if spec.rotating {
-            if h % 3 == 0 {
+            if h.is_multiple_of(3) {
                 RotationPolicy::PeriodicRandom {
                     period_days: 1 + (h % 3),
                     hour: (h % 5) as u8,
@@ -643,6 +654,77 @@ fn provider_from_spec(seed: u64, spec: &AsSpec) -> ProviderConfig {
     .with_loss(0.002 + (uniform(hash1(h, 1), 8) as f64) / 1_000.0)
 }
 
+/// A long-horizon world for the continuous monitoring engine
+/// (`scent-stream`): three providers with contrasting rotation behaviour —
+/// a daily incrementer (Versatel-style /56 pool), a weekly random reassigner
+/// (BH-Telecom-style /60 pool) and a static control — plus a small amount of
+/// customer churn, so a monitor running for weeks of virtual time sees daily
+/// events, occasional bulk reshuffles, devices appearing and disappearing,
+/// and one provider that must stay quiet.
+pub fn continuous_world(seed: u64) -> WorldConfig {
+    let daily = ProviderConfig::new(
+        8881u32,
+        "Versatel",
+        "DE",
+        vec![p("2001:16b8::/32")],
+        vec![RotationPoolConfig {
+            prefix: p("2001:16b8:1d00::/46"),
+            allocation_len: 56,
+            occupancy: 0.35,
+            layout: SlotLayout::Contiguous,
+            rotation: RotationPolicy::DailyIncrement {
+                step_slots: 96,
+                period_days: 1,
+                hour: 0,
+                jitter_hours: 6,
+            },
+        }],
+    )
+    .with_vendor_mix(vec![(vendor::AVM, 0.93), (vendor::LANCOM, 0.07)])
+    .with_eui64_fraction(0.85)
+    .with_response_rate(0.93);
+
+    let weekly = ProviderConfig::new(
+        9146u32,
+        "BH Telecom",
+        "BA",
+        vec![p("2a02:27b0::/32")],
+        vec![RotationPoolConfig {
+            prefix: p("2a02:27b0:200::/48"),
+            allocation_len: 60,
+            occupancy: 0.5,
+            layout: SlotLayout::Spread,
+            rotation: RotationPolicy::PeriodicRandom {
+                period_days: 7,
+                hour: 2,
+                jitter_hours: 4,
+            },
+        }],
+    )
+    .with_vendor_mix(vec![(vendor::ZYXEL, 0.6), (vendor::SAGEMCOM, 0.4)])
+    .with_response_rate(0.9);
+
+    let control = ProviderConfig::new(
+        6568u32,
+        "Entel Bolivia",
+        "BO",
+        vec![p("2803:9810::/32")],
+        vec![RotationPoolConfig {
+            prefix: p("2803:9810:100::/48"),
+            allocation_len: 56,
+            occupancy: 0.7,
+            layout: SlotLayout::Spread,
+            rotation: RotationPolicy::Static,
+        }],
+    )
+    .with_vendor_mix(vec![(vendor::HUAWEI, 0.7), (vendor::ZTE, 0.3)])
+    .with_response_rate(0.92);
+
+    let mut world = WorldConfig::new(vec![daily, weekly, control], seed);
+    world.churn_fraction = 0.02;
+    world
+}
+
 /// The tracking case-study world of §6: around a dozen providers in distinct
 /// countries, most of them rotating, from which ten target devices are drawn.
 pub fn tracking_world(seed: u64) -> WorldConfig {
@@ -662,7 +744,12 @@ mod tests {
 
     #[test]
     fn single_provider_scenarios_validate_and_build() {
-        for world in [entel_like(1), bhtelecom_like(2), starcat_like(3), versatel_like(4)] {
+        for world in [
+            entel_like(1),
+            bhtelecom_like(2),
+            starcat_like(3),
+            versatel_like(4),
+        ] {
             world.validate().expect("scenario must validate");
             let engine = Engine::build(world).expect("scenario must build");
             assert!(engine.total_cpes() > 0);
@@ -694,7 +781,10 @@ mod tests {
             .map(|p| p.allocation_len)
             .collect();
         assert!(lens.contains(&56) && lens.contains(&64));
-        assert!(world.providers[0].pools.iter().all(|p| p.rotation.rotates()));
+        assert!(world.providers[0]
+            .pools
+            .iter()
+            .all(|p| p.rotation.rotates()));
     }
 
     #[test]
@@ -736,7 +826,11 @@ mod tests {
         assert_eq!(online(35, &a), 1);
         let asn_on = |day: u64, ids: &[crate::population::CpeId]| {
             ids.iter()
-                .find(|&&id| engine.current_wan_address(id, SimTime::at(day, 12)).is_some())
+                .find(|&&id| {
+                    engine
+                        .current_wan_address(id, SimTime::at(day, 12))
+                        .is_some()
+                })
                 .map(|&id| engine.provider_of_pool(id.pool as usize).asn)
                 .unwrap()
         };
@@ -805,6 +899,47 @@ mod tests {
         assert_eq!(a, b);
         let c = paper_world(43, WorldScale::small());
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn continuous_world_mixes_rotation_behaviours() {
+        let world = continuous_world(11);
+        world.validate().expect("continuous world must validate");
+        let engine = Engine::build(world).expect("continuous world must build");
+        assert_eq!(engine.config().providers.len(), 3);
+        let rotating: Vec<bool> = engine
+            .config()
+            .providers
+            .iter()
+            .map(|p| p.pools.iter().any(|pool| pool.rotation.rotates()))
+            .collect();
+        assert_eq!(rotating, vec![true, true, false]);
+        assert!(engine.total_eui64_cpes() > 0);
+        // The daily rotator really moves a device between days deep into the
+        // horizon (day 100), the static control does not.
+        let moved = engine.current_delegation(
+            crate::population::CpeId { pool: 0, index: 0 },
+            SimTime::at(100, 12),
+        ) != engine.current_delegation(
+            crate::population::CpeId { pool: 0, index: 0 },
+            SimTime::at(101, 12),
+        );
+        assert!(moved);
+        let static_pool = 2u32;
+        let held = engine.current_delegation(
+            crate::population::CpeId {
+                pool: static_pool,
+                index: 0,
+            },
+            SimTime::at(100, 12),
+        ) == engine.current_delegation(
+            crate::population::CpeId {
+                pool: static_pool,
+                index: 0,
+            },
+            SimTime::at(101, 12),
+        );
+        assert!(held);
     }
 
     #[test]

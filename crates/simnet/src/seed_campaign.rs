@@ -71,15 +71,16 @@ impl SeedCampaign {
                     .expect("48 not shorter than announcement");
                 let count = total.min(max_48s_per_prefix as u128);
                 for i in 0..count {
-                    let sub48 = announced
-                        .nth_subnet(48, i)
-                        .expect("index bounded by count");
+                    let sub48 = announced.nth_subnet(48, i).expect("index bounded by count");
                     probed += 1;
                     // A pseudo-random /64 and IID inside the /48, fixed per
                     // /48 so re-running the campaign is reproducible.
-                    let h = hash2(engine.config().seed, sub48.network_bits() as u64, 0x7365_6564);
-                    let host_bits = ((h as u128) << 64)
-                        | hash2(engine.config().seed, h, 1) as u128;
+                    let h = hash2(
+                        engine.config().seed,
+                        sub48.network_bits() as u64,
+                        0x7365_6564,
+                    );
+                    let host_bits = ((h as u128) << 64) | hash2(engine.config().seed, h, 1) as u128;
                     let target = sub48.addr_with_host_bits(host_bits);
                     if let Some(last_hop) = engine.last_hop(target, t) {
                         entries.push(SeedEntry {
@@ -104,7 +105,10 @@ impl SeedCampaign {
         let mut by_iid: HashMap<u64, Vec<Ipv6Prefix>> = HashMap::new();
         for entry in &self.entries {
             if let Some(eui) = Eui64::from_addr(entry.last_hop) {
-                by_iid.entry(eui.as_u64()).or_default().push(entry.target_48);
+                by_iid
+                    .entry(eui.as_u64())
+                    .or_default()
+                    .push(entry.target_48);
             }
         }
         let mut out: Vec<Ipv6Prefix> = by_iid

@@ -1,0 +1,44 @@
+//! `scent-stream`: a streaming, sharded, bounded-memory monitoring engine.
+//!
+//! The batch [`Pipeline`](scent_core::Pipeline) reproduces the paper's
+//! methodology as a one-shot run: expand seeds, classify density, take two
+//! snapshots 24 hours apart, diff them. The §6 case study — and a
+//! production-scale monitor — instead wants a *long-running* process that
+//! ingests probe responses continuously and flags rotations as they happen.
+//! This crate provides that engine:
+//!
+//! | Piece | Module | What it does |
+//! |---|---|---|
+//! | Event type & sources | [`observation`] | [`Observation`]s, the [`ObservationSource`] trait |
+//! | Engine adapters | [`source`] | Drive a [`ProbeTransport`](scent_prober::ProbeTransport) as a finite scan replay or an infinite virtual-time stream with AIMD rate feedback |
+//! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels with backpressure |
+//! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
+//! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
+//! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking |
+//!
+//! Two properties hold by construction and are enforced by tests:
+//!
+//! * **Shard-merge determinism** — the merged report is identical for any
+//!   shard count, because every /48's state lives wholly in one shard
+//!   (routing is by announced prefix) and merges are order-normalized.
+//! * **Batch equivalence** — [`StreamPipeline::run`] produces the same
+//!   [`PipelineReport`](scent_core::PipelineReport) as the batch pipeline on
+//!   the same world, because the batch classifiers are implemented on top of
+//!   the same incremental state this engine folds one observation at a time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod monitor;
+pub mod observation;
+pub mod pipeline;
+pub mod router;
+pub mod shard;
+pub mod source;
+
+pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor};
+pub use observation::{Observation, ObservationSource, Phase};
+pub use pipeline::{StreamConfig, StreamPipeline};
+pub use router::ShardRouter;
+pub use shard::{spawn_shards, ShardInference, ShardMsg};
+pub use source::{ContinuousStream, ScanStream};

@@ -1,0 +1,382 @@
+//! The continuous rotation monitor: endless windows, live events, passive
+//! tracking.
+//!
+//! Where [`StreamPipeline`](crate::pipeline::StreamPipeline) replays the
+//! batch methodology, [`StreamMonitor`] is what the batch pipeline cannot
+//! express: a long-running monitor over a set of watched /48s that probes
+//! them window after window of virtual time, emits a
+//! [`RotationEvent`](scent_core::RotationEvent) the moment any target's
+//! EUI-64 responder changes, follows every identifier passively, and applies
+//! AIMD rate feedback when the inference shards fall behind the prober.
+
+use serde::{Deserialize, Serialize};
+
+use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
+use scent_core::{RotationDetection, TrackingReport};
+use scent_ipv6::Ipv6Prefix;
+use scent_prober::{TargetGenerator, TargetStream};
+use scent_simnet::{Engine, SimDuration, SimTime};
+
+use crate::observation::ObservationSource;
+use crate::router::ShardRouter;
+use crate::shard::{spawn_shards, ShardInference};
+use crate::source::ContinuousStream;
+
+/// Continuous monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Number of inference shards.
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, in observations.
+    pub channel_capacity: usize,
+    /// Seed controlling target generation and probe order.
+    pub seed: u64,
+    /// Probe budget per second (the ceiling the AIMD feedback recovers to).
+    pub packets_per_second: u64,
+    /// Probing granularity inside each watched /48 (the paper's detection
+    /// step probes every /64; scaled-down runs use /56).
+    pub granularity: u8,
+    /// Number of observation windows to run (the stream itself is infinite;
+    /// this is how long the monitor listens).
+    pub windows: u64,
+    /// Virtual time between window starts (24 hours in the paper).
+    pub window_interval: SimDuration,
+    /// Virtual time of the first window.
+    pub start: SimTime,
+    /// Cap on devices folded into the tracking report.
+    pub max_tracked: usize,
+    /// Whether shard-queue stalls feed back into the prober's virtual-time
+    /// rate (AIMD). Off by default: blocking sends already slow the producer
+    /// in wall-clock terms, and keeping virtual send times independent of OS
+    /// scheduling makes runs bit-reproducible. Enable for a deployment-shaped
+    /// run where consumer capacity should govern the probe budget itself.
+    pub rate_feedback: bool,
+    /// When set, shards drop per-window tracker state (sightings, probe
+    /// counts, retained events) older than this many windows behind the
+    /// current one, keeping a genuinely endless run's memory bounded. The
+    /// report then covers only the retained horizon. `None` retains
+    /// everything (right for finite runs folded into full reports).
+    pub retention_windows: Option<u64>,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            shards: 2,
+            channel_capacity: 1024,
+            seed: 0x57ae,
+            packets_per_second: 10_000,
+            granularity: 56,
+            windows: 7,
+            window_interval: SimDuration::from_days(1),
+            start: SimTime::at(10, 9),
+            max_tracked: 8,
+            rate_feedback: false,
+            retention_windows: None,
+        }
+    }
+}
+
+/// Everything a monitoring run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorReport {
+    /// Windows observed.
+    pub windows: u64,
+    /// Observations ingested across all shards.
+    pub observations: u64,
+    /// Every rotation event, ordered by `(window, seq)`.
+    pub events: Vec<RotationEvent>,
+    /// The batch-shaped detection summary over all windows.
+    pub detection: RotationDetection,
+    /// The /48s seen rotating at least once.
+    pub rotating_48s: Vec<Ipv6Prefix>,
+    /// Passive tracking of the most-seen identifiers, in the batch report
+    /// shape (one "day" per window).
+    pub tracking: TrackingReport,
+    /// Deliveries that had to wait for shard queue space.
+    pub backpressure_stalls: u64,
+    /// The effective probe rate when the run ended (equals the configured
+    /// rate unless backpressure forced a back-off).
+    pub final_rate: u64,
+}
+
+impl MonitorReport {
+    /// Events detected during a given window.
+    pub fn events_in_window(&self, window: u64) -> impl Iterator<Item = &RotationEvent> {
+        self.events.iter().filter(move |e| e.window == window)
+    }
+}
+
+/// The continuous monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMonitor {
+    /// Configuration.
+    pub config: MonitorConfig,
+}
+
+impl StreamMonitor {
+    /// Create a monitor.
+    pub fn new(config: MonitorConfig) -> Self {
+        StreamMonitor { config }
+    }
+
+    /// Monitor the watched /48s for the configured number of windows.
+    ///
+    /// Probing, routing and inference overlap: the prober thread (this one)
+    /// pulls observations off the infinite stream and routes them while the
+    /// shard threads fold earlier observations into their classifiers. When
+    /// a shard queue fills, the resulting stall is fed back into the prober's
+    /// rate limiter before the next probe is paced.
+    pub fn run(&self, engine: &Engine, watched_48s: &[Ipv6Prefix]) -> MonitorReport {
+        let cfg = &self.config;
+        let generator = TargetGenerator::new(cfg.seed);
+        let targets = TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
+        let per_window = targets.window_len() as u64;
+        let mut stream = ContinuousStream::new(
+            engine,
+            targets,
+            cfg.packets_per_second,
+            cfg.start,
+            cfg.window_interval,
+        );
+
+        let (live_tx, live_rx) = std::sync::mpsc::channel();
+        let (merged, stalls) = std::thread::scope(|scope| {
+            let (senders, handles) =
+                spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
+            let mut router = ShardRouter::new(&engine.rib().entries(), senders);
+            let total = per_window * cfg.windows;
+            let mut current_window = 0u64;
+            for _ in 0..total {
+                let Some(obs) = stream.next_observation() else {
+                    break;
+                };
+                if obs.window > current_window {
+                    current_window = obs.window;
+                    if let Some(keep) = cfg.retention_windows {
+                        if current_window > keep {
+                            router.compact_before(current_window - keep);
+                        }
+                    }
+                }
+                let outcome = router.route(obs);
+                if cfg.rate_feedback {
+                    if outcome.backpressured {
+                        stream.throttle();
+                    } else {
+                        stream.recover();
+                    }
+                }
+            }
+            let stalls = router.stalls();
+            router.shutdown();
+            let merged = ShardInference::merge_all(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard panicked")),
+            );
+            (merged, stalls)
+        });
+
+        // The live channel has seen every event already; the merged state is
+        // the authoritative record (compaction may have pruned events the
+        // live channel delivered at the time). Drain the channel so nothing
+        // is silently left behind, and order events the deterministic way.
+        let live_count = live_rx.into_iter().count();
+        debug_assert!(live_count >= merged.events.len());
+
+        let detection = WindowedRotationDetector::collect(merged.events.clone());
+        let mut events = merged.events.clone();
+        events.sort_by_key(|e| (e.window, e.seq));
+        let tracking = merged.tracker.finish(
+            engine.rib(),
+            engine.as_registry(),
+            cfg.windows,
+            cfg.max_tracked,
+        );
+
+        MonitorReport {
+            windows: cfg.windows,
+            observations: merged.observations,
+            rotating_48s: detection.rotating_48s.clone(),
+            detection,
+            events,
+            tracking,
+            backpressure_stalls: stalls,
+            final_rate: stream.rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use scent_simnet::scenarios;
+
+    fn watched_48s(engine: &Engine) -> Vec<Ipv6Prefix> {
+        let mut watched = Vec::new();
+        for pool in engine.pools() {
+            let pool_prefix = pool.config.prefix;
+            if pool_prefix.len() <= 48 {
+                for sub in pool_prefix.subnets(48).unwrap() {
+                    watched.push(sub);
+                }
+            }
+        }
+        watched
+    }
+
+    #[test]
+    fn monitor_flags_rotating_pools_and_spares_static_ones() {
+        let engine = Engine::build(scenarios::continuous_world(13)).unwrap();
+        let watched = watched_48s(&engine);
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 4,
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &watched);
+
+        assert_eq!(report.windows, 4);
+        assert_eq!(report.observations, watched.len() as u64 * 256 * 4);
+        assert!(!report.events.is_empty(), "daily rotation must emit events");
+        assert!(!report.rotating_48s.is_empty());
+        // Every flagged /48 belongs to a provider that actually rotates; the
+        // static control provider stays quiet.
+        for prefix in &report.rotating_48s {
+            let asn = engine.rib().origin(prefix.network()).unwrap();
+            let provider = engine
+                .config()
+                .providers
+                .iter()
+                .find(|p| p.asn == asn)
+                .unwrap();
+            assert!(
+                provider.pools.iter().any(|pool| pool.rotation.rotates()),
+                "{asn} flagged but does not rotate"
+            );
+        }
+        // Events are deterministically ordered and self-consistent.
+        for pair in report.events.windows(2) {
+            assert!((pair[0].window, pair[0].seq) <= (pair[1].window, pair[1].seq));
+        }
+        assert_eq!(report.detection.changes.len(), report.events.len());
+        // Window 0 can never emit (nothing to diff against).
+        assert_eq!(report.events_in_window(0).count(), 0);
+        assert!(report.events_in_window(1).count() > 0);
+        let counts = report.detection.change_counts();
+        assert!(!counts.is_empty());
+        assert_eq!(counts.values().sum::<usize>(), report.events.len());
+    }
+
+    #[test]
+    fn retention_bounds_the_report_to_the_horizon() {
+        let world = scenarios::continuous_world(53);
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched = watched_48s(&engine);
+        let full = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+
+        let engine = Engine::build(world).unwrap();
+        let retained = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            retention_windows: Some(2),
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+
+        // Early-window events are compacted away; the retained horizon's
+        // events are exactly the full run's tail.
+        assert!(retained.events.len() < full.events.len());
+        assert_eq!(retained.events_in_window(1).count(), 0);
+        let full_tail: Vec<_> = full.events.iter().filter(|e| e.window >= 4).collect();
+        let retained_tail: Vec<_> = retained.events.iter().filter(|e| e.window >= 4).collect();
+        assert_eq!(full_tail, retained_tail);
+        // Tracking covers only retained windows (entering window 5 compacted
+        // everything before window 3).
+        for device in &retained.tracking.devices {
+            for daily in &device.daily {
+                if daily.day < 3 {
+                    assert!(!daily.found, "window {} should be compacted", daily.day);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_feedback_mode_completes_and_respects_budget() {
+        let engine = Engine::build(scenarios::continuous_world(41)).unwrap();
+        let watched: Vec<Ipv6Prefix> = watched_48s(&engine).into_iter().take(2).collect();
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 2,
+            shards: 2,
+            channel_capacity: 4, // tiny queues to provoke stalls
+            rate_feedback: true,
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &watched);
+        assert_eq!(report.observations, watched.len() as u64 * 256 * 2);
+        assert!(report.final_rate <= monitor.config.packets_per_second);
+        assert!(report.final_rate >= monitor.config.packets_per_second / 64);
+    }
+
+    #[test]
+    fn monitor_tracks_identifiers_across_rotations() {
+        let engine = Engine::build(scenarios::continuous_world(29)).unwrap();
+        let watched = watched_48s(&engine);
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            max_tracked: 5,
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &watched);
+        assert!(!report.tracking.devices.is_empty());
+        assert!(report.tracking.devices.len() <= 5);
+        for result in &report.tracking.devices {
+            assert_eq!(result.daily.len(), 6);
+            assert!(result.days_found() > 0);
+            // Every recorded address genuinely carries the device identifier.
+            for daily in &result.daily {
+                if let Some(addr) = daily.address {
+                    assert_eq!(scent_ipv6::Eui64::from_addr(addr), Some(result.device.iid));
+                }
+            }
+        }
+        // The best-observed devices are found on most windows, and at least
+        // one rotating device shows multiple distinct /64s.
+        let best = &report.tracking.devices[0];
+        assert!(best.days_found() >= 4);
+        assert!(
+            report
+                .tracking
+                .devices
+                .iter()
+                .any(|d| d.distinct_prefixes() > 1),
+            "a daily-rotating world must show movement"
+        );
+        assert!(report.tracking.overall_accuracy() > 0.0);
+    }
+
+    #[test]
+    fn monitor_is_deterministic_across_shard_counts() {
+        let world = scenarios::continuous_world(37);
+        let mut reports = Vec::new();
+        for shards in [1usize, 3] {
+            let engine = Engine::build(world.clone()).unwrap();
+            let watched = watched_48s(&engine);
+            let monitor = StreamMonitor::new(MonitorConfig {
+                shards,
+                windows: 3,
+                ..MonitorConfig::default()
+            });
+            reports.push(monitor.run(&engine, &watched));
+        }
+        assert_eq!(reports[0].events, reports[1].events);
+        assert_eq!(reports[0].detection, reports[1].detection);
+        assert_eq!(reports[0].tracking, reports[1].tracking);
+        assert_eq!(reports[0].observations, reports[1].observations);
+    }
+}

@@ -1,0 +1,256 @@
+//! The shard router: partitions observations by announced prefix.
+//!
+//! Every announced prefix in the RIB is assigned a shard by hashing its /32
+//! bits (prefixes shorter than /32 hash their own network bits), and a
+//! [`PrefixTrie`] resolves each observation's target to its announcement by
+//! longest-prefix match. Routing by announcement — rather than, say, hashing
+//! the full target — is what gives the engine its merge guarantees: a /48, a
+//! rotation pool, and every address an identifier can rotate to within its
+//! provider all live inside one announcement, so per-prefix and
+//! per-identifier inference state never splits across shards.
+//!
+//! Channels are bounded: when a shard's queue is full, [`ShardRouter::route`]
+//! blocks (delivering every observation) and reports the stall so the caller
+//! can feed it back into the prober's rate limiter.
+
+use std::net::Ipv6Addr;
+
+use scent_bgp::{PrefixTrie, RibEntry};
+use scent_ipv6::{addr_to_u128, Ipv6Prefix};
+use scent_simnet::det::hash2;
+
+use crate::observation::Observation;
+use crate::shard::ShardMsg;
+
+/// The outcome of routing one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The shard the observation was delivered to.
+    pub shard: usize,
+    /// Whether delivery had to wait for queue space (backpressure).
+    pub backpressured: bool,
+}
+
+/// Routes observations to shard workers over bounded channels.
+pub struct ShardRouter {
+    trie: PrefixTrie<usize>,
+    senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
+    stalls: u64,
+    routed: u64,
+}
+
+impl ShardRouter {
+    /// Build a router over the announced prefixes of a RIB, delivering to
+    /// `senders` (one per shard).
+    pub fn new(entries: &[RibEntry], senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>) -> Self {
+        assert!(!senders.is_empty(), "at least one shard");
+        let shards = senders.len();
+        let mut trie = PrefixTrie::new();
+        for entry in entries {
+            trie.insert(entry.prefix, Self::shard_of_prefix(&entry.prefix, shards));
+        }
+        ShardRouter {
+            trie,
+            senders,
+            stalls: 0,
+            routed: 0,
+        }
+    }
+
+    /// The shard an announced prefix is pinned to: a hash of its /32 bits
+    /// (announcements shorter than /32 hash their own network bits, keeping
+    /// all their more-specific space together).
+    fn shard_of_prefix(prefix: &Ipv6Prefix, shards: usize) -> usize {
+        let key_len = prefix.len().min(32);
+        let bits32 = (prefix.network_bits() >> 96) as u64 & (u64::MAX << (32 - key_len as u64));
+        (hash2(0x7368_6172, bits32, key_len as u64) % shards as u64) as usize
+    }
+
+    /// The shard a target address routes to: its longest-matching
+    /// announcement's shard, or a hash of the target's own /32 for
+    /// unannounced space (so stray observations still land deterministically).
+    pub fn shard_for(&self, target: Ipv6Addr) -> usize {
+        if let Some((_, &shard)) = self.trie.longest_match(target) {
+            return shard;
+        }
+        let bits32 = (addr_to_u128(target) >> 96) as u64;
+        (hash2(0x7368_6172, bits32, 32) % self.senders.len() as u64) as usize
+    }
+
+    /// Deliver one observation to its shard. Blocks when the shard's queue is
+    /// full; the outcome reports whether it had to.
+    pub fn route(&mut self, obs: Observation) -> RouteOutcome {
+        let shard = self.shard_for(obs.target);
+        self.routed += 1;
+        match self.senders[shard].try_send(ShardMsg::Observe(obs)) {
+            Ok(()) => RouteOutcome {
+                shard,
+                backpressured: false,
+            },
+            Err(std::sync::mpsc::TrySendError::Full(msg)) => {
+                self.stalls += 1;
+                self.senders[shard]
+                    .send(msg)
+                    .expect("shard worker must outlive the router");
+                RouteOutcome {
+                    shard,
+                    backpressured: true,
+                }
+            }
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                panic!("shard worker must outlive the router")
+            }
+        }
+    }
+
+    /// Broadcast a flush to every shard and return the partial states in
+    /// shard order. FIFO channels guarantee each snapshot reflects everything
+    /// routed before this call.
+    pub fn flush(&self) -> Vec<crate::shard::ShardInference> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (tx, rx) = std::sync::mpsc::channel();
+            sender
+                .send(ShardMsg::Flush(tx))
+                .expect("shard worker must outlive the router");
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard answers its flush"))
+            .collect()
+    }
+
+    /// Broadcast a compaction to every shard: drop per-window state older
+    /// than `window` (exclusive).
+    pub fn compact_before(&self, window: u64) {
+        for sender in &self.senders {
+            sender
+                .send(ShardMsg::Compact(window))
+                .expect("shard worker must outlive the router");
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Observations routed so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Deliveries that had to wait for queue space.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Drop the senders, letting workers drain and exit.
+    pub fn shutdown(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::Phase;
+    use crate::shard::spawn_shards;
+    use scent_bgp::{Asn, Rib};
+    use scent_simnet::SimTime;
+
+    fn rib() -> Rib {
+        let mut rib = Rib::new();
+        rib.announce("2001:16b8::/32".parse().unwrap(), Asn(8881));
+        rib.announce("2a02:27b0::/32".parse().unwrap(), Asn(9146));
+        rib.announce("2803:9810::/32".parse().unwrap(), Asn(6568));
+        rib.announce("2a01:c00::/26".parse().unwrap(), Asn(3215));
+        rib
+    }
+
+    fn obs(target: &str) -> Observation {
+        Observation {
+            phase: Phase::Density,
+            window: 0,
+            seq: 0,
+            target: target.parse().unwrap(),
+            sent_at: SimTime::at(0, 0),
+            response: None,
+        }
+    }
+
+    #[test]
+    fn same_announcement_routes_to_same_shard() {
+        std::thread::scope(|scope| {
+            let (senders, handles) = spawn_shards(scope, 3, 64, None);
+            let router = ShardRouter::new(&rib().entries(), senders);
+            assert_eq!(router.shards(), 3);
+            // Everything inside one /32 lands on one shard.
+            let a = router.shard_for("2001:16b8:1::1".parse().unwrap());
+            let b = router.shard_for("2001:16b8:ffff::1".parse().unwrap());
+            assert_eq!(a, b);
+            // A sub-/32 announcement keeps its space with the covering /26.
+            let c = router.shard_for("2a01:c01::1".parse().unwrap());
+            let d = router.shard_for("2a01:c3f::1".parse().unwrap());
+            assert_eq!(c, d);
+            // Unannounced space still routes deterministically.
+            let e = router.shard_for("3fff::1".parse().unwrap());
+            assert_eq!(e, router.shard_for("3fff:0:1::2".parse().unwrap()));
+            router.shutdown();
+            for handle in handles {
+                handle.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn routing_is_deterministic_across_router_builds() {
+        std::thread::scope(|scope| {
+            let (s1, h1) = spawn_shards(scope, 4, 64, None);
+            let (s2, h2) = spawn_shards(scope, 4, 64, None);
+            let r1 = ShardRouter::new(&rib().entries(), s1);
+            let r2 = ShardRouter::new(&rib().entries(), s2);
+            for target in ["2001:16b8:1::1", "2a02:27b0:200::9", "2803:9810:100::3"] {
+                let t: Ipv6Addr = target.parse().unwrap();
+                assert_eq!(r1.shard_for(t), r2.shard_for(t));
+            }
+            r1.shutdown();
+            r2.shutdown();
+            for handle in h1.into_iter().chain(h2) {
+                handle.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn route_delivers_and_reports_backpressure() {
+        std::thread::scope(|scope| {
+            // A deliberately tiny queue and a slow consumer: the router must
+            // block rather than drop, and report the stall.
+            let (tx, rx) = std::sync::mpsc::sync_channel(1);
+            let consumer = scope.spawn(move || {
+                let mut seen = 0usize;
+                while let Ok(msg) = rx.recv() {
+                    if matches!(msg, ShardMsg::Observe(_)) {
+                        seen += 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                seen
+            });
+            let mut router = ShardRouter::new(&rib().entries(), vec![tx]);
+            let mut backpressured = 0;
+            for i in 0..20 {
+                let outcome = router.route(obs(&format!("2001:16b8::{i:x}")));
+                assert_eq!(outcome.shard, 0);
+                if outcome.backpressured {
+                    backpressured += 1;
+                }
+            }
+            assert_eq!(router.routed(), 20);
+            assert!(backpressured > 0, "tiny queue must stall");
+            assert_eq!(router.stalls(), backpressured);
+            router.shutdown();
+            assert_eq!(consumer.join().unwrap(), 20, "nothing may be dropped");
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Adapters that drive a probe transport as an observation stream.
+//!
+//! [`ScanStream`] replays exactly one zmap6-style scan pass (same permuted
+//! order, same paced send times as [`Scanner::scan`](scent_prober::Scanner))
+//! but yields results one at a time instead of materializing a
+//! [`Scan`](scent_prober::Scan) — this is what makes the streamed pipeline
+//! bit-identical to the batch one. [`ContinuousStream`] turns the transport
+//! into an *infinite* virtual-time probe stream: the same target list
+//! revisited window after window forever, paced by a
+//! [`FeedbackPacer`] so consumer backpressure slows the probing rate instead
+//! of growing a queue.
+
+use scent_prober::{
+    FeedbackPacer, ProbePacer, ProbeTransport, RandomPermutation, ResponseRecord, TargetStream,
+};
+use scent_simnet::{SimDuration, SimTime};
+
+use crate::observation::{Observation, ObservationSource, Phase};
+
+/// Replay of one scan pass as an observation stream.
+pub struct ScanStream<'a, T: ProbeTransport> {
+    transport: &'a T,
+    targets: Vec<std::net::Ipv6Addr>,
+    order: Vec<u64>,
+    pacer: ProbePacer,
+    phase: Phase,
+    window: u64,
+    pos: usize,
+}
+
+impl<'a, T: ProbeTransport> ScanStream<'a, T> {
+    /// Stream one scan of `targets` starting at `start`: the same probing
+    /// order and send times `Scanner::scan` with `(seed, pps, randomize)`
+    /// would use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        transport: &'a T,
+        targets: Vec<std::net::Ipv6Addr>,
+        phase: Phase,
+        window: u64,
+        seed: u64,
+        packets_per_second: u64,
+        randomize_order: bool,
+        start: SimTime,
+    ) -> Self {
+        let order = RandomPermutation::scan_order(targets.len() as u64, seed, randomize_order);
+        ScanStream {
+            transport,
+            targets,
+            order,
+            pacer: ProbePacer::new(start, packets_per_second),
+            phase,
+            window,
+            pos: 0,
+        }
+    }
+
+    /// Number of probes this stream will send.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the stream has no targets at all.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+impl<T: ProbeTransport> ObservationSource for ScanStream<'_, T> {
+    fn next_observation(&mut self) -> Option<Observation> {
+        if self.pos >= self.targets.len() {
+            return None;
+        }
+        let seq = self.pos as u64;
+        let target = self.targets[self.order[self.pos] as usize];
+        let sent_at = self.pacer.send_time(seq);
+        self.pos += 1;
+        let response = self
+            .transport
+            .probe(target, sent_at)
+            .map(|reply| ResponseRecord {
+                source: reply.source,
+                kind: reply.kind,
+            });
+        Some(Observation {
+            phase: self.phase,
+            window: self.window,
+            seq,
+            target,
+            sent_at,
+            response,
+        })
+    }
+}
+
+/// An infinite virtual-time probe stream: the same targets, window after
+/// window, with AIMD rate feedback.
+pub struct ContinuousStream<'a, T: ProbeTransport> {
+    transport: &'a T,
+    targets: TargetStream,
+    pacer: FeedbackPacer,
+    first_start: SimTime,
+    window_interval: SimDuration,
+    entered_window: u64,
+}
+
+impl<'a, T: ProbeTransport> ContinuousStream<'a, T> {
+    /// Stream windows of `targets` forever: window `w` begins no earlier than
+    /// `first_start + w * window_interval` (and no earlier than the pacer's
+    /// own clock — a stream throttled below the window budget simply runs
+    /// late, it never probes back in time).
+    pub fn new(
+        transport: &'a T,
+        targets: TargetStream,
+        packets_per_second: u64,
+        first_start: SimTime,
+        window_interval: SimDuration,
+    ) -> Self {
+        ContinuousStream {
+            transport,
+            targets,
+            pacer: FeedbackPacer::new(first_start, packets_per_second),
+            first_start,
+            window_interval,
+            entered_window: 0,
+        }
+    }
+
+    /// Signal that the consumer could not keep up: halve the probing rate.
+    pub fn throttle(&mut self) {
+        self.pacer.on_backpressure();
+    }
+
+    /// Signal free-flowing consumption: recover the probing rate additively.
+    pub fn recover(&mut self) {
+        self.pacer.on_progress();
+    }
+
+    /// The current effective probing rate.
+    pub fn rate(&self) -> u64 {
+        self.pacer.rate()
+    }
+
+    /// The window the next observation will come from.
+    pub fn current_window(&self) -> u64 {
+        self.targets.current_window()
+    }
+
+    /// Number of probes per window.
+    pub fn window_len(&self) -> usize {
+        self.targets.window_len()
+    }
+}
+
+impl<T: ProbeTransport> ObservationSource for ContinuousStream<'_, T> {
+    fn next_observation(&mut self) -> Option<Observation> {
+        let streamed = self.targets.next_target()?;
+        if streamed.window > self.entered_window || (streamed.window == 0 && streamed.seq == 0) {
+            // Window boundary: never probe before the window's nominal start.
+            let nominal = self.first_start
+                + SimDuration::from_secs(self.window_interval.as_secs() * streamed.window);
+            self.pacer.advance_to(nominal);
+            self.entered_window = streamed.window;
+        }
+        let sent_at = self.pacer.next_send_time();
+        let response = self
+            .transport
+            .probe(streamed.target, sent_at)
+            .map(|reply| ResponseRecord {
+                source: reply.source,
+                kind: reply.kind,
+            });
+        Some(Observation {
+            phase: Phase::Detection,
+            window: streamed.window,
+            seq: streamed.seq,
+            target: streamed.target,
+            sent_at,
+            response,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_prober::{Scanner, ScannerConfig, TargetGenerator};
+    use scent_simnet::{scenarios, Engine};
+
+    #[test]
+    fn scan_stream_replays_scanner_exactly() {
+        let engine = Engine::build(scenarios::entel_like(5)).unwrap();
+        let pool = engine.pools()[0].config.prefix;
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool, 56);
+        let config = ScannerConfig {
+            packets_per_second: 10_000,
+            seed: 7,
+            randomize_order: true,
+        };
+        let scan = Scanner::new(config).scan(&engine, &targets, SimTime::at(1, 9));
+
+        let mut stream = ScanStream::new(
+            &engine,
+            targets.clone(),
+            Phase::Density,
+            0,
+            7,
+            10_000,
+            true,
+            SimTime::at(1, 9),
+        );
+        assert_eq!(stream.len(), targets.len());
+        assert!(!stream.is_empty());
+        let mut streamed = Vec::new();
+        while let Some(obs) = stream.next_observation() {
+            streamed.push(obs.record());
+        }
+        assert_eq!(streamed, scan.records);
+    }
+
+    #[test]
+    fn continuous_stream_windows_advance_time() {
+        let engine = Engine::build(scenarios::continuous_world(9)).unwrap();
+        let pool = engine.pools()[0].config.prefix;
+        let targets = TargetStream::new(
+            &TargetGenerator::new(4),
+            &[pool.nth_subnet(48, 0).unwrap()],
+            56,
+            11,
+            true,
+        );
+        let len = targets.window_len();
+        let mut stream = ContinuousStream::new(
+            &engine,
+            targets,
+            10_000,
+            SimTime::at(10, 9),
+            SimDuration::from_days(1),
+        );
+        assert_eq!(stream.window_len(), len);
+        // Two full windows: the same targets, a day apart.
+        let w0: Vec<Observation> = (0..len)
+            .map(|_| stream.next_observation().unwrap())
+            .collect();
+        assert_eq!(stream.current_window(), 1);
+        let w1: Vec<Observation> = (0..len)
+            .map(|_| stream.next_observation().unwrap())
+            .collect();
+        assert!(w0.iter().all(|o| o.window == 0));
+        assert!(w1.iter().all(|o| o.window == 1));
+        assert_eq!(
+            w0.iter().map(|o| o.target).collect::<Vec<_>>(),
+            w1.iter().map(|o| o.target).collect::<Vec<_>>()
+        );
+        assert!(w0.iter().all(|o| o.sent_at.day() == 10));
+        assert!(w1.iter().all(|o| o.sent_at.day() == 11));
+        // Throttling halves the rate; recovery climbs back.
+        let base = stream.rate();
+        stream.throttle();
+        assert_eq!(stream.rate(), base / 2);
+        for _ in 0..20 {
+            stream.recover();
+        }
+        assert_eq!(stream.rate(), base);
+    }
+}

@@ -9,7 +9,10 @@ use followscent::simnet::{scenarios, Engine, SimTime};
 fn main() {
     let worlds = [
         ("Entel-like (/56 allocations)", scenarios::entel_like(1)),
-        ("BH-Telecom-like (/60 allocations)", scenarios::bhtelecom_like(2)),
+        (
+            "BH-Telecom-like (/60 allocations)",
+            scenarios::bhtelecom_like(2),
+        ),
         ("Starcat-like (/64 allocations)", scenarios::starcat_like(3)),
     ];
     for (label, world) in worlds {

@@ -13,8 +13,8 @@ use followscent::prober::{Campaign, Scanner, TargetGenerator};
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
 
 fn main() {
-    let engine = Engine::build(scenarios::paper_world(99, WorldScale::small()))
-        .expect("world builds");
+    let engine =
+        Engine::build(scenarios::paper_world(99, WorldScale::small())).expect("world builds");
     println!(
         "world: {} ASes, {} CPE devices ({} EUI-64)\n",
         engine.config().providers.len(),
@@ -48,11 +48,17 @@ fn main() {
 
     let allocation = AllocationInference::infer(&refs[..1], engine.rib());
     let pools = RotationPoolInference::infer(&refs, engine.rib());
-    let homogeneity =
-        HomogeneityReport::analyse(&refs, engine.rib(), &builtin_registry(), 20);
+    let homogeneity = HomogeneityReport::analyse(&refs, engine.rib(), &builtin_registry(), 20);
 
     let mut table = TextTable::new([
-        "ASN", "name", "CC", "alloc", "pool", "rotates", "homogeneity", "dominant vendor",
+        "ASN",
+        "name",
+        "CC",
+        "alloc",
+        "pool",
+        "rotates",
+        "homogeneity",
+        "dominant vendor",
     ]);
     for info in engine.as_registry().iter() {
         let asn = info.asn;

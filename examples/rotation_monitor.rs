@@ -1,59 +1,87 @@
-//! Monitor a rotation pool the way Figures 9 and 10 do: hourly density per
-//! /48 plus the daily trajectory of a few identifiers.
+//! Continuous rotation monitoring with the `scent-stream` engine.
+//!
+//! Instead of the batch "two snapshots 24 hours apart" comparison, this
+//! example stands up the sharded streaming monitor over a long-horizon world
+//! with three contrasting providers (a daily rotator, a weekly random
+//! reassigner and a static control), lets it ingest two weeks of virtual-time
+//! probe responses, and prints the rotation events as the engine flags them —
+//! plus the passive device tracks that fall out of the same stream.
 //!
 //! Run with: `cargo run --release --example rotation_monitor`
 
-use followscent::core::dynamics::{IidTrajectories, PoolDensityTimeline};
-use followscent::prober::{Campaign, Scanner, TargetGenerator};
+use followscent::ipv6::Ipv6Prefix;
 use followscent::simnet::{scenarios, Engine, SimDuration, SimTime};
+use followscent::stream::{MonitorConfig, StreamMonitor};
 
 fn main() {
-    let engine = Engine::build(scenarios::versatel_like(21)).expect("world builds");
-    let pool = engine
-        .pools()
-        .iter()
-        .find(|p| p.config.allocation_len == 56)
-        .expect("a /56-allocation pool exists")
-        .config
-        .prefix;
-    println!("monitoring rotation pool {pool} of AS8881\n");
+    let engine = Engine::build(scenarios::continuous_world(21)).expect("world builds");
 
-    let targets = TargetGenerator::new(4).one_per_subnet(&pool, 56);
-    let scanner = Scanner::at_paper_rate(17);
-
-    // Hourly scans for three days (Figure 10).
-    let hourly = Campaign::run(
-        &scanner,
-        &engine,
-        &targets,
-        SimTime::at(10, 0),
-        72,
-        SimDuration::from_hours(1),
-    );
-    let refs: Vec<_> = hourly.scans.iter().collect();
-    let timeline = PoolDensityTimeline::measure(&pool, &refs);
-    println!("hourly EUI-64 density per /48 (every 6 hours shown):");
-    for (t, densities) in timeline.rows.iter().step_by(6) {
-        let cells: Vec<String> = densities.iter().map(|d| format!("{d:.3}")).collect();
-        println!("  {t}   {}", cells.join("  "));
+    // Watch every /48 of every configured pool (a deployment would watch the
+    // high-density output of the discovery pipeline).
+    let mut watched: Vec<Ipv6Prefix> = Vec::new();
+    for pool in engine.pools() {
+        let prefix = pool.config.prefix;
+        if prefix.len() <= 48 {
+            watched.extend(prefix.subnets(48).expect("pools are /48 or shorter"));
+        }
     }
     println!(
-        "reassignment hours observed: {:?} (expected within the 00:00–06:00 window)\n",
-        timeline.reassignment_hours()
+        "monitoring {} /48s across {} providers, 2 shards, 14 daily windows\n",
+        watched.len(),
+        engine.config().providers.len()
     );
 
-    // Daily scans for two weeks (Figure 9).
-    let daily = Campaign::daily(&scanner, &engine, &targets, SimTime::at(10, 9), 14);
-    let refs: Vec<_> = daily.scans.iter().collect();
-    let trajectories = IidTrajectories::extract(&refs, &[]);
-    println!("daily /64-index trajectories of the three best-observed IIDs:");
-    for eui in trajectories.best_observed(3) {
-        let series: Vec<String> = trajectories
-            .for_iid(eui)
-            .unwrap()
-            .iter()
-            .map(|obs| format!("{}", pool.subnet_index(&obs.prefix64).unwrap_or_default()))
-            .collect();
-        println!("  {eui}: {}", series.join(" -> "));
+    let config = MonitorConfig {
+        shards: 2,
+        windows: 14,
+        window_interval: SimDuration::from_days(1),
+        start: SimTime::at(10, 9),
+        max_tracked: 5,
+        ..MonitorConfig::default()
+    };
+    let report = StreamMonitor::new(config).run(&engine, &watched);
+
+    println!(
+        "{} observations ingested, {} rotation events, {} /48s flagged rotating",
+        report.observations,
+        report.events.len(),
+        report.rotating_48s.len()
+    );
+    println!("rotation events per window:");
+    for window in 0..report.windows {
+        let count = report.events_in_window(window).count();
+        let bar: String = std::iter::repeat_n('#', count.min(60)).collect();
+        println!("  window {window:>2}: {count:>4} {bar}");
     }
+
+    println!("\nflagged /48s by origin AS:");
+    let mut per_asn: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+    for prefix in &report.rotating_48s {
+        if let Some(asn) = engine.rib().origin(prefix.network()) {
+            *per_asn.entry(asn.value()).or_insert(0) += 1;
+        }
+    }
+    for (asn, count) in per_asn {
+        let name = engine
+            .as_registry()
+            .name(followscent::bgp::Asn(asn))
+            .unwrap_or("?");
+        println!("  AS{asn} ({name}): {count} rotating /48s");
+    }
+
+    println!("\npassively tracked devices (found/windows, distinct /64s):");
+    for result in &report.tracking.devices {
+        println!(
+            "  {}  AS{}  {:>2}/{} windows  {:>3} /64s",
+            result.device.iid,
+            result.device.asn.value(),
+            result.days_found(),
+            report.windows,
+            result.distinct_prefixes()
+        );
+    }
+    println!(
+        "\nre-identification accuracy across the run: {:.0}%",
+        report.tracking.overall_accuracy() * 100.0
+    );
 }

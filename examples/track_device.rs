@@ -6,9 +6,7 @@
 
 use std::collections::HashSet;
 
-use followscent::core::{
-    AllocationInference, RotationPoolInference, Tracker, TrackerConfig,
-};
+use followscent::core::{AllocationInference, RotationPoolInference, Tracker, TrackerConfig};
 use followscent::prober::{Campaign, Scanner, TargetGenerator};
 use followscent::simnet::{scenarios, Engine, SimTime};
 

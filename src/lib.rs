@@ -1,4 +1,15 @@
 //! Umbrella crate re-exporting the followscent workspace.
+//!
+//! * [`ipv6`] — addresses, prefixes, EUI-64/MAC arithmetic, ICMPv6 wire formats.
+//! * [`oui`] — the MAC-vendor (OUI) registry.
+//! * [`bgp`] — RIB, prefix trie, AS metadata.
+//! * [`simnet`] — the deterministic simulated IPv6 Internet.
+//! * [`prober`] — zmap6/yarrp-style scanners, pacing, target generation.
+//! * [`core`] — the paper's inference and tracking algorithms (batch and
+//!   incremental).
+//! * [`stream`] — the sharded streaming monitor built on the incremental
+//!   algorithms: continuous rotation detection with bounded memory.
+//! * [`experiments`] — the table/figure reproduction binaries' library code.
 pub use scent_bgp as bgp;
 pub use scent_core as core;
 pub use scent_experiments as experiments;
@@ -6,3 +17,4 @@ pub use scent_ipv6 as ipv6;
 pub use scent_oui as oui;
 pub use scent_prober as prober;
 pub use scent_simnet as simnet;
+pub use scent_stream as stream;

@@ -79,7 +79,11 @@ fn end_to_end_tracking_defeats_prefix_rotation() {
     }
     assert_eq!(devices.len(), 3);
     let report = tracker.track(&engine, &devices, 20, 5);
-    assert!(report.overall_accuracy() > 0.8, "accuracy {}", report.overall_accuracy());
+    assert!(
+        report.overall_accuracy() > 0.8,
+        "accuracy {}",
+        report.overall_accuracy()
+    );
     for result in &report.devices {
         assert!(result.days_found() >= 4);
         assert!(result.distinct_prefixes() >= 3, "device did not rotate");
@@ -150,7 +154,10 @@ fn pipeline_has_no_false_positives_and_privacy_extensions_stop_the_attack() {
     let campaign = Campaign::daily(&scanner, &engine, &targets, SimTime::at(1, 9), 3);
     let refs: Vec<&Scan> = campaign.scans.iter().collect();
     let pools = RotationPoolInference::infer(&refs, engine.rib());
-    assert!(pools.per_iid.is_empty(), "no EUI-64 IIDs should be observable");
+    assert!(
+        pools.per_iid.is_empty(),
+        "no EUI-64 IIDs should be observable"
+    );
     // Responses still arrive — the devices are reachable — but they carry
     // rotating, pseudo-random IIDs that cannot be linked across days.
     assert!(campaign.total_responses() > 0);

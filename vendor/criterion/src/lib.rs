@@ -1,0 +1,254 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the bench suite uses —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `black_box`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Each benchmark runs a warm-up pass followed by `sample_size`
+//! timed samples and reports the per-iteration mean and min.
+//!
+//! When invoked with `--test` (criterion's test mode), each benchmark body
+//! runs exactly once so benches double as smoke tests. The measurement loop
+//! is deliberately small either way: warm-up to ~10ms samples, then
+//! `sample_size` timed samples.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The measurement driver handed to each bench function.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. In test mode each body runs once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Criterion-compatible no-op (CLI args are already consulted in
+    /// `default()`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Criterion-compatible no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(&name, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{name}: ok (test mode)");
+        return;
+    }
+    // Warm-up: discover an iteration count that takes a measurable slice of
+    // time (~10ms per sample), capped to keep pathological benches bounded.
+    let mut iters = 1u64;
+    loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut timed_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed / iters.max(1) as u32;
+        total += bencher.elapsed;
+        timed_iters += iters;
+        if per_iter < min {
+            min = per_iter;
+        }
+    }
+    let mean = total / timed_iters.max(1) as u32;
+    println!(
+        "{name}: mean {mean:?}/iter, min {min:?}/iter ({sample_size} samples x {iters} iters)"
+    );
+}
+
+/// Criterion-compatible group definition macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Criterion-compatible main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut ran = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran += 1;
+        });
+        assert_eq!(ran, 1);
+        let mut group = c.benchmark_group("group");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,351 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest DSL the workspace's tests use: the
+//! `proptest!` macro with `pattern in strategy` bindings, `any::<T>()` for
+//! the primitive integer/float types, range strategies (`0u8..=128`,
+//! `1u64..5000`, `0.0f64..10.0`), two-element tuple strategies, and
+//! `proptest::collection::vec`. Instead of the real crate's adaptive
+//! generation and shrinking, each property runs over a fixed number of
+//! deterministic pseudo-random cases (plus range endpoints via case 0), which
+//! keeps test behaviour reproducible across runs and machines.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of deterministic cases each property runs.
+pub const NUM_CASES: u64 = 64;
+
+/// Deterministic splitmix64 generator seeded per test and case.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next pseudo-random u128.
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Build the RNG for one case of one named property.
+pub fn rng_for(test_name: &str, case: u64) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    TestRng {
+        state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    }
+}
+
+/// A value generator. The stand-in for proptest's `Strategy` trait.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate a value. `case` 0 should cover an edge of the domain where
+    /// one exists (range start, empty collection).
+    fn generate(&self, rng: &mut TestRng, case: u64) -> Self::Value;
+}
+
+/// Strategy producing any value of a primitive type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The stand-in for `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng, case: u64) -> $ty {
+                    match case {
+                        0 => 0 as $ty,
+                        1 => <$ty>::MAX,
+                        2 => <$ty>::MIN,
+                        _ => rng.next_u128() as $ty,
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_any_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng, _case: u64) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> f64 {
+        match case {
+            0 => 0.0,
+            _ => (rng.next_f64() - 0.5) * 2e9,
+        }
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng, case: u64) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    match case {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => (self.start as u128 + rng.next_u128() % span) as $ty,
+                    }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng, case: u64) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    match case {
+                        0 => lo,
+                        1 => hi,
+                        _ => {
+                            if span == 0 {
+                                // Full-width u128 range: every value is valid.
+                                rng.next_u128() as $ty
+                            } else {
+                                (lo as u128 + rng.next_u128() % span) as $ty
+                            }
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_range_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        match case {
+            0 => self.start,
+            _ => self.start + rng.next_u128() % (self.end - self.start),
+        }
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng, case: u64) -> f64 {
+        match case {
+            0 => self.start,
+            _ => self.start + rng.next_f64() * (self.end - self.start),
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng, case: u64) -> Self::Value {
+        (self.0.generate(rng, case), self.1.generate(rng, case))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng, case: u64) -> Self::Value {
+        (
+            self.0.generate(rng, case),
+            self.1.generate(rng, case),
+            self.2.generate(rng, case),
+        )
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// The stand-in for `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        vec_strategy(element, len)
+    }
+
+    fn vec_strategy<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng, case: u64) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = match case {
+                0 => self.len.start,
+                1 => self.len.end - 1,
+                _ => self.len.start + rng.next_u64() as usize % span,
+            };
+            // Elements always generate from the random branch so a min-length
+            // case still sees varied contents.
+            (0..n)
+                .map(|_| self.element.generate(rng, 2 + case))
+                .collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// The stand-in for the `proptest!` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta] fn $name:ident($($arg:tt in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                for case in 0..$crate::NUM_CASES {
+                    let mut rng = $crate::rng_for(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng, case);)+
+                    let result = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!("property {} failed on case {}: {}", stringify!($name), case, message);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion used inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fallible equality assertion used inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion used inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..=9, y in 10u64..20, f in -1.5f64..2.5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((10..20).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuple_strategies_work(pair in collection::vec((any::<u128>(), 0u8..=64), 1..4)) {
+            prop_assert!(!pair.is_empty());
+            for (_bits, len) in pair {
+                prop_assert!(len <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = super::rng_for("x", 1).next_u64();
+        let b = super::rng_for("x", 1).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, super::rng_for("x", 2).next_u64());
+    }
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = super::rng_for("full", 3);
+        let v = super::Strategy::generate(&(1u64..=u64::MAX), &mut rng, 5);
+        assert!(v >= 1);
+    }
+}

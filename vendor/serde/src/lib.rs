@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, and no code path in the
+//! workspace performs actual (de)serialization — the derives exist so the
+//! public types advertise serde compatibility. This stub keeps every
+//! `#[derive(Serialize, Deserialize)]` and every `T: Serialize` bound
+//! compiling: the traits are markers with blanket impls, and the derives
+//! (re-exported from the stub `serde_derive`) expand to nothing.
+
+/// Marker stand-in for `serde::Serialize`. Implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Implemented for every type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
