@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use scent_core::{Pipeline, PipelineConfig};
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::{scenarios, Engine, WorldScale};
-use scent_stream::{MonitorConfig, StreamMonitor, StreamPipeline};
+use scent_stream::{MonitorConfig, StreamConfig, StreamMonitor, StreamPipeline};
 
 fn small_config() -> PipelineConfig {
     PipelineConfig {
@@ -67,9 +67,58 @@ fn bench_monitor_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Channel-overhead reduction from observation batching, measured at
+/// `WorldScale::experiment()` — the scale where the ROADMAP found
+/// per-message overhead dominating. The streamed pipeline report is
+/// batch-size-invariant (test-enforced), so the spread across batch sizes is
+/// pure channel cost.
+fn bench_observation_batching(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment())).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(8)
+        .collect();
+    let mut group = c.benchmark_group("streaming/batching_experiment_scale");
+    group.sample_size(10);
+    for observation_batch in [1usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("monitor_2_windows", observation_batch),
+            &observation_batch,
+            |b, &observation_batch| {
+                let config = MonitorConfig {
+                    shards: 2,
+                    observation_batch,
+                    windows: 2,
+                    ..MonitorConfig::default()
+                };
+                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+            },
+        );
+    }
+    for observation_batch in [1usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", observation_batch),
+            &observation_batch,
+            |b, &observation_batch| {
+                let config = StreamConfig {
+                    pipeline: small_config(),
+                    shards: 2,
+                    observation_batch,
+                    ..StreamConfig::default()
+                };
+                b.iter(|| StreamPipeline::new(config).run(black_box(&engine)))
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
-    targets = bench_batch_vs_streaming, bench_monitor_ingest
+    targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching
 }
 criterion_main!(streaming);

@@ -21,7 +21,7 @@ pub mod rib;
 pub mod trie;
 
 pub use asdb::{AsInfo, AsRegistry, CountryCode};
-pub use rib::{Rib, RibEntry};
+pub use rib::{Rib, RibEntry, RibParseError, RibParseErrorKind};
 pub use trie::PrefixTrie;
 
 use serde::{Deserialize, Serialize};

@@ -22,6 +22,36 @@ pub struct RibEntry {
     pub origin: Asn,
 }
 
+/// Why a line of a RIB table dump failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RibParseErrorKind {
+    /// The first column was not a valid IPv6 prefix.
+    BadPrefix,
+    /// The second column was not a valid AS number.
+    BadAsn,
+}
+
+/// A parse failure in [`Rib::from_table_text`], carrying the 1-based line
+/// number of the offending entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RibParseError {
+    /// The 1-based line number that failed to parse.
+    pub line: usize,
+    /// What was wrong with it.
+    pub kind: RibParseErrorKind,
+}
+
+impl std::fmt::Display for RibParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RibParseErrorKind::BadPrefix => write!(f, "line {}: bad prefix", self.line),
+            RibParseErrorKind::BadAsn => write!(f, "line {}: bad ASN", self.line),
+        }
+    }
+}
+
+impl std::error::Error for RibParseError {}
+
 /// A routing information base with longest-prefix-match lookup.
 #[derive(Debug, Clone, Default)]
 pub struct Rib {
@@ -94,9 +124,9 @@ impl Rib {
         out
     }
 
-    /// Parse the text format produced by [`Rib::to_table_text`]. Lines that
-    /// fail to parse are reported in the error.
-    pub fn from_table_text(text: &str) -> Result<Self, String> {
+    /// Parse the text format produced by [`Rib::to_table_text`]. The first
+    /// line that fails to parse is reported in the error.
+    pub fn from_table_text(text: &str) -> Result<Self, RibParseError> {
         let mut rib = Rib::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -107,11 +137,17 @@ impl Rib {
             let prefix = parts
                 .next()
                 .and_then(|p| p.parse::<Ipv6Prefix>().ok())
-                .ok_or_else(|| format!("line {}: bad prefix", lineno + 1))?;
+                .ok_or(RibParseError {
+                    line: lineno + 1,
+                    kind: RibParseErrorKind::BadPrefix,
+                })?;
             let asn = parts
                 .next()
                 .and_then(|a| a.parse::<u32>().ok())
-                .ok_or_else(|| format!("line {}: bad ASN", lineno + 1))?;
+                .ok_or(RibParseError {
+                    line: lineno + 1,
+                    kind: RibParseErrorKind::BadAsn,
+                })?;
             rib.announce(prefix, Asn(asn));
         }
         Ok(rib)
@@ -196,8 +232,17 @@ mod tests {
 
     #[test]
     fn table_text_parse_errors() {
-        assert!(Rib::from_table_text("not-a-prefix 123").is_err());
-        assert!(Rib::from_table_text("2001:db8::/32 notanasn").is_err());
+        assert_eq!(
+            Rib::from_table_text("not-a-prefix 123").unwrap_err(),
+            RibParseError {
+                line: 1,
+                kind: RibParseErrorKind::BadPrefix
+            }
+        );
+        let err = Rib::from_table_text("2001:db8::/32 1\n2001:db8::/32 notanasn").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, RibParseErrorKind::BadAsn);
+        assert_eq!(err.to_string(), "line 2: bad ASN");
         // Comments and blank lines are fine.
         let rib = Rib::from_table_text("# comment\n\n2001:db8::/32 1\n").unwrap();
         assert_eq!(rib.len(), 1);

@@ -18,8 +18,10 @@ use serde::{Deserialize, Serialize};
 
 use scent_bgp::{Asn, CountryCode};
 use scent_ipv6::{Eui64, Ipv6Prefix};
-use scent_prober::{Scan, Scanner, ScannerConfig, TargetGenerator};
-use scent_simnet::{Engine, SeedCampaign, SimDuration, SimTime};
+use scent_prober::{
+    ProbeTransport, Scan, Scanner, ScannerConfig, SeedCampaign, TargetGenerator, WorldView,
+};
+use scent_simnet::{SimDuration, SimTime};
 
 use crate::density::DensityReport;
 use crate::rotation_detect::RotationDetection;
@@ -156,22 +158,23 @@ impl Pipeline {
         Pipeline { config }
     }
 
-    /// Run the full pipeline against a simulated Internet.
+    /// Run the full pipeline against any measurement backend.
     ///
-    /// The engine is taken directly (rather than a [`ProbeTransport`])
-    /// because the seed campaign and the RIB/AS metadata lookups are engine
-    /// facilities; all actual probing still goes through the scanner.
-    pub fn run(&self, engine: &Engine) -> PipelineReport {
+    /// The backend enters only through the [`ProbeTransport`] (probing,
+    /// traceroutes) and [`WorldView`] (RIB, AS metadata, world seed) traits,
+    /// so the same pipeline drives the simulated Internet, a recorded replay,
+    /// or any third-party backend.
+    pub fn run<B: ProbeTransport + WorldView + ?Sized>(&self, world: &B) -> PipelineReport {
         let cfg = &self.config;
 
         // Step 0: stale seed traceroute campaign (CAIDA stand-in).
-        let seed_campaign = SeedCampaign::run(engine, cfg.seed_time, cfg.max_48s_per_seed);
+        let seed_campaign = SeedCampaign::run(world, cfg.seed_time, cfg.max_48s_per_seed);
         let seed_unique = seed_campaign.unique_eui64_48s();
         let seed_32s = seed_campaign.seed_32s();
 
         // Step 1: expansion & validation (§4.1).
         let expansion = SeedExpansion::run(
-            engine,
+            world,
             &seed_32s,
             cfg.expansion_time,
             cfg.seed,
@@ -188,7 +191,7 @@ impl Pipeline {
         let density_targets =
             generator.per_candidate_48(&expansion.validated_48s, cfg.density_granularity);
         let density_scan = scanner.scan(
-            engine,
+            world,
             &density_targets,
             cfg.expansion_time + SimDuration::from_hours(2),
         );
@@ -197,16 +200,17 @@ impl Pipeline {
 
         // Step 3: rotation detection from two snapshots 24 hours apart (§4.3).
         let detection_targets = generator.per_candidate_48(&high, cfg.detection_granularity);
-        let first = scanner.scan(engine, &detection_targets, cfg.first_snapshot);
+        let first = scanner.scan(world, &detection_targets, cfg.first_snapshot);
         let second = scanner.scan(
-            engine,
+            world,
             &detection_targets,
             cfg.first_snapshot + SimDuration::from_days(1),
         );
         let detection = RotationDetection::compare(&first, &second);
 
         // Aggregate counts.
-        let rotating_counts = self.count_rotating(engine, &detection.rotating_48s);
+        let rotating_counts =
+            RotatingCounts::tally(world.rib(), world.as_registry(), &detection.rotating_48s);
         let (total_addresses, eui64_addresses, unique_iids) =
             address_statistics(&[&density_scan, &first, &second]);
 
@@ -226,11 +230,6 @@ impl Pipeline {
             eui64_addresses,
             unique_iids,
         }
-    }
-
-    /// Build Table 1: rotating /48 counts per ASN and per country.
-    fn count_rotating(&self, engine: &Engine, rotating_48s: &[Ipv6Prefix]) -> RotatingCounts {
-        RotatingCounts::tally(engine.rib(), engine.as_registry(), rotating_48s)
     }
 }
 
@@ -258,7 +257,7 @@ pub fn address_statistics(scans: &[&Scan]) -> (usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scent_simnet::{scenarios, WorldScale};
+    use scent_simnet::{scenarios, Engine, WorldScale};
 
     fn small_pipeline_report() -> (Engine, PipelineReport) {
         let engine = Engine::build(scenarios::paper_world(71, WorldScale::small())).unwrap();

@@ -56,7 +56,7 @@ impl SeedExpansion {
     /// Expand the given seed /32 prefixes at time `t`: probe one target per
     /// /48 (capped at `max_48s_per_seed` per /32) and keep the /48s whose
     /// response carries an EUI-64 identifier.
-    pub fn run<T: ProbeTransport>(
+    pub fn run<T: ProbeTransport + ?Sized>(
         transport: &T,
         seed_32s: &[Ipv6Prefix],
         t: SimTime,
@@ -98,7 +98,8 @@ impl SeedExpansion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scent_simnet::{scenarios, Engine, SeedCampaign};
+    use scent_prober::SeedCampaign;
+    use scent_simnet::{scenarios, Engine};
 
     #[test]
     fn expansion_validates_and_discovers_48s() {

@@ -277,7 +277,7 @@ impl Tracker {
 
     /// Track the selected devices for `days` daily rounds starting on
     /// `start_day`.
-    pub fn track<T: ProbeTransport>(
+    pub fn track<T: ProbeTransport + ?Sized>(
         &self,
         transport: &T,
         devices: &[TrackedDevice],
@@ -308,7 +308,7 @@ impl Tracker {
     /// One tracking round for one device: probe one target per allocation
     /// block of the device's inferred pool, in seeded random order, until a
     /// response carries the device's identifier.
-    fn track_one_round<T: ProbeTransport>(
+    fn track_one_round<T: ProbeTransport + ?Sized>(
         &self,
         transport: &T,
         generator: &TargetGenerator,

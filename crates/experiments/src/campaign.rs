@@ -76,7 +76,7 @@ impl CampaignData {
     /// within-allocation target diversity.
     pub fn collect(scale: Scale) -> Self {
         let engine = Engine::build(scenarios::paper_world(WORLD_SEED, scale.world_scale()))
-            .expect("paper world must build");
+            .unwrap_or_else(|error| panic!("paper world must build: {error}"));
         let generator = TargetGenerator::new(WORLD_SEED ^ 0xca);
 
         // Daily-campaign targets: one per allocation block (≥ /60).

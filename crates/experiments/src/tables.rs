@@ -13,7 +13,7 @@ use crate::campaign::{CampaignData, Scale, WORLD_SEED};
 pub fn run_table1() -> String {
     let scale = Scale::from_env();
     let engine = Engine::build(scenarios::paper_world(WORLD_SEED, scale.world_scale()))
-        .expect("paper world must build");
+        .unwrap_or_else(|error| panic!("paper world must build: {error}"));
     let report = Pipeline::new(PipelineConfig::default()).run(&engine);
 
     let mut out = String::new();
@@ -81,7 +81,7 @@ pub fn run_table1() -> String {
 pub fn run_pipeline_counts() -> String {
     let scale = Scale::from_env();
     let engine = Engine::build(scenarios::paper_world(WORLD_SEED, scale.world_scale()))
-        .expect("paper world must build");
+        .unwrap_or_else(|error| panic!("paper world must build: {error}"));
     let report = Pipeline::new(PipelineConfig::default()).run(&engine);
 
     let mut table = TextTable::new(["quantity", "measured", "paper"]);

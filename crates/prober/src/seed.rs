@@ -6,9 +6,10 @@
 //! main measurements (§4). The seed's only role is to nominate /48 networks
 //! whose *last responsive hop* carries an EUI-64 interface identifier.
 //!
-//! [`SeedCampaign::run`] reproduces that bootstrap against the simulated
-//! Internet: it enumerates the /48s of every announced prefix, traceroutes
-//! one pseudo-random target in each, and records the last responsive hop.
+//! [`SeedCampaign::run`] reproduces that bootstrap against any measurement
+//! backend ([`ProbeTransport`] + [`WorldView`]): it enumerates the /48s of
+//! every prefix announced in the backend's RIB, traceroutes one
+//! pseudo-random target in each, and records the last responsive hop.
 //! Running it at an earlier [`SimTime`] than the main campaign reproduces the
 //! staleness of the real seed data (devices have churned and prefixes have
 //! rotated in the meantime), which is why the paper's §4.1 re-validates every
@@ -19,10 +20,10 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_simnet::det::hash2;
+use scent_simnet::SimTime;
 
-use crate::det::hash2;
-use crate::engine::Engine;
-use crate::time::SimTime;
+use crate::{ProbeTransport, WorldView};
 
 /// One seed observation: the /48 probed and the last responsive hop seen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,42 +53,48 @@ pub struct SeedCampaign {
 }
 
 impl SeedCampaign {
-    /// Run the seed campaign at time `t`.
+    /// Run the seed campaign at time `t` against any backend.
     ///
-    /// Every announced prefix is decomposed into /48s (prefixes shorter than
-    /// /48); at most `max_48s_per_prefix` are probed per announcement, which
-    /// bounds the cost for very large announcements. One deterministic
-    /// pseudo-random target per /48 is traced.
-    pub fn run(engine: &Engine, t: SimTime, max_48s_per_prefix: u64) -> Self {
+    /// Every prefix announced in the backend's RIB is decomposed into /48s
+    /// (prefixes longer than /48 are skipped); at most `max_48s_per_prefix`
+    /// are probed per announcement, which bounds the cost for very large
+    /// announcements. One deterministic pseudo-random target per /48 —
+    /// keyed on the backend's world seed — is traced.
+    ///
+    /// Like a real routing table, the RIB holds each prefix once: if two
+    /// providers were configured to announce the same prefix, it is probed
+    /// once (under the surviving origin), not once per announcement.
+    pub fn run<B: ProbeTransport + WorldView + ?Sized>(
+        backend: &B,
+        t: SimTime,
+        max_48s_per_prefix: u64,
+    ) -> Self {
+        let seed = backend.world_seed();
         let mut entries = Vec::new();
         let mut probed = 0u64;
-        for provider in &engine.config().providers {
-            for announced in &provider.announced {
-                if announced.len() > 48 {
-                    continue;
-                }
-                let total = announced
-                    .num_subnets(48)
-                    .expect("48 not shorter than announcement");
-                let count = total.min(max_48s_per_prefix as u128);
-                for i in 0..count {
-                    let sub48 = announced.nth_subnet(48, i).expect("index bounded by count");
-                    probed += 1;
-                    // A pseudo-random /64 and IID inside the /48, fixed per
-                    // /48 so re-running the campaign is reproducible.
-                    let h = hash2(
-                        engine.config().seed,
-                        sub48.network_bits() as u64,
-                        0x7365_6564,
-                    );
-                    let host_bits = ((h as u128) << 64) | hash2(engine.config().seed, h, 1) as u128;
-                    let target = sub48.addr_with_host_bits(host_bits);
-                    if let Some(last_hop) = engine.last_hop(target, t) {
-                        entries.push(SeedEntry {
-                            target_48: sub48,
-                            last_hop,
-                        });
-                    }
+        for announced in backend.rib().entries() {
+            let announced = announced.prefix;
+            if announced.len() > 48 {
+                continue;
+            }
+            let total = announced
+                .num_subnets(48)
+                .expect("48 not shorter than announcement");
+            let count = total.min(max_48s_per_prefix as u128);
+            for i in 0..count {
+                let sub48 = announced.nth_subnet(48, i).expect("index bounded by count");
+                probed += 1;
+                // A pseudo-random /64 and IID inside the /48, fixed per /48 so
+                // re-running the campaign is reproducible.
+                let h = hash2(seed, sub48.network_bits() as u64, 0x7365_6564);
+                let host_bits = ((h as u128) << 64) | hash2(seed, h, 1) as u128;
+                let target = sub48.addr_with_host_bits(host_bits);
+                let trace = crate::TraceRecord::from_hops(target, backend.trace(target, t, 32));
+                if let Some(last_hop) = trace.last_hop {
+                    entries.push(SeedEntry {
+                        target_48: sub48,
+                        last_hop,
+                    });
                 }
             }
         }
@@ -138,9 +145,10 @@ impl SeedCampaign {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{
+    use scent_simnet::config::{
         ProviderConfig, RotationPolicy, RotationPoolConfig, SlotLayout, WorldConfig,
     };
+    use scent_simnet::Engine;
 
     fn p(s: &str) -> Ipv6Prefix {
         s.parse().unwrap()
@@ -200,11 +208,15 @@ mod tests {
     }
 
     #[test]
-    fn campaign_is_deterministic() {
+    fn campaign_is_deterministic_and_backend_agnostic() {
         let engine = Engine::build(tiny_world()).unwrap();
         let a = SeedCampaign::run(&engine, SimTime::at(1, 12), 65_536);
         let b = SeedCampaign::run(&engine, SimTime::at(1, 12), 65_536);
         assert_eq!(a, b);
+        // A `&dyn` backend runs the identical campaign.
+        let dyn_backend: &dyn crate::MeasurementBackend = &engine;
+        let c = SeedCampaign::run(dyn_backend, SimTime::at(1, 12), 65_536);
+        assert_eq!(a, c);
     }
 
     #[test]

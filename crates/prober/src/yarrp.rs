@@ -31,6 +31,18 @@ pub struct TraceRecord {
 }
 
 impl TraceRecord {
+    /// Build a record from a raw hop list, deriving the last responsive hop.
+    /// The single definition of "last responsive hop" every consumer (tracer,
+    /// seed campaign, record/replay) shares.
+    pub fn from_hops(target: Ipv6Addr, hops: Vec<TraceHop>) -> Self {
+        let last_hop = hops.iter().filter_map(|h| h.addr).next_back();
+        TraceRecord {
+            target,
+            hops,
+            last_hop,
+        }
+    }
+
     /// Whether the last responsive hop carries an EUI-64 IID (i.e. looks like
     /// a CPE periphery interface rather than core infrastructure).
     pub fn last_hop_is_eui64(&self) -> bool {
@@ -61,7 +73,7 @@ impl Default for Tracer {
 
 impl Tracer {
     /// Trace every target, in randomized order, starting at `start`.
-    pub fn trace_all<T: ProbeTransport>(
+    pub fn trace_all<T: ProbeTransport + ?Sized>(
         &self,
         transport: &T,
         targets: &[Ipv6Addr],
@@ -76,12 +88,7 @@ impl Tracer {
             let t = pacer.send_time(probes_sent);
             let hops = transport.trace(target, t, self.max_hops);
             probes_sent += hops.len().max(1) as u64;
-            let last_hop = hops.iter().filter_map(|h| h.addr).next_back();
-            records.push(TraceRecord {
-                target,
-                hops,
-                last_hop,
-            });
+            records.push(TraceRecord::from_hops(target, hops));
         }
         records
     }
@@ -89,7 +96,7 @@ impl Tracer {
     /// Trace every target and keep only records whose last responsive hop
     /// carries an EUI-64 IID — the periphery-discovery filter of the seed
     /// campaign.
-    pub fn eui64_last_hops<T: ProbeTransport>(
+    pub fn eui64_last_hops<T: ProbeTransport + ?Sized>(
         &self,
         transport: &T,
         targets: &[Ipv6Addr],

@@ -70,7 +70,7 @@ impl Scanner {
     /// same scan re-run later yields records whose targets line up
     /// one-to-one — which is how the rotation-detection step (§4.3) compares
     /// two snapshots taken 24 hours apart.
-    pub fn scan<T: ProbeTransport>(
+    pub fn scan<T: ProbeTransport + ?Sized>(
         &self,
         transport: &T,
         targets: &[std::net::Ipv6Addr],
@@ -119,7 +119,7 @@ pub struct Campaign {
 impl Campaign {
     /// Run a daily campaign: `days` scans of `targets`, the first starting at
     /// `first_start` and each subsequent scan exactly `interval` later.
-    pub fn run<T: ProbeTransport>(
+    pub fn run<T: ProbeTransport + ?Sized>(
         scanner: &Scanner,
         transport: &T,
         targets: &[std::net::Ipv6Addr],
@@ -136,7 +136,7 @@ impl Campaign {
     }
 
     /// Run the canonical daily campaign (24-hour interval).
-    pub fn daily<T: ProbeTransport>(
+    pub fn daily<T: ProbeTransport + ?Sized>(
         scanner: &Scanner,
         transport: &T,
         targets: &[std::net::Ipv6Addr],

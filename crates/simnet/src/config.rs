@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 use scent_bgp::{Asn, CountryCode};
 use scent_ipv6::{Ipv6Prefix, MacAddr};
 
+use crate::error::{PoolError, WorldError};
+
 /// How initial allocation slots are assigned to the customers of a pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SlotLayout {
@@ -83,29 +85,29 @@ impl RotationPoolConfig {
         1u64 << (self.allocation_len - self.prefix.len())
     }
 
-    /// Validate internal consistency, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate internal consistency, returning the first problem found.
+    pub fn validate(&self) -> Result<(), PoolError> {
         if self.allocation_len < self.prefix.len() {
-            return Err(format!(
-                "allocation /{} is shorter than pool {}",
-                self.allocation_len, self.prefix
-            ));
+            return Err(PoolError::AllocationShorterThanPool {
+                allocation_len: self.allocation_len,
+                pool: self.prefix,
+            });
         }
         if self.allocation_len > 64 {
-            return Err(format!(
-                "allocation /{} is longer than /64; SLAAC requires at least a /64",
-                self.allocation_len
-            ));
+            return Err(PoolError::AllocationTooLong {
+                allocation_len: self.allocation_len,
+            });
         }
         if self.allocation_len - self.prefix.len() > 40 {
-            return Err(format!(
-                "pool {} with /{} allocations has too many slots to simulate",
-                self.prefix, self.allocation_len
-            ));
+            return Err(PoolError::TooManySlots {
+                pool: self.prefix,
+                allocation_len: self.allocation_len,
+            });
         }
         if !(0.0..=1.0).contains(&self.occupancy) {
-            return Err(format!("occupancy {} outside [0, 1]", self.occupancy));
+            return Err(PoolError::OccupancyOutOfRange {
+                occupancy: self.occupancy,
+            });
         }
         Ok(())
     }
@@ -247,53 +249,56 @@ impl ProviderConfig {
     }
 
     /// Validate the provider configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorldError> {
         if self.announced.is_empty() {
-            return Err(format!("{}: no announced prefixes", self.asn));
+            return Err(WorldError::NoAnnouncedPrefixes { asn: self.asn });
         }
         for pool in &self.pools {
-            pool.validate().map_err(|e| format!("{}: {e}", self.asn))?;
+            pool.validate().map_err(|error| WorldError::Pool {
+                asn: self.asn,
+                error,
+            })?;
             if !self
                 .announced
                 .iter()
                 .any(|a| a.contains_prefix(&pool.prefix))
             {
-                return Err(format!(
-                    "{}: pool {} not covered by any announced prefix",
-                    self.asn, pool.prefix
-                ));
+                return Err(WorldError::PoolNotCovered {
+                    asn: self.asn,
+                    pool: pool.prefix,
+                });
             }
         }
         for planted in &self.planted {
             if planted.pool_idx >= self.pools.len() {
-                return Err(format!(
-                    "{}: planted CPE references pool {} but only {} pools exist",
-                    self.asn,
-                    planted.pool_idx,
-                    self.pools.len()
-                ));
+                return Err(WorldError::PlantedPoolMissing {
+                    asn: self.asn,
+                    pool_idx: planted.pool_idx,
+                    pools: self.pools.len(),
+                });
             }
             let pool = &self.pools[planted.pool_idx];
             if planted.initial_slot >= pool.num_slots() {
-                return Err(format!(
-                    "{}: planted CPE slot {} out of range for pool {}",
-                    self.asn, planted.initial_slot, pool.prefix
-                ));
+                return Err(WorldError::PlantedSlotOutOfRange {
+                    asn: self.asn,
+                    initial_slot: planted.initial_slot,
+                    pool: pool.prefix,
+                });
             }
         }
         for share in &self.vendor_mix {
             if share.vendor_idx >= scent_oui::ALL_VENDORS.len() {
-                return Err(format!(
-                    "{}: vendor index {} out of range",
-                    self.asn, share.vendor_idx
-                ));
+                return Err(WorldError::VendorIndexOutOfRange {
+                    asn: self.asn,
+                    vendor_idx: share.vendor_idx,
+                });
             }
         }
         if !(0.0..=1.0).contains(&self.eui64_fraction)
             || !(0.0..=1.0).contains(&self.response_rate)
             || !(0.0..=1.0).contains(&self.loss)
         {
-            return Err(format!("{}: probability out of range", self.asn));
+            return Err(WorldError::ProbabilityOutOfRange { asn: self.asn });
         }
         Ok(())
     }
@@ -330,21 +335,23 @@ impl WorldConfig {
     }
 
     /// Validate every provider.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), WorldError> {
         if self.providers.is_empty() {
-            return Err("world has no providers".to_string());
+            return Err(WorldError::NoProviders);
         }
         let mut asns: Vec<u32> = self.providers.iter().map(|p| p.asn.value()).collect();
         asns.sort_unstable();
         asns.dedup();
         if asns.len() != self.providers.len() {
-            return Err("duplicate ASN in world".to_string());
+            return Err(WorldError::DuplicateAsn);
         }
         for provider in &self.providers {
             provider.validate()?;
         }
         if !(0.0..=1.0).contains(&self.churn_fraction) {
-            return Err("churn fraction out of range".to_string());
+            return Err(WorldError::ChurnOutOfRange {
+                churn_fraction: self.churn_fraction,
+            });
         }
         Ok(())
     }

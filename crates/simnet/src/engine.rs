@@ -24,6 +24,7 @@ use scent_ipv6::{addr_to_u128, Eui64, Ipv6Prefix};
 
 use crate::config::{ProviderConfig, RotationPolicy, WorldConfig};
 use crate::det::{coin, hash2, hash3, mod_inverse_pow2};
+use crate::error::WorldError;
 use crate::population::{CpeId, CpeRecord, PoolPopulation};
 use crate::time::SimTime;
 
@@ -83,9 +84,9 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build the world described by `config`. Fails with a description of the
-    /// first configuration problem encountered.
-    pub fn build(config: WorldConfig) -> Result<Self, String> {
+    /// Build the world described by `config`. Fails with the first
+    /// configuration problem encountered.
+    pub fn build(config: WorldConfig) -> Result<Self, WorldError> {
         config.validate()?;
 
         let mut rib = Rib::new();
@@ -107,10 +108,9 @@ impl Engine {
                     PoolPopulation::build(&config, provider_idx, provider, pool_idx, pool_cfg);
                 let global_idx = pools.len();
                 if pool_trie.insert(pool_cfg.prefix, global_idx).is_some() {
-                    return Err(format!(
-                        "pool prefix {} configured more than once",
-                        pool_cfg.prefix
-                    ));
+                    return Err(WorldError::DuplicatePoolPrefix {
+                        prefix: pool_cfg.prefix,
+                    });
                 }
                 pools.push(population);
             }
@@ -400,14 +400,6 @@ impl Engine {
             }
         }
         hops
-    }
-
-    /// The last responsive hop of a traceroute toward `target`, if any.
-    pub fn last_hop(&self, target: Ipv6Addr, t: SimTime) -> Option<Ipv6Addr> {
-        self.trace(target, t, 32)
-            .into_iter()
-            .filter_map(|h| h.addr)
-            .next_back()
     }
 
     fn pool_of(&self, target: Ipv6Addr) -> Option<(usize, &PoolPopulation)> {
@@ -921,7 +913,6 @@ mod tests {
         assert_eq!(hops.len(), provider.core_hops as usize + 1);
         let last = hops.last().unwrap().addr.unwrap();
         assert_eq!(last, engine.current_wan_address(id, t).unwrap());
-        assert_eq!(engine.last_hop(target, t), Some(last));
         // Core hops are statically addressed, never EUI-64.
         for hop in &hops[..hops.len() - 1] {
             if let Some(addr) = hop.addr {

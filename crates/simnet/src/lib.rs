@@ -26,10 +26,15 @@
 //! * [`time`] — the virtual clock ([`SimTime`], [`SimDuration`]).
 //! * [`det`] — deterministic hashing / pseudo-randomness helpers.
 //! * [`config`] — provider, pool and world configuration types.
+//! * [`error`] — typed configuration/build errors ([`WorldError`]).
 //! * [`population`] — the generated CPE population.
 //! * [`engine`] — the probe/traceroute responder ([`Engine`]).
-//! * [`seed_campaign`] — the CAIDA-style seed traceroute campaign.
 //! * [`scenarios`] — ready-made worlds mirroring the paper's evaluation.
+//!
+//! The CAIDA-style seed traceroute campaign that bootstraps the paper's
+//! discovery pipeline lives in `scent-prober` (`SeedCampaign`), where it is
+//! generic over any backend implementing the `ProbeTransport` + `WorldView`
+//! traits rather than tied to this crate's [`Engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +42,9 @@
 pub mod config;
 pub mod det;
 pub mod engine;
+pub mod error;
 pub mod population;
 pub mod scenarios;
-pub mod seed_campaign;
 pub mod time;
 
 pub use config::{
@@ -47,9 +52,9 @@ pub use config::{
     WorldConfig,
 };
 pub use engine::{Engine, ProbeReply, ReplyKind, TraceHop};
+pub use error::{PoolError, WorldError};
 pub use population::{CpeId, CpeRecord, PoolPopulation};
 pub use scenarios::WorldScale;
-pub use seed_campaign::{SeedCampaign, SeedEntry};
 pub use time::{SimDuration, SimTime};
 
 pub use scent_bgp::{AsRegistry, Asn, CountryCode, Rib};

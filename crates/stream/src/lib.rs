@@ -41,4 +41,4 @@ pub use observation::{Observation, ObservationSource, Phase};
 pub use pipeline::{StreamConfig, StreamPipeline};
 pub use router::ShardRouter;
 pub use shard::{spawn_shards, ShardInference, ShardMsg};
-pub use source::{ContinuousStream, ScanStream};
+pub use source::{ContinuousStream, ContinuousStreamBuilder, ScanStream, ScanStreamBuilder};

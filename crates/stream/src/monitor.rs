@@ -5,7 +5,7 @@
 //! batch methodology, [`StreamMonitor`] is what the batch pipeline cannot
 //! express: a long-running monitor over a set of watched /48s that probes
 //! them window after window of virtual time, emits a
-//! [`RotationEvent`](scent_core::RotationEvent) the moment any target's
+//! [`RotationEvent`] the moment any target's
 //! EUI-64 responder changes, follows every identifier passively, and applies
 //! AIMD rate feedback when the inference shards fall behind the prober.
 
@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::{RotationDetection, TrackingReport};
 use scent_ipv6::Ipv6Prefix;
-use scent_prober::{TargetGenerator, TargetStream};
-use scent_simnet::{Engine, SimDuration, SimTime};
+use scent_prober::{ProbeTransport, TargetGenerator, TargetStream, WorldView};
+use scent_simnet::{SimDuration, SimTime};
 
 use crate::observation::ObservationSource;
 use crate::router::ShardRouter;
@@ -27,8 +27,13 @@ use crate::source::ContinuousStream;
 pub struct MonitorConfig {
     /// Number of inference shards.
     pub shards: usize,
-    /// Bounded per-shard queue capacity, in observations.
+    /// Bounded per-shard queue capacity, in messages.
     pub channel_capacity: usize,
+    /// Observations accumulated per channel message (1 = one message per
+    /// observation). Larger batches amortize channel overhead; live
+    /// [`RotationEvent`]s are then emitted per delivered batch rather than
+    /// per probe.
+    pub observation_batch: usize,
     /// Seed controlling target generation and probe order.
     pub seed: u64,
     /// Probe budget per second (the ceiling the AIMD feedback recovers to).
@@ -64,6 +69,7 @@ impl Default for MonitorConfig {
         MonitorConfig {
             shards: 2,
             channel_capacity: 1024,
+            observation_batch: 1,
             seed: 0x57ae,
             packets_per_second: 10_000,
             granularity: 56,
@@ -120,31 +126,35 @@ impl StreamMonitor {
         StreamMonitor { config }
     }
 
-    /// Monitor the watched /48s for the configured number of windows.
+    /// Monitor the watched /48s for the configured number of windows,
+    /// against any measurement backend.
     ///
     /// Probing, routing and inference overlap: the prober thread (this one)
     /// pulls observations off the infinite stream and routes them while the
     /// shard threads fold earlier observations into their classifiers. When
     /// a shard queue fills, the resulting stall is fed back into the prober's
     /// rate limiter before the next probe is paced.
-    pub fn run(&self, engine: &Engine, watched_48s: &[Ipv6Prefix]) -> MonitorReport {
+    pub fn run<B: ProbeTransport + WorldView + ?Sized>(
+        &self,
+        world: &B,
+        watched_48s: &[Ipv6Prefix],
+    ) -> MonitorReport {
         let cfg = &self.config;
         let generator = TargetGenerator::new(cfg.seed);
         let targets = TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
         let per_window = targets.window_len() as u64;
-        let mut stream = ContinuousStream::new(
-            engine,
-            targets,
-            cfg.packets_per_second,
-            cfg.start,
-            cfg.window_interval,
-        );
+        let mut stream = ContinuousStream::builder(world, targets)
+            .rate_pps(cfg.packets_per_second)
+            .start(cfg.start)
+            .window_interval(cfg.window_interval)
+            .build();
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
         let (merged, stalls) = std::thread::scope(|scope| {
             let (senders, handles) =
                 spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
-            let mut router = ShardRouter::new(&engine.rib().entries(), senders);
+            let mut router =
+                ShardRouter::with_batch(&world.rib().entries(), senders, cfg.observation_batch);
             let total = per_window * cfg.windows;
             let mut current_window = 0u64;
             for _ in 0..total {
@@ -160,7 +170,9 @@ impl StreamMonitor {
                     }
                 }
                 let outcome = router.route(obs);
-                if cfg.rate_feedback {
+                // Only delivering routes carry a stall signal; buffered
+                // routes say nothing about consumer capacity.
+                if cfg.rate_feedback && outcome.delivered {
                     if outcome.backpressured {
                         stream.throttle();
                     } else {
@@ -189,8 +201,8 @@ impl StreamMonitor {
         let mut events = merged.events.clone();
         events.sort_by_key(|e| (e.window, e.seq));
         let tracking = merged.tracker.finish(
-            engine.rib(),
-            engine.as_registry(),
+            world.rib(),
+            world.as_registry(),
             cfg.windows,
             cfg.max_tracked,
         );
@@ -212,7 +224,7 @@ impl StreamMonitor {
 mod tests {
     use super::*;
 
-    use scent_simnet::scenarios;
+    use scent_simnet::{scenarios, Engine};
 
     fn watched_48s(engine: &Engine) -> Vec<Ipv6Prefix> {
         let mut watched = Vec::new();
@@ -361,22 +373,25 @@ mod tests {
     }
 
     #[test]
-    fn monitor_is_deterministic_across_shard_counts() {
+    fn monitor_is_deterministic_across_shard_counts_and_batching() {
         let world = scenarios::continuous_world(37);
         let mut reports = Vec::new();
-        for shards in [1usize, 3] {
+        for (shards, observation_batch) in [(1usize, 1usize), (3, 1), (3, 128)] {
             let engine = Engine::build(world.clone()).unwrap();
             let watched = watched_48s(&engine);
             let monitor = StreamMonitor::new(MonitorConfig {
                 shards,
+                observation_batch,
                 windows: 3,
                 ..MonitorConfig::default()
             });
             reports.push(monitor.run(&engine, &watched));
         }
-        assert_eq!(reports[0].events, reports[1].events);
-        assert_eq!(reports[0].detection, reports[1].detection);
-        assert_eq!(reports[0].tracking, reports[1].tracking);
-        assert_eq!(reports[0].observations, reports[1].observations);
+        for report in &reports[1..] {
+            assert_eq!(reports[0].events, report.events);
+            assert_eq!(reports[0].detection, report.detection);
+            assert_eq!(reports[0].tracking, report.tracking);
+            assert_eq!(reports[0].observations, report.observations);
+        }
     }
 }

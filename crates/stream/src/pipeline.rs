@@ -18,8 +18,8 @@ use serde::{Deserialize, Serialize};
 use scent_core::pipeline::RotatingCounts;
 use scent_core::rotation_detect::WindowedRotationDetector;
 use scent_core::{DensityReport, PipelineConfig, PipelineReport, SeedExpansion};
-use scent_prober::TargetGenerator;
-use scent_simnet::{Engine, SeedCampaign, SimDuration};
+use scent_prober::{ProbeTransport, SeedCampaign, TargetGenerator, WorldView};
+use scent_simnet::SimDuration;
 
 use crate::observation::{ObservationSource, Phase};
 use crate::router::ShardRouter;
@@ -33,8 +33,12 @@ pub struct StreamConfig {
     pub pipeline: PipelineConfig,
     /// Number of inference shards.
     pub shards: usize,
-    /// Bounded per-shard queue capacity, in observations.
+    /// Bounded per-shard queue capacity, in messages.
     pub channel_capacity: usize,
+    /// Observations accumulated per channel message (1 = one message per
+    /// observation). Larger batches amortize channel overhead without
+    /// changing the report.
+    pub observation_batch: usize,
 }
 
 impl Default for StreamConfig {
@@ -43,6 +47,7 @@ impl Default for StreamConfig {
             pipeline: PipelineConfig::default(),
             shards: 2,
             channel_capacity: 1024,
+            observation_batch: 1,
         }
     }
 }
@@ -72,15 +77,15 @@ impl StreamPipeline {
         }
     }
 
-    /// Run the full pipeline against a simulated Internet, streaming every
-    /// probe through the shards. Produces the identical report the batch
-    /// [`Pipeline`](scent_core::Pipeline) computes from whole scans.
-    pub fn run(&self, engine: &Engine) -> PipelineReport {
+    /// Run the full pipeline against any measurement backend, streaming
+    /// every probe through the shards. Produces the identical report the
+    /// batch [`Pipeline`](scent_core::Pipeline) computes from whole scans.
+    pub fn run<B: ProbeTransport + WorldView + ?Sized>(&self, world: &B) -> PipelineReport {
         let cfg = &self.config.pipeline;
 
         // Step 0: stale seed traceroute campaign (bootstrap, not streamed —
         // it predates the monitor by construction).
-        let seed_campaign = SeedCampaign::run(engine, cfg.seed_time, cfg.max_48s_per_seed);
+        let seed_campaign = SeedCampaign::run(world, cfg.seed_time, cfg.max_48s_per_seed);
         let seed_unique = seed_campaign.unique_eui64_48s();
         let seed_32s = seed_campaign.seed_32s();
 
@@ -91,7 +96,11 @@ impl StreamPipeline {
                 self.config.channel_capacity,
                 None,
             );
-            let mut router = ShardRouter::new(&engine.rib().entries(), senders);
+            let mut router = ShardRouter::with_batch(
+                &world.rib().entries(),
+                senders,
+                self.config.observation_batch,
+            );
 
             // Step 1: expansion & validation (§4.1), streamed. Same targets,
             // order and pacing as `SeedExpansion::run`.
@@ -101,16 +110,12 @@ impl StreamPipeline {
                 .iter()
                 .map(|c| generator.random_addr_in(c))
                 .collect();
-            let mut source = ScanStream::new(
-                engine,
-                expansion_targets,
-                Phase::Expansion,
-                0,
-                cfg.seed ^ 0x9e37,
-                10_000,
-                true,
-                cfg.expansion_time,
-            );
+            let mut source = ScanStream::builder(world, expansion_targets)
+                .phase(Phase::Expansion)
+                .seed(cfg.seed ^ 0x9e37)
+                .rate_pps(10_000)
+                .start(cfg.expansion_time)
+                .build();
             while let Some(obs) = source.next_observation() {
                 router.route(obs);
             }
@@ -122,16 +127,12 @@ impl StreamPipeline {
             let density_generator = TargetGenerator::new(cfg.seed ^ 0xdead);
             let density_targets =
                 density_generator.per_candidate_48(&validated, cfg.density_granularity);
-            let mut source = ScanStream::new(
-                engine,
-                density_targets,
-                Phase::Density,
-                0,
-                cfg.seed,
-                cfg.packets_per_second,
-                true,
-                cfg.expansion_time + SimDuration::from_hours(2),
-            );
+            let mut source = ScanStream::builder(world, density_targets)
+                .phase(Phase::Density)
+                .seed(cfg.seed)
+                .rate_pps(cfg.packets_per_second)
+                .start(cfg.expansion_time + SimDuration::from_hours(2))
+                .build();
             while let Some(obs) = source.next_observation() {
                 router.route(obs);
             }
@@ -146,16 +147,13 @@ impl StreamPipeline {
             for window in 0..2u64 {
                 let start = cfg.first_snapshot
                     + SimDuration::from_secs(SimDuration::from_days(1).as_secs() * window);
-                let mut source = ScanStream::new(
-                    engine,
-                    detection_targets.clone(),
-                    Phase::Detection,
-                    window,
-                    cfg.seed,
-                    cfg.packets_per_second,
-                    true,
-                    start,
-                );
+                let mut source = ScanStream::builder(world, detection_targets.clone())
+                    .phase(Phase::Detection)
+                    .window(window)
+                    .seed(cfg.seed)
+                    .rate_pps(cfg.packets_per_second)
+                    .start(start)
+                    .build();
                 while let Some(obs) = source.next_observation() {
                     router.route(obs);
                 }
@@ -171,7 +169,7 @@ impl StreamPipeline {
 
             let detection = WindowedRotationDetector::collect(merged.events.clone());
             let rotating_counts =
-                RotatingCounts::tally(engine.rib(), engine.as_registry(), &detection.rotating_48s);
+                RotatingCounts::tally(world.rib(), world.as_registry(), &detection.rotating_48s);
             let (total_addresses, eui64_addresses, unique_iids) = merged.address_statistics();
 
             PipelineReport {
@@ -198,7 +196,7 @@ impl StreamPipeline {
 mod tests {
     use super::*;
     use scent_core::Pipeline;
-    use scent_simnet::{scenarios, WorldScale};
+    use scent_simnet::{scenarios, Engine, WorldScale};
 
     fn small_config() -> PipelineConfig {
         PipelineConfig {
@@ -221,6 +219,22 @@ mod tests {
             "a vacuous equality proves nothing"
         );
         assert!(streamed.high_density > 0);
+    }
+
+    #[test]
+    fn observation_batching_does_not_change_the_report() {
+        let world = scenarios::paper_world(71, WorldScale::small());
+        let engine = Engine::build(world).unwrap();
+        let unbatched = StreamPipeline::with_shards(small_config(), 2).run(&engine);
+        let batched = StreamPipeline::new(StreamConfig {
+            pipeline: small_config(),
+            shards: 2,
+            observation_batch: 64,
+            ..StreamConfig::default()
+        })
+        .run(&engine);
+        assert_eq!(unbatched, batched);
+        assert!(!batched.rotating_48s.is_empty());
     }
 
     #[test]

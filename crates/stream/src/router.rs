@@ -12,6 +12,13 @@
 //! Channels are bounded: when a shard's queue is full, [`ShardRouter::route`]
 //! blocks (delivering every observation) and reports the stall so the caller
 //! can feed it back into the prober's rate limiter.
+//!
+//! Observations can optionally be *batched* per channel message
+//! ([`ShardRouter::with_batch`]): the router accumulates up to N observations
+//! per shard and delivers them as one [`ShardMsg::ObserveBatch`], amortizing
+//! the per-message channel overhead that dominates at high ingest rates.
+//! Per-shard delivery order is unchanged, so batching never affects the
+//! merged report — only throughput.
 
 use std::net::Ipv6Addr;
 
@@ -25,8 +32,13 @@ use crate::shard::ShardMsg;
 /// The outcome of routing one observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteOutcome {
-    /// The shard the observation was delivered to.
+    /// The shard the observation was delivered (or buffered) to.
     pub shard: usize,
+    /// Whether this call attempted a channel delivery at all. With an
+    /// observation batch above 1, only the route that fills a batch delivers;
+    /// rate-feedback callers should react to delivering routes only, or the
+    /// buffered majority drowns out every stall signal.
+    pub delivered: bool,
     /// Whether delivery had to wait for queue space (backpressure).
     pub backpressured: bool,
 }
@@ -37,13 +49,28 @@ pub struct ShardRouter {
     senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
     stalls: u64,
     routed: u64,
+    batch: usize,
+    buffers: Vec<Vec<Observation>>,
 }
 
 impl ShardRouter {
     /// Build a router over the announced prefixes of a RIB, delivering to
-    /// `senders` (one per shard).
+    /// `senders` (one per shard), one observation per channel message.
     pub fn new(entries: &[RibEntry], senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>) -> Self {
+        Self::with_batch(entries, senders, 1)
+    }
+
+    /// Build a router that accumulates up to `batch` observations per shard
+    /// before delivering them as a single channel message. `batch == 1`
+    /// behaves exactly like [`ShardRouter::new`]; larger batches trade event
+    /// latency for channel throughput.
+    pub fn with_batch(
+        entries: &[RibEntry],
+        senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
+        batch: usize,
+    ) -> Self {
         assert!(!senders.is_empty(), "at least one shard");
+        assert!(batch > 0, "batch size must be non-zero");
         let shards = senders.len();
         let mut trie = PrefixTrie::new();
         for entry in entries {
@@ -51,9 +78,11 @@ impl ShardRouter {
         }
         ShardRouter {
             trie,
+            buffers: vec![Vec::with_capacity(batch); shards],
             senders,
             stalls: 0,
             routed: 0,
+            batch,
         }
     }
 
@@ -77,25 +106,47 @@ impl ShardRouter {
         (hash2(0x7368_6172, bits32, 32) % self.senders.len() as u64) as usize
     }
 
-    /// Deliver one observation to its shard. Blocks when the shard's queue is
-    /// full; the outcome reports whether it had to.
+    /// Deliver one observation to its shard (or buffer it until the shard's
+    /// batch fills). Blocks when a delivery finds the shard's queue full; the
+    /// outcome reports whether it had to.
     pub fn route(&mut self, obs: Observation) -> RouteOutcome {
         let shard = self.shard_for(obs.target);
         self.routed += 1;
-        match self.senders[shard].try_send(ShardMsg::Observe(obs)) {
-            Ok(()) => RouteOutcome {
+        if self.batch <= 1 {
+            let backpressured = self.deliver(shard, ShardMsg::Observe(obs));
+            return RouteOutcome {
                 shard,
+                delivered: true,
+                backpressured,
+            };
+        }
+        self.buffers[shard].push(obs);
+        if self.buffers[shard].len() >= self.batch {
+            let backpressured = self.flush_buffer(shard);
+            RouteOutcome {
+                shard,
+                delivered: true,
+                backpressured,
+            }
+        } else {
+            RouteOutcome {
+                shard,
+                delivered: false,
                 backpressured: false,
-            },
+            }
+        }
+    }
+
+    /// Send one message, blocking on a full queue and counting the stall.
+    fn deliver(&mut self, shard: usize, msg: ShardMsg) -> bool {
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => false,
             Err(std::sync::mpsc::TrySendError::Full(msg)) => {
                 self.stalls += 1;
                 self.senders[shard]
                     .send(msg)
                     .expect("shard worker must outlive the router");
-                RouteOutcome {
-                    shard,
-                    backpressured: true,
-                }
+                true
             }
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
                 panic!("shard worker must outlive the router")
@@ -103,10 +154,27 @@ impl ShardRouter {
         }
     }
 
+    /// Deliver a shard's buffered batch, if any.
+    fn flush_buffer(&mut self, shard: usize) -> bool {
+        if self.buffers[shard].is_empty() {
+            return false;
+        }
+        let batch = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+        self.deliver(shard, ShardMsg::ObserveBatch(batch))
+    }
+
+    /// Deliver every shard's buffered batch.
+    fn flush_all_buffers(&mut self) {
+        for shard in 0..self.senders.len() {
+            self.flush_buffer(shard);
+        }
+    }
+
     /// Broadcast a flush to every shard and return the partial states in
-    /// shard order. FIFO channels guarantee each snapshot reflects everything
-    /// routed before this call.
-    pub fn flush(&self) -> Vec<crate::shard::ShardInference> {
+    /// shard order. Buffered batches are delivered first; FIFO channels then
+    /// guarantee each snapshot reflects everything routed before this call.
+    pub fn flush(&mut self) -> Vec<crate::shard::ShardInference> {
+        self.flush_all_buffers();
         let mut replies = Vec::with_capacity(self.senders.len());
         for sender in &self.senders {
             let (tx, rx) = std::sync::mpsc::channel();
@@ -122,8 +190,11 @@ impl ShardRouter {
     }
 
     /// Broadcast a compaction to every shard: drop per-window state older
-    /// than `window` (exclusive).
-    pub fn compact_before(&self, window: u64) {
+    /// than `window` (exclusive). Buffered batches are delivered first so an
+    /// observation never arrives after the compaction that should have
+    /// preceded it.
+    pub fn compact_before(&mut self, window: u64) {
+        self.flush_all_buffers();
         for sender in &self.senders {
             sender
                 .send(ShardMsg::Compact(window))
@@ -146,8 +217,11 @@ impl ShardRouter {
         self.stalls
     }
 
-    /// Drop the senders, letting workers drain and exit.
-    pub fn shutdown(self) {}
+    /// Deliver any buffered batches, then drop the senders, letting workers
+    /// drain and exit.
+    pub fn shutdown(mut self) {
+        self.flush_all_buffers();
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +292,26 @@ mod tests {
             for handle in h1.into_iter().chain(h2) {
                 handle.join().unwrap();
             }
+        });
+    }
+
+    #[test]
+    fn batched_routing_delivers_every_observation() {
+        std::thread::scope(|scope| {
+            let (senders, handles) = spawn_shards(scope, 2, 8, None);
+            // Batch of 4 with 10 observations: two full batches plus a
+            // remainder that only the shutdown flush delivers.
+            let mut router = ShardRouter::with_batch(&rib().entries(), senders, 4);
+            for i in 0..10 {
+                router.route(obs(&format!("2001:16b8::{i:x}")));
+            }
+            assert_eq!(router.routed(), 10);
+            router.shutdown();
+            let total: u64 = handles
+                .into_iter()
+                .map(|h| h.join().unwrap().observations)
+                .sum();
+            assert_eq!(total, 10, "shutdown must flush partial batches");
         });
     }
 

@@ -27,6 +27,10 @@ use crate::observation::{Observation, Phase};
 pub enum ShardMsg {
     /// Fold one observation into the shard's state.
     Observe(Observation),
+    /// Fold a batch of observations into the shard's state, in order. One
+    /// channel message per batch amortizes per-message overhead when the
+    /// router runs with an observation-batching knob above 1.
+    ObserveBatch(Vec<Observation>),
     /// Snapshot the shard's current inference state and send it back. The
     /// channel is FIFO, so the snapshot reflects every observation routed
     /// before the flush.
@@ -172,14 +176,20 @@ fn worker(
     live_events: Option<Sender<RotationEvent>>,
 ) -> ShardInference {
     let mut state = ShardInference::new();
+    let observe = |state: &mut ShardInference, obs: &Observation| {
+        let event = state.ingest(obs);
+        if let (Some(event), Some(live)) = (event, live_events.as_ref()) {
+            // The monitor may have stopped listening; that must not
+            // kill the shard.
+            let _ = live.send(event);
+        }
+    };
     while let Ok(msg) = receiver.recv() {
         match msg {
-            ShardMsg::Observe(obs) => {
-                let event = state.ingest(&obs);
-                if let (Some(event), Some(live)) = (event, live_events.as_ref()) {
-                    // The monitor may have stopped listening; that must not
-                    // kill the shard.
-                    let _ = live.send(event);
+            ShardMsg::Observe(obs) => observe(&mut state, &obs),
+            ShardMsg::ObserveBatch(batch) => {
+                for obs in &batch {
+                    observe(&mut state, obs);
                 }
             }
             ShardMsg::Flush(reply) => {

@@ -9,6 +9,11 @@
 //! revisited window after window forever, paced by a
 //! [`FeedbackPacer`] so consumer backpressure slows the probing rate instead
 //! of growing a queue.
+//!
+//! Both adapters are constructed through builders
+//! ([`ScanStream::builder`], [`ContinuousStream::builder`]) so call sites
+//! name the knobs they set instead of threading long positional argument
+//! lists.
 
 use scent_prober::{
     FeedbackPacer, ProbePacer, ProbeTransport, RandomPermutation, ResponseRecord, TargetStream,
@@ -18,7 +23,7 @@ use scent_simnet::{SimDuration, SimTime};
 use crate::observation::{Observation, ObservationSource, Phase};
 
 /// Replay of one scan pass as an observation stream.
-pub struct ScanStream<'a, T: ProbeTransport> {
+pub struct ScanStream<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: Vec<std::net::Ipv6Addr>,
     order: Vec<u64>,
@@ -28,30 +33,92 @@ pub struct ScanStream<'a, T: ProbeTransport> {
     pos: usize,
 }
 
-impl<'a, T: ProbeTransport> ScanStream<'a, T> {
-    /// Stream one scan of `targets` starting at `start`: the same probing
-    /// order and send times `Scanner::scan` with `(seed, pps, randomize)`
-    /// would use.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        transport: &'a T,
-        targets: Vec<std::net::Ipv6Addr>,
-        phase: Phase,
-        window: u64,
-        seed: u64,
-        packets_per_second: u64,
-        randomize_order: bool,
-        start: SimTime,
-    ) -> Self {
-        let order = RandomPermutation::scan_order(targets.len() as u64, seed, randomize_order);
+/// Builder for [`ScanStream`]: configures the scan parameters
+/// (`Scanner::scan` semantics) and the stream coordinates every observation
+/// is tagged with.
+#[derive(Debug)]
+pub struct ScanStreamBuilder<'a, T: ProbeTransport + ?Sized> {
+    transport: &'a T,
+    targets: Vec<std::net::Ipv6Addr>,
+    phase: Phase,
+    window: u64,
+    seed: u64,
+    packets_per_second: u64,
+    randomize_order: bool,
+    start: SimTime,
+}
+
+impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
+    /// The methodology phase observations are tagged with (default:
+    /// [`Phase::Detection`]).
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// The scan-pass window observations are tagged with (default: 0).
+    pub fn window(mut self, window: u64) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The permutation seed controlling probe order (default: `0x5eed`, the
+    /// default scanner seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The probe rate in packets per second (default: the paper's 10,000).
+    pub fn rate_pps(mut self, packets_per_second: u64) -> Self {
+        self.packets_per_second = packets_per_second;
+        self
+    }
+
+    /// Whether to randomize probe order (default: true, zmap behaviour).
+    pub fn randomize_order(mut self, randomize: bool) -> Self {
+        self.randomize_order = randomize;
+        self
+    }
+
+    /// Virtual time the scan starts (default: day 0, hour 0).
+    pub fn start(mut self, start: SimTime) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Build the stream: the same probing order and send times
+    /// `Scanner::scan` would use with these parameters.
+    pub fn build(self) -> ScanStream<'a, T> {
+        let order = RandomPermutation::scan_order(
+            self.targets.len() as u64,
+            self.seed,
+            self.randomize_order,
+        );
         ScanStream {
+            transport: self.transport,
+            targets: self.targets,
+            order,
+            pacer: ProbePacer::new(self.start, self.packets_per_second),
+            phase: self.phase,
+            window: self.window,
+            pos: 0,
+        }
+    }
+}
+
+impl<'a, T: ProbeTransport + ?Sized> ScanStream<'a, T> {
+    /// Start building a stream over one scan of `targets`.
+    pub fn builder(transport: &'a T, targets: Vec<std::net::Ipv6Addr>) -> ScanStreamBuilder<'a, T> {
+        ScanStreamBuilder {
             transport,
             targets,
-            order,
-            pacer: ProbePacer::new(start, packets_per_second),
-            phase,
-            window,
-            pos: 0,
+            phase: Phase::Detection,
+            window: 0,
+            seed: 0x5eed,
+            packets_per_second: 10_000,
+            randomize_order: true,
+            start: SimTime::at(0, 0),
         }
     }
 
@@ -66,7 +133,7 @@ impl<'a, T: ProbeTransport> ScanStream<'a, T> {
     }
 }
 
-impl<T: ProbeTransport> ObservationSource for ScanStream<'_, T> {
+impl<T: ProbeTransport + ?Sized> ObservationSource for ScanStream<'_, T> {
     fn next_observation(&mut self) -> Option<Observation> {
         if self.pos >= self.targets.len() {
             return None;
@@ -95,7 +162,7 @@ impl<T: ProbeTransport> ObservationSource for ScanStream<'_, T> {
 
 /// An infinite virtual-time probe stream: the same targets, window after
 /// window, with AIMD rate feedback.
-pub struct ContinuousStream<'a, T: ProbeTransport> {
+pub struct ContinuousStream<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: TargetStream,
     pacer: FeedbackPacer,
@@ -104,25 +171,62 @@ pub struct ContinuousStream<'a, T: ProbeTransport> {
     entered_window: u64,
 }
 
-impl<'a, T: ProbeTransport> ContinuousStream<'a, T> {
-    /// Stream windows of `targets` forever: window `w` begins no earlier than
-    /// `first_start + w * window_interval` (and no earlier than the pacer's
-    /// own clock — a stream throttled below the window budget simply runs
-    /// late, it never probes back in time).
-    pub fn new(
-        transport: &'a T,
-        targets: TargetStream,
-        packets_per_second: u64,
-        first_start: SimTime,
-        window_interval: SimDuration,
-    ) -> Self {
+/// Builder for [`ContinuousStream`].
+#[derive(Debug)]
+pub struct ContinuousStreamBuilder<'a, T: ProbeTransport + ?Sized> {
+    transport: &'a T,
+    targets: TargetStream,
+    packets_per_second: u64,
+    first_start: SimTime,
+    window_interval: SimDuration,
+}
+
+impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
+    /// The probe budget per second the AIMD feedback recovers to (default:
+    /// the paper's 10,000).
+    pub fn rate_pps(mut self, packets_per_second: u64) -> Self {
+        self.packets_per_second = packets_per_second;
+        self
+    }
+
+    /// Virtual time of the first window (default: day 0, hour 0).
+    pub fn start(mut self, first_start: SimTime) -> Self {
+        self.first_start = first_start;
+        self
+    }
+
+    /// Virtual time between window starts (default: 24 hours, the paper's
+    /// snapshot cadence).
+    pub fn window_interval(mut self, window_interval: SimDuration) -> Self {
+        self.window_interval = window_interval;
+        self
+    }
+
+    /// Build the stream: window `w` begins no earlier than
+    /// `start + w * window_interval` (and no earlier than the pacer's own
+    /// clock — a stream throttled below the window budget simply runs late,
+    /// it never probes back in time).
+    pub fn build(self) -> ContinuousStream<'a, T> {
         ContinuousStream {
+            transport: self.transport,
+            targets: self.targets,
+            pacer: FeedbackPacer::new(self.first_start, self.packets_per_second),
+            first_start: self.first_start,
+            window_interval: self.window_interval,
+            entered_window: 0,
+        }
+    }
+}
+
+impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
+    /// Start building an endless stream of windows over `targets`.
+    pub fn builder(transport: &'a T, targets: TargetStream) -> ContinuousStreamBuilder<'a, T> {
+        ContinuousStreamBuilder {
             transport,
             targets,
-            pacer: FeedbackPacer::new(first_start, packets_per_second),
-            first_start,
-            window_interval,
-            entered_window: 0,
+            packets_per_second: 10_000,
+            first_start: SimTime::at(0, 0),
+            window_interval: SimDuration::from_days(1),
         }
     }
 
@@ -152,7 +256,7 @@ impl<'a, T: ProbeTransport> ContinuousStream<'a, T> {
     }
 }
 
-impl<T: ProbeTransport> ObservationSource for ContinuousStream<'_, T> {
+impl<T: ProbeTransport + ?Sized> ObservationSource for ContinuousStream<'_, T> {
     fn next_observation(&mut self) -> Option<Observation> {
         let streamed = self.targets.next_target()?;
         if streamed.window > self.entered_window || (streamed.window == 0 && streamed.seq == 0) {
@@ -199,16 +303,12 @@ mod tests {
         };
         let scan = Scanner::new(config).scan(&engine, &targets, SimTime::at(1, 9));
 
-        let mut stream = ScanStream::new(
-            &engine,
-            targets.clone(),
-            Phase::Density,
-            0,
-            7,
-            10_000,
-            true,
-            SimTime::at(1, 9),
-        );
+        let mut stream = ScanStream::builder(&engine, targets.clone())
+            .phase(Phase::Density)
+            .seed(7)
+            .rate_pps(10_000)
+            .start(SimTime::at(1, 9))
+            .build();
         assert_eq!(stream.len(), targets.len());
         assert!(!stream.is_empty());
         let mut streamed = Vec::new();
@@ -216,6 +316,26 @@ mod tests {
             streamed.push(obs.record());
         }
         assert_eq!(streamed, scan.records);
+    }
+
+    #[test]
+    fn scan_stream_in_list_order_and_window_tag() {
+        let engine = Engine::build(scenarios::entel_like(5)).unwrap();
+        let pool = engine.pools()[0].config.prefix;
+        let targets = TargetGenerator::new(1).one_per_subnet(&pool, 60);
+        let mut stream = ScanStream::builder(&engine, targets.clone())
+            .phase(Phase::Detection)
+            .window(3)
+            .randomize_order(false)
+            .start(SimTime::at(1, 9))
+            .build();
+        let mut seen = Vec::new();
+        while let Some(obs) = stream.next_observation() {
+            assert_eq!(obs.window, 3);
+            assert_eq!(obs.phase, Phase::Detection);
+            seen.push(obs.target);
+        }
+        assert_eq!(seen, targets, "list order preserved");
     }
 
     #[test]
@@ -230,13 +350,11 @@ mod tests {
             true,
         );
         let len = targets.window_len();
-        let mut stream = ContinuousStream::new(
-            &engine,
-            targets,
-            10_000,
-            SimTime::at(10, 9),
-            SimDuration::from_days(1),
-        );
+        let mut stream = ContinuousStream::builder(&engine, targets)
+            .rate_pps(10_000)
+            .start(SimTime::at(10, 9))
+            .window_interval(SimDuration::from_days(1))
+            .build();
         assert_eq!(stream.window_len(), len);
         // Two full windows: the same targets, a day apart.
         let w0: Vec<Observation> = (0..len)

@@ -1,20 +1,30 @@
-//! Continuous rotation monitoring with the `scent-stream` engine.
+//! Continuous rotation monitoring through the [`Campaign`] facade.
 //!
 //! Instead of the batch "two snapshots 24 hours apart" comparison, this
-//! example stands up the sharded streaming monitor over a long-horizon world
-//! with three contrasting providers (a daily rotator, a weekly random
-//! reassigner and a static control), lets it ingest two weeks of virtual-time
-//! probe responses, and prints the rotation events as the engine flags them —
-//! plus the passive device tracks that fall out of the same stream.
+//! example points the unified campaign builder at a long-horizon world with
+//! three contrasting providers (a daily rotator, a weekly random reassigner
+//! and a static control), runs it in [`CampaignMode::Monitor`] for two weeks
+//! of virtual time, and prints the rotation events the engine flagged — plus
+//! the passive device tracks that fall out of the same stream. Switching
+//! `.mode(..)` is all it takes to run the discovery pipeline (batch or
+//! sharded-streaming) over the same backend instead.
 //!
 //! Run with: `cargo run --release --example rotation_monitor`
 
 use followscent::ipv6::Ipv6Prefix;
 use followscent::simnet::{scenarios, Engine, SimDuration, SimTime};
-use followscent::stream::{MonitorConfig, StreamMonitor};
+use followscent::{Campaign, CampaignMode, ScentError};
 
 fn main() {
-    let engine = Engine::build(scenarios::continuous_world(21)).expect("world builds");
+    if let Err(error) = run() {
+        // Typed errors print a human-readable cause via `Display`.
+        eprintln!("rotation_monitor: {error}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ScentError> {
+    let engine = Engine::build(scenarios::continuous_world(21))?;
 
     // Watch every /48 of every configured pool (a deployment would watch the
     // high-density output of the discovery pipeline).
@@ -31,15 +41,24 @@ fn main() {
         engine.config().providers.len()
     );
 
-    let config = MonitorConfig {
-        shards: 2,
-        windows: 14,
-        window_interval: SimDuration::from_days(1),
-        start: SimTime::at(10, 9),
-        max_tracked: 5,
-        ..MonitorConfig::default()
-    };
-    let report = StreamMonitor::new(config).run(&engine, &watched);
+    let report = Campaign::builder()
+        .world(&engine)
+        .seed(0x57ae)
+        .rate_pps(10_000)
+        .watch(watched)
+        .monitor_granularity(56)
+        .window_interval(SimDuration::from_days(1))
+        .start(SimTime::at(10, 9))
+        .max_tracked(5)
+        .observation_batch(64)
+        .mode(CampaignMode::Monitor {
+            windows: 14,
+            shards: 2,
+        })
+        .run()?;
+    let report = report
+        .monitor()
+        .expect("monitor mode yields a monitor report");
 
     println!(
         "{} observations ingested, {} rotation events, {} /48s flagged rotating",
@@ -84,4 +103,5 @@ fn main() {
         "\nre-identification accuracy across the run: {:.0}%",
         report.tracking.overall_accuracy() * 100.0
     );
+    Ok(())
 }

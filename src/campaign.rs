@@ -1,0 +1,415 @@
+//! The unified, backend-agnostic campaign entry point.
+//!
+//! The workspace grows three ways to run the paper's methodology — the batch
+//! [`Pipeline`], the sharded [`StreamPipeline`], and the continuous
+//! [`StreamMonitor`]. [`Campaign`] puts one
+//! builder in front of all three: pick a backend (anything implementing
+//! [`ProbeTransport`] + [`WorldView`], including `&dyn
+//! MeasurementBackend` trait objects), set the shared knobs, pick a
+//! [`CampaignMode`], and `run()`.
+//!
+//! ```
+//! use followscent::prober::RecordingBackend;
+//! use followscent::simnet::{scenarios, Engine, WorldScale};
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     let engine = Engine::build(scenarios::paper_world(71, WorldScale::small()))?;
+//!     // Record the batch run...
+//!     let recorder = RecordingBackend::new(&engine);
+//!     let batch = Campaign::builder()
+//!         .world(&recorder)
+//!         .max_48s_per_seed(128)
+//!         .mode(CampaignMode::Batch)
+//!         .run()?;
+//!     // ...then replay the log through the streamed pipeline: same report,
+//!     // different backend, different execution strategy.
+//!     let replay = followscent::prober::RecordedBackend::from_log(recorder.finish());
+//!     let streamed = Campaign::builder()
+//!         .world(&replay)
+//!         .max_48s_per_seed(128)
+//!         .mode(CampaignMode::Streamed { shards: 2 })
+//!         .run()?;
+//!     assert_eq!(batch.pipeline(), streamed.pipeline());
+//!     Ok(())
+//! }
+//! ```
+
+use scent_core::{Pipeline, PipelineConfig, PipelineReport};
+use scent_ipv6::Ipv6Prefix;
+use scent_prober::{ProbeTransport, WorldView};
+use scent_simnet::{SimDuration, SimTime};
+use scent_stream::{MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline};
+
+use crate::error::{CampaignError, ScentError};
+
+/// How a campaign executes the methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// The batch discovery pipeline: whole scans, one thread.
+    Batch,
+    /// The sharded streaming pipeline: identical report to [`Batch`]
+    /// (test-enforced), observations flow through `shards` inference
+    /// workers.
+    ///
+    /// [`Batch`]: CampaignMode::Batch
+    Streamed {
+        /// Number of inference shards.
+        shards: usize,
+    },
+    /// The continuous rotation monitor over the watched /48s (set with
+    /// [`CampaignBuilder::watch`]): endless windows, live rotation events,
+    /// passive tracking.
+    Monitor {
+        /// Number of daily windows to observe.
+        windows: u64,
+        /// Number of inference shards.
+        shards: usize,
+    },
+}
+
+/// What a campaign produced, depending on its [`CampaignMode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignReport {
+    /// A discovery-pipeline report ([`CampaignMode::Batch`] and
+    /// [`CampaignMode::Streamed`]).
+    Pipeline(PipelineReport),
+    /// A monitoring report ([`CampaignMode::Monitor`]).
+    Monitor(MonitorReport),
+}
+
+impl CampaignReport {
+    /// The pipeline report, if this campaign ran in batch or streamed mode.
+    pub fn pipeline(&self) -> Option<&PipelineReport> {
+        match self {
+            CampaignReport::Pipeline(report) => Some(report),
+            CampaignReport::Monitor(_) => None,
+        }
+    }
+
+    /// The monitor report, if this campaign ran in monitor mode.
+    pub fn monitor(&self) -> Option<&MonitorReport> {
+        match self {
+            CampaignReport::Pipeline(_) => None,
+            CampaignReport::Monitor(report) => Some(report),
+        }
+    }
+}
+
+/// The unified campaign facade. Start with [`Campaign::builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Campaign;
+
+impl Campaign {
+    /// Start configuring a campaign. Attach a backend with
+    /// [`CampaignBuilder::world`] before calling `run`.
+    pub fn builder() -> CampaignBuilder<()> {
+        CampaignBuilder {
+            world: (),
+            pipeline: PipelineConfig::default(),
+            mode: CampaignMode::Batch,
+            channel_capacity: 1024,
+            observation_batch: 1,
+            watched: Vec::new(),
+            granularity: None,
+            window_interval: SimDuration::from_days(1),
+            start: None,
+            max_tracked: 8,
+            rate_feedback: false,
+            retention_windows: None,
+        }
+    }
+}
+
+/// Builder for a [`Campaign`].
+///
+/// The type parameter tracks whether a backend is attached yet: `run()` only
+/// exists once [`CampaignBuilder::world`] has been called, so "forgot the
+/// backend" is a compile error, not a runtime one.
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder<W> {
+    world: W,
+    pipeline: PipelineConfig,
+    mode: CampaignMode,
+    channel_capacity: usize,
+    observation_batch: usize,
+    watched: Vec<Ipv6Prefix>,
+    granularity: Option<u8>,
+    window_interval: SimDuration,
+    start: Option<SimTime>,
+    max_tracked: usize,
+    rate_feedback: bool,
+    retention_windows: Option<u64>,
+}
+
+impl<W> CampaignBuilder<W> {
+    /// The seed controlling target generation and scan order (the paper
+    /// reuses one zmap seed across its daily scans).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.pipeline.seed = seed;
+        self
+    }
+
+    /// The probe budget in packets per second (the paper's 10,000 by
+    /// default).
+    pub fn rate_pps(mut self, packets_per_second: u64) -> Self {
+        self.pipeline.packets_per_second = packets_per_second;
+        self
+    }
+
+    /// Cap on /48s enumerated per seed /32 (bounds cost on huge
+    /// announcements; scaled-down worlds use small caps).
+    pub fn max_48s_per_seed(mut self, max_48s_per_seed: u64) -> Self {
+        self.pipeline.max_48s_per_seed = max_48s_per_seed;
+        self
+    }
+
+    /// Replace the whole methodology parameter block (granularities, virtual
+    /// times, …) at once.
+    pub fn pipeline_config(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// How the campaign executes (default: [`CampaignMode::Batch`]).
+    pub fn mode(mut self, mode: CampaignMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Bounded per-shard queue capacity, in messages (default: 1024).
+    pub fn channel_capacity(mut self, channel_capacity: usize) -> Self {
+        self.channel_capacity = channel_capacity;
+        self
+    }
+
+    /// Observations accumulated per channel message (default: 1). Larger
+    /// batches amortize channel overhead without changing the report.
+    pub fn observation_batch(mut self, observation_batch: usize) -> Self {
+        self.observation_batch = observation_batch;
+        self
+    }
+
+    /// The /48s a [`CampaignMode::Monitor`] campaign watches.
+    pub fn watch(mut self, watched_48s: Vec<Ipv6Prefix>) -> Self {
+        self.watched = watched_48s;
+        self
+    }
+
+    /// Probing granularity inside each watched /48 in monitor mode
+    /// (default: the pipeline's detection granularity).
+    pub fn monitor_granularity(mut self, granularity: u8) -> Self {
+        self.granularity = Some(granularity);
+        self
+    }
+
+    /// Virtual time between monitor windows (default: 24 hours).
+    pub fn window_interval(mut self, window_interval: SimDuration) -> Self {
+        self.window_interval = window_interval;
+        self
+    }
+
+    /// Virtual time the monitor's first window starts (default: the
+    /// pipeline's first-snapshot time).
+    pub fn start(mut self, start: SimTime) -> Self {
+        self.start = Some(start);
+        self
+    }
+
+    /// Cap on devices folded into the monitor's tracking report
+    /// (default: 8).
+    pub fn max_tracked(mut self, max_tracked: usize) -> Self {
+        self.max_tracked = max_tracked;
+        self
+    }
+
+    /// Whether shard-queue stalls feed back into the prober's virtual-time
+    /// rate (default: off, for bit-reproducibility).
+    pub fn rate_feedback(mut self, rate_feedback: bool) -> Self {
+        self.rate_feedback = rate_feedback;
+        self
+    }
+
+    /// Bound the monitor's memory to this many windows of history
+    /// (default: retain everything).
+    pub fn retention_windows(mut self, retention_windows: u64) -> Self {
+        self.retention_windows = Some(retention_windows);
+        self
+    }
+}
+
+impl CampaignBuilder<()> {
+    /// Attach the measurement backend the campaign probes and reads routing
+    /// state from. Any `ProbeTransport + WorldView` implementor works: the
+    /// simulated [`Engine`](scent_simnet::Engine), a
+    /// [`RecordedBackend`](scent_prober::RecordedBackend) replay, a
+    /// `&dyn MeasurementBackend` trait object, or a third-party backend.
+    pub fn world<B: ProbeTransport + WorldView + ?Sized>(self, world: &B) -> CampaignBuilder<&B> {
+        CampaignBuilder {
+            world,
+            pipeline: self.pipeline,
+            mode: self.mode,
+            channel_capacity: self.channel_capacity,
+            observation_batch: self.observation_batch,
+            watched: self.watched,
+            granularity: self.granularity,
+            window_interval: self.window_interval,
+            start: self.start,
+            max_tracked: self.max_tracked,
+            rate_feedback: self.rate_feedback,
+            retention_windows: self.retention_windows,
+        }
+    }
+}
+
+impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
+    /// Run the campaign against the attached backend.
+    pub fn run(self) -> Result<CampaignReport, ScentError> {
+        if self.channel_capacity == 0 {
+            return Err(CampaignError::ZeroChannelCapacity.into());
+        }
+        if self.observation_batch == 0 {
+            return Err(CampaignError::ZeroObservationBatch.into());
+        }
+        match self.mode {
+            CampaignMode::Batch => Ok(CampaignReport::Pipeline(
+                Pipeline::new(self.pipeline).run(self.world),
+            )),
+            CampaignMode::Streamed { shards } => {
+                if shards == 0 {
+                    return Err(CampaignError::NoShards.into());
+                }
+                let config = StreamConfig {
+                    pipeline: self.pipeline,
+                    shards,
+                    channel_capacity: self.channel_capacity,
+                    observation_batch: self.observation_batch,
+                };
+                Ok(CampaignReport::Pipeline(
+                    StreamPipeline::new(config).run(self.world),
+                ))
+            }
+            CampaignMode::Monitor { windows, shards } => {
+                if shards == 0 {
+                    return Err(CampaignError::NoShards.into());
+                }
+                if windows == 0 {
+                    return Err(CampaignError::NoWindows.into());
+                }
+                if self.watched.is_empty() {
+                    return Err(CampaignError::EmptyWatchList.into());
+                }
+                let config = MonitorConfig {
+                    shards,
+                    channel_capacity: self.channel_capacity,
+                    observation_batch: self.observation_batch,
+                    seed: self.pipeline.seed,
+                    packets_per_second: self.pipeline.packets_per_second,
+                    granularity: self
+                        .granularity
+                        .unwrap_or(self.pipeline.detection_granularity),
+                    windows,
+                    window_interval: self.window_interval,
+                    start: self.start.unwrap_or(self.pipeline.first_snapshot),
+                    max_tracked: self.max_tracked,
+                    rate_feedback: self.rate_feedback,
+                    retention_windows: self.retention_windows,
+                };
+                Ok(CampaignReport::Monitor(
+                    StreamMonitor::new(config).run(self.world, &self.watched),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scent_simnet::{scenarios, Engine};
+
+    #[test]
+    fn invalid_configurations_are_typed_errors() {
+        let engine = Engine::build(scenarios::versatel_like(1)).unwrap();
+        let err = Campaign::builder()
+            .world(&engine)
+            .mode(CampaignMode::Streamed { shards: 0 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScentError::Campaign(CampaignError::NoShards));
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .channel_capacity(0)
+            .mode(CampaignMode::Batch)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScentError::Campaign(CampaignError::ZeroChannelCapacity)
+        );
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .observation_batch(0)
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScentError::Campaign(CampaignError::ZeroObservationBatch)
+        );
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .mode(CampaignMode::Monitor {
+                windows: 2,
+                shards: 2,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScentError::Campaign(CampaignError::EmptyWatchList));
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .watch(vec!["2001:16b8:100::/48".parse().unwrap()])
+            .mode(CampaignMode::Monitor {
+                windows: 0,
+                shards: 2,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScentError::Campaign(CampaignError::NoWindows));
+    }
+
+    #[test]
+    fn monitor_mode_runs_through_the_facade() {
+        let engine = Engine::build(scenarios::continuous_world(13)).unwrap();
+        let watched: Vec<Ipv6Prefix> = engine
+            .pools()
+            .iter()
+            .filter(|p| p.config.prefix.len() <= 48)
+            .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+            .collect();
+        let report = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .mode(CampaignMode::Monitor {
+                windows: 2,
+                shards: 2,
+            })
+            .watch(watched)
+            .monitor_granularity(56)
+            .start(SimTime::at(10, 9))
+            .max_tracked(4)
+            .run()
+            .unwrap();
+        assert!(report.pipeline().is_none());
+        let monitor = report
+            .monitor()
+            .expect("monitor mode yields a monitor report");
+        assert_eq!(monitor.windows, 2);
+        assert!(monitor.observations > 0);
+        assert!(!monitor.rotating_48s.is_empty());
+        assert!(monitor.tracking.devices.len() <= 4);
+    }
+}

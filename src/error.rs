@@ -1,0 +1,123 @@
+//! The workspace error hierarchy.
+//!
+//! Every fallible entry point of the umbrella crate funnels into
+//! [`ScentError`], which wraps the typed errors of the member crates
+//! (world-building, RIB parsing) plus the campaign-level configuration
+//! errors of the [`Campaign`](crate::Campaign) facade. All of them implement
+//! [`std::error::Error`], so binaries can `?` them out of `main` or print
+//! them via `Display`.
+
+use std::fmt;
+
+use scent_bgp::RibParseError;
+use scent_simnet::WorldError;
+
+/// A campaign was configured inconsistently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignError {
+    /// A streamed or monitoring campaign was asked to run with zero shards.
+    NoShards,
+    /// The bounded shard channels were given zero capacity.
+    ZeroChannelCapacity,
+    /// The observation-batching knob was set to zero (batches must hold at
+    /// least one observation).
+    ZeroObservationBatch,
+    /// A monitoring campaign has no watched /48s to probe.
+    EmptyWatchList,
+    /// A monitoring campaign was asked to observe zero windows.
+    NoWindows,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::NoShards => write!(f, "campaign needs at least one inference shard"),
+            CampaignError::ZeroChannelCapacity => {
+                write!(f, "bounded shard channels need non-zero capacity")
+            }
+            CampaignError::ZeroObservationBatch => {
+                write!(f, "observation batches must hold at least one observation")
+            }
+            CampaignError::EmptyWatchList => {
+                write!(f, "monitoring campaign has no watched /48s; call watch(..)")
+            }
+            CampaignError::NoWindows => {
+                write!(f, "monitoring campaign must observe at least one window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Any error the followscent workspace can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScentError {
+    /// A simulated world failed to validate or build.
+    World(WorldError),
+    /// A RIB table dump failed to parse.
+    RibParse(RibParseError),
+    /// A campaign was configured inconsistently.
+    Campaign(CampaignError),
+}
+
+impl fmt::Display for ScentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScentError::World(e) => write!(f, "world configuration: {e}"),
+            ScentError::RibParse(e) => write!(f, "RIB table parse: {e}"),
+            ScentError::Campaign(e) => write!(f, "campaign configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScentError::World(e) => Some(e),
+            ScentError::RibParse(e) => Some(e),
+            ScentError::Campaign(e) => Some(e),
+        }
+    }
+}
+
+impl From<WorldError> for ScentError {
+    fn from(e: WorldError) -> Self {
+        ScentError::World(e)
+    }
+}
+
+impl From<RibParseError> for ScentError {
+    fn from(e: RibParseError) -> Self {
+        ScentError::RibParse(e)
+    }
+}
+
+impl From<CampaignError> for ScentError {
+    fn from(e: CampaignError) -> Self {
+        ScentError::Campaign(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let world: ScentError = WorldError::NoProviders.into();
+        assert_eq!(
+            world.to_string(),
+            "world configuration: world has no providers"
+        );
+        assert!(world.source().is_some());
+
+        let campaign: ScentError = CampaignError::EmptyWatchList.into();
+        assert!(campaign.to_string().contains("watched /48s"));
+        assert_eq!(
+            campaign,
+            ScentError::Campaign(CampaignError::EmptyWatchList)
+        );
+    }
+}

@@ -1,15 +1,73 @@
-//! Umbrella crate re-exporting the followscent workspace.
+//! Reproduction of *"Follow the Scent: Defeating IPv6 Prefix Rotation
+//! Privacy"* (IMC 2021): a deterministic simulated IPv6 Internet, the
+//! paper's scanning tools and inference algorithms, and a streaming
+//! monitoring engine — unified behind one backend-agnostic [`Campaign`]
+//! facade.
 //!
-//! * [`ipv6`] — addresses, prefixes, EUI-64/MAC arithmetic, ICMPv6 wire formats.
+//! # Quickstart
+//!
+//! Build a world, attach it as the campaign backend, pick a mode, run:
+//!
+//! ```
+//! use followscent::simnet::{scenarios, Engine, WorldScale};
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     // Any backend works: the simulated Internet, a recorded replay, or a
+//!     // third-party `ProbeTransport + WorldView` implementor.
+//!     let engine = Engine::build(scenarios::paper_world(71, WorldScale::small()))?;
+//!
+//!     let report = Campaign::builder()
+//!         .world(&engine)
+//!         .seed(0xf0110)
+//!         .rate_pps(10_000)
+//!         .max_48s_per_seed(128)
+//!         .mode(CampaignMode::Streamed { shards: 2 })
+//!         .run()?;
+//!
+//!     let pipeline = report.pipeline().expect("streamed mode yields a pipeline report");
+//!     assert!(!pipeline.rotating_48s.is_empty(), "rotation found");
+//!     Ok(())
+//! }
+//! ```
+//!
+//! Switching `.mode(..)` to [`CampaignMode::Batch`] produces the identical
+//! report on one thread (test-enforced equivalence), and
+//! [`CampaignMode::Monitor`] turns the same builder into a continuous
+//! rotation monitor over a watched /48 list (`.watch(..)`) with live events
+//! and passive device tracking. Errors are typed end to end:
+//! [`ScentError`] wraps the world-building, RIB-parsing and
+//! campaign-configuration failures of the member crates, all implementing
+//! [`std::error::Error`].
+//!
+//! # Workspace map
+//!
+//! * [`ipv6`] — addresses, prefixes, EUI-64/MAC arithmetic, ICMPv6 wire
+//!   formats.
 //! * [`oui`] — the MAC-vendor (OUI) registry.
 //! * [`bgp`] — RIB, prefix trie, AS metadata.
 //! * [`simnet`] — the deterministic simulated IPv6 Internet.
-//! * [`prober`] — zmap6/yarrp-style scanners, pacing, target generation.
+//! * [`prober`] — zmap6/yarrp-style scanners, pacing, target generation, the
+//!   `ProbeTransport` + `WorldView` backend traits, and the record/replay
+//!   backends.
 //! * [`core`] — the paper's inference and tracking algorithms (batch and
 //!   incremental).
 //! * [`stream`] — the sharded streaming monitor built on the incremental
 //!   algorithms: continuous rotation detection with bounded memory.
 //! * [`experiments`] — the table/figure reproduction binaries' library code.
+//! * [`campaign`] — the [`Campaign`] facade unifying batch, streamed and
+//!   monitoring runs over any backend.
+//! * [`error`] — the [`ScentError`] hierarchy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod error;
+
+pub use campaign::{Campaign, CampaignBuilder, CampaignMode, CampaignReport};
+pub use error::{CampaignError, ScentError};
+
 pub use scent_bgp as bgp;
 pub use scent_core as core;
 pub use scent_experiments as experiments;

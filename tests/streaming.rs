@@ -1,11 +1,14 @@
-//! Cross-crate integration tests for the `scent-stream` monitoring engine,
-//! through the umbrella crate: streaming/batch equivalence and shard-merge
-//! determinism — the two contracts the subsystem is built around.
+//! Cross-crate integration tests for the streaming engine and the
+//! [`Campaign`] facade: streaming/batch equivalence and shard-merge
+//! determinism — the two contracts the subsystem is built around — now
+//! additionally parameterized over measurement backends (live simnet and
+//! recorded replay).
 
-use followscent::core::{Pipeline, PipelineConfig, PipelineReport};
+use followscent::core::{PipelineConfig, PipelineReport};
 use followscent::ipv6::Ipv6Prefix;
+use followscent::prober::{ProbeTransport, RecordedBackend, RecordingBackend, WorldView};
 use followscent::simnet::{scenarios, Engine, WorldScale};
-use followscent::stream::{MonitorConfig, StreamMonitor, StreamPipeline};
+use followscent::{Campaign, CampaignMode};
 
 fn small_config() -> PipelineConfig {
     PipelineConfig {
@@ -14,15 +17,34 @@ fn small_config() -> PipelineConfig {
     }
 }
 
-/// The headline contract: a streaming run over a simulated world produces the
-/// same report — in particular the same set of rotating /48s — as the batch
-/// pipeline, while processing observations incrementally across two shards.
+/// Run the discovery pipeline through the facade against any backend.
+fn discover<B: ProbeTransport + WorldView + ?Sized>(
+    world: &B,
+    mode: CampaignMode,
+) -> PipelineReport {
+    Campaign::builder()
+        .world(world)
+        .pipeline_config(small_config())
+        .mode(mode)
+        .run()
+        .expect("valid campaign configuration")
+        .pipeline()
+        .expect("discovery modes yield pipeline reports")
+        .clone()
+}
+
+/// The headline contract, through the facade: a streamed run over a simulated
+/// world produces the same report — in particular the same set of rotating
+/// /48s — as the batch pipeline, while processing observations incrementally
+/// across two shards.
 #[test]
 fn streaming_equals_batch_on_the_paper_world() {
     let world = scenarios::paper_world(2024, WorldScale::small());
-    let batch = Pipeline::new(small_config()).run(&Engine::build(world.clone()).unwrap());
-    let streamed =
-        StreamPipeline::with_shards(small_config(), 2).run(&Engine::build(world).unwrap());
+    let batch = discover(&Engine::build(world.clone()).unwrap(), CampaignMode::Batch);
+    let streamed = discover(
+        &Engine::build(world).unwrap(),
+        CampaignMode::Streamed { shards: 2 },
+    );
     assert_eq!(batch.rotating_48s, streamed.rotating_48s);
     assert_eq!(batch, streamed, "every report field must agree");
     assert!(
@@ -31,24 +53,57 @@ fn streaming_equals_batch_on_the_paper_world() {
     );
 }
 
-/// Same world seed + any shard count ⇒ identical merged report.
+/// The same equivalence holds on the recorded backend: capture one batch run
+/// against the simulated Internet, then replay the log — the batch and
+/// streamed pipelines over the *replay* both reproduce the live report.
+#[test]
+fn streaming_equals_batch_on_the_recorded_backend() {
+    let world = scenarios::paper_world(2024, WorldScale::small());
+    let engine = Engine::build(world).unwrap();
+
+    let recorder = RecordingBackend::new(&engine);
+    let live = discover(&recorder, CampaignMode::Batch);
+    let replay = RecordedBackend::from_log(recorder.finish());
+
+    let replayed_batch = discover(&replay, CampaignMode::Batch);
+    let replayed_stream = discover(&replay, CampaignMode::Streamed { shards: 3 });
+    assert_eq!(live, replayed_batch, "replay must reproduce the live run");
+    assert_eq!(live, replayed_stream, "streamed replay must agree too");
+    assert!(
+        !live.rotating_48s.is_empty(),
+        "vacuous equality proves nothing"
+    );
+}
+
+/// Same world seed + any shard count (and any observation batch size) ⇒
+/// identical merged report.
 #[test]
 fn shard_merge_is_deterministic() {
     let world = scenarios::paper_world(99, WorldScale::small());
     let reports: Vec<PipelineReport> = [1usize, 2, 4]
         .iter()
         .map(|&shards| {
-            StreamPipeline::with_shards(small_config(), shards)
-                .run(&Engine::build(world.clone()).unwrap())
+            discover(
+                &Engine::build(world.clone()).unwrap(),
+                CampaignMode::Streamed { shards },
+            )
         })
         .collect();
     assert_eq!(reports[0], reports[1]);
     assert_eq!(reports[0], reports[2]);
+    let batched = Campaign::builder()
+        .world(&Engine::build(world).unwrap())
+        .pipeline_config(small_config())
+        .observation_batch(128)
+        .mode(CampaignMode::Streamed { shards: 4 })
+        .run()
+        .unwrap();
+    assert_eq!(&reports[0], batched.pipeline().unwrap());
 }
 
-/// The continuous monitor sees the same rotating /48s the batch pipeline's
-/// two-snapshot comparison flags when pointed at the same candidates over the
-/// same two days.
+/// The continuous monitor, driven through the facade, sees the same rotating
+/// /48s the batch pipeline's two-snapshot comparison flags when pointed at
+/// the same candidates over the same two days.
 #[test]
 fn continuous_monitor_agrees_with_batch_detection() {
     let world = scenarios::versatel_like(7);
@@ -60,12 +115,21 @@ fn continuous_monitor_agrees_with_batch_detection() {
         .iter()
         .flat_map(|p| p.config.prefix.subnets(48).unwrap())
         .collect();
-    let monitor = StreamMonitor::new(MonitorConfig {
-        windows: 2,
-        shards: 3,
-        ..MonitorConfig::default()
-    });
-    let report = monitor.run(&engine, &watched);
+    let report = Campaign::builder()
+        .world(&engine)
+        .seed(0x57ae)
+        .watch(watched.clone())
+        .monitor_granularity(56)
+        .start(followscent::simnet::SimTime::at(10, 9))
+        .mode(CampaignMode::Monitor {
+            windows: 2,
+            shards: 3,
+        })
+        .run()
+        .expect("valid monitor configuration");
+    let report = report
+        .monitor()
+        .expect("monitor mode yields a monitor report");
     assert!(!report.rotating_48s.is_empty());
     // Versatel rotates daily: every watched pool /48 with occupied space
     // must produce events, and all flagged /48s are watched ones.
