@@ -53,7 +53,7 @@ pub use rate::{FeedbackPacer, ProbePacer, TokenBucket};
 pub use recorded::{ProbeLog, RecordedBackend, RecordedTrace, RecordedWorld, RecordingBackend};
 pub use records::{ProbeRecord, ResponseRecord, Scan};
 pub use seed::{SeedCampaign, SeedEntry};
-pub use targets::{StreamedTarget, TargetGenerator, TargetStream};
+pub use targets::{slice_bounds, StreamedTarget, TargetGenerator, TargetStream};
 pub use yarrp::{TraceRecord, Tracer};
 pub use zmap6::{Campaign, Scanner, ScannerConfig};
 

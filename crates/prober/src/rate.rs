@@ -93,6 +93,21 @@ impl FeedbackPacer {
         self.cursor
     }
 
+    /// Advance the pacer as if `count` probes had been sent, without sending
+    /// them. Exactly equivalent to calling [`FeedbackPacer::next_send_time`]
+    /// `count` times (at the current rate) in O(1) — this is what lets a
+    /// sharded producer that owns only a slice of a scan pass keep its pacer
+    /// state bit-identical to the single-producer pacer that paces every
+    /// position.
+    pub fn skip(&mut self, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let total = self.sent_in_second + count;
+        self.cursor += SimDuration::from_secs((total - 1) / self.current_pps);
+        self.sent_in_second = (total - 1) % self.current_pps + 1;
+    }
+
     /// Multiplicative back-off: the consumer could not keep up.
     pub fn on_backpressure(&mut self) {
         self.current_pps = (self.current_pps / 2).max(self.min_pps);
@@ -215,6 +230,29 @@ mod tests {
             last_slow = slow.next_send_time();
         }
         assert!(last_slow > last_fast, "halved rate must take longer");
+    }
+
+    #[test]
+    fn skip_is_equivalent_to_repeated_sends() {
+        // Every (skip-count, phase-within-second) combination must leave the
+        // pacer in exactly the state that many next_send_time calls would.
+        for pre in [0u64, 1, 3, 7, 8, 9] {
+            for count in [0u64, 1, 2, 7, 8, 9, 16, 100] {
+                let mut stepped = FeedbackPacer::new(SimTime::at(3, 5), 8);
+                let mut skipped = FeedbackPacer::new(SimTime::at(3, 5), 8);
+                for _ in 0..pre {
+                    stepped.next_send_time();
+                    skipped.next_send_time();
+                }
+                for _ in 0..count {
+                    stepped.next_send_time();
+                }
+                skipped.skip(count);
+                assert_eq!(stepped, skipped, "pre={pre} count={count}");
+                // And the next probe after the jump agrees too.
+                assert_eq!(stepped.next_send_time(), skipped.next_send_time());
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::{ProbeTransport, WorldView};
 
 /// A serializable snapshot of a backend's control plane: everything
 /// [`WorldView`] answers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordedWorld {
     /// The vantage point's source address.
     pub vantage: Ipv6Addr,
@@ -54,13 +54,21 @@ pub struct RecordedTrace {
 
 /// A complete capture of one measurement run: the world snapshot, every
 /// probe outcome, and every traceroute.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Logs are *canonically ordered* ([`RecordingBackend::finish`] sorts probes
+/// by `(send time, target)` and traces by `(send time, target)`), so two
+/// captures of the same deterministic run compare equal even when the run
+/// probed from multiple producer threads, whose wall-clock capture order is
+/// scheduler-dependent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProbeLog {
     /// The control-plane snapshot.
     pub world: RecordedWorld,
-    /// Every probe sent, in send order ([`ResponseRecord`]s inside).
+    /// Every probe sent, in canonical `(sent_at, target)` order
+    /// ([`ResponseRecord`]s inside).
     pub probes: Vec<ProbeRecord>,
-    /// Every traceroute run, in send order ([`TraceRecord`]s inside).
+    /// Every traceroute run, in canonical `(at, target)` order
+    /// ([`TraceRecord`]s inside).
     pub traces: Vec<RecordedTrace>,
 }
 
@@ -96,8 +104,17 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> RecordingBackend<'a, B> {
         }
     }
 
-    /// Stop recording and return the captured log.
+    /// Stop recording and return the captured log, canonically ordered:
+    /// probes sorted by `(sent_at, target)`, traces by `(at, target)`. A
+    /// deterministic run recorded twice therefore yields byte-equal logs no
+    /// matter how many producer threads drove the probing or how the OS
+    /// interleaved them (the sort is stable, so duplicate `(target, second)`
+    /// keys keep their capture order and replay still sees the last one).
     pub fn finish(self) -> ProbeLog {
+        let mut probes = self.probes.into_inner().expect("recorder lock poisoned");
+        probes.sort_by_key(|record| (record.sent_at, record.target));
+        let mut traces = self.traces.into_inner().expect("recorder lock poisoned");
+        traces.sort_by_key(|trace| (trace.at, trace.record.target));
         ProbeLog {
             world: RecordedWorld {
                 vantage: self.inner.vantage(),
@@ -105,8 +122,8 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> RecordingBackend<'a, B> {
                 rib: self.inner.rib().entries(),
                 as_registry: self.inner.as_registry().clone(),
             },
-            probes: self.probes.into_inner().expect("recorder lock poisoned"),
-            traces: self.traces.into_inner().expect("recorder lock poisoned"),
+            probes,
+            traces,
         }
     }
 }

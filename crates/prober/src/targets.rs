@@ -91,6 +91,20 @@ pub struct StreamedTarget {
     pub target: Ipv6Addr,
 }
 
+/// The contiguous sub-range of `0..n` owned by producer `producer` of
+/// `producers` when a probing-order sequence is split into even disjoint
+/// *contiguous* slices: `[n*k/P, n*(k+1)/P)`. Concatenating the slices for
+/// `k = 0..P` reconstructs `0..n` exactly. (The streaming engine's producer
+/// sharding itself uses *strided* slices — see [`TargetStream::slice`] — so
+/// that a k-way merge consumes all producers round-robin instead of draining
+/// them one after another; contiguous bounds remain useful for static work
+/// partitioning.)
+pub fn slice_bounds(n: usize, producer: usize, producers: usize) -> (usize, usize) {
+    assert!(producers > 0, "at least one producer");
+    assert!(producer < producers, "producer index out of range");
+    (n * producer / producers, n * (producer + 1) / producers)
+}
+
 /// An endless target stream for continuous monitoring: the same target list,
 /// revisited window after window in the same zmap-permuted order (the paper
 /// probes "the same addresses every 24 hours in the same order").
@@ -98,12 +112,24 @@ pub struct StreamedTarget {
 /// This is the streaming counterpart of building a target `Vec` and scanning
 /// it repeatedly: instead of materializing per-window scans, a consumer pulls
 /// one [`StreamedTarget`] at a time, forever.
+///
+/// A stream can be restricted to a *strided slice* of each window's probing
+/// order ([`TargetStream::slice`]): producer `k` of `P` yields exactly the
+/// positions `k, k + P, k + 2P, …` of every window, with the same global
+/// `seq` numbers the full stream would assign, so P sliced streams partition
+/// the full stream's output without coordinating — and a k-way merge over
+/// them consumes every producer round-robin, which is what keeps all P
+/// producer threads busy at once.
 #[derive(Debug, Clone)]
 pub struct TargetStream {
     targets: Vec<Ipv6Addr>,
     order: Vec<u64>,
     window: u64,
     pos: usize,
+    /// First probing-order position this stream yields per window.
+    offset: usize,
+    /// Distance between consecutive owned positions (1 = the whole order).
+    step: usize,
 }
 
 impl TargetStream {
@@ -129,12 +155,52 @@ impl TargetStream {
             order,
             window: 0,
             pos: 0,
+            offset: 0,
+            step: 1,
         }
     }
 
-    /// Number of targets per window.
+    /// Restrict the stream to producer `producer`'s strided slice of each
+    /// window's probing order: positions `producer, producer + producers, …`.
+    /// Must be called before the first draw. The sliced stream's `seq`
+    /// numbers are the full stream's — position `p` of window `w` is yielded
+    /// as `seq == p`.
+    pub fn slice(mut self, producer: usize, producers: usize) -> Self {
+        assert!(producers > 0, "at least one producer");
+        assert!(producer < producers, "producer index out of range");
+        assert!(
+            self.window == 0 && self.pos == self.offset,
+            "slice a fresh stream, not one already drawn from"
+        );
+        assert!(
+            (self.offset, self.step) == (0, 1),
+            "stream is already sliced; apply a slice exactly once"
+        );
+        self.offset = producer;
+        self.step = producers;
+        self.pos = producer;
+        self
+    }
+
+    /// Number of targets per window (of the full, unsliced order).
     pub fn window_len(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Number of targets per window this stream itself yields (`window_len`
+    /// unless sliced).
+    pub fn slice_len(&self) -> usize {
+        if self.offset >= self.targets.len() {
+            return 0;
+        }
+        (self.targets.len() - self.offset).div_ceil(self.step)
+    }
+
+    /// The strided slice of each window's probing order this stream yields:
+    /// `(offset, step)` — positions `offset, offset + step, …`;
+    /// `(0, 1)` unless sliced.
+    pub fn slice_stride(&self) -> (usize, usize) {
+        (self.offset, self.step)
     }
 
     /// The window the next target will come from.
@@ -142,19 +208,19 @@ impl TargetStream {
         self.window
     }
 
-    /// Draw the next target. Returns `None` only for an empty target list;
-    /// otherwise the stream is infinite, advancing to the next window after
-    /// each full pass.
+    /// Draw the next target. Returns `None` only for an empty target list (or
+    /// an empty slice); otherwise the stream is infinite, advancing to the
+    /// next window after each full pass over its slice.
     pub fn next_target(&mut self) -> Option<StreamedTarget> {
-        if self.targets.is_empty() {
+        if self.offset >= self.targets.len() {
             return None;
         }
         let seq = self.pos as u64;
         let target = self.targets[self.order[self.pos] as usize];
         let window = self.window;
-        self.pos += 1;
-        if self.pos == self.targets.len() {
-            self.pos = 0;
+        self.pos += self.step;
+        if self.pos >= self.targets.len() {
+            self.pos = self.offset;
             self.window += 1;
         }
         Some(StreamedTarget {
@@ -263,6 +329,52 @@ mod tests {
         assert_eq!(stream.next_target().unwrap().target, targets[0]);
         assert_eq!(stream.next_target().unwrap().target, targets[1]);
         assert_eq!(stream.next_target().unwrap().window, 1);
+    }
+
+    #[test]
+    fn slices_partition_the_full_stream() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        for producers in [1usize, 2, 3, 5, 8] {
+            let mut full = TargetStream::new(&generator, &candidates, 56, 77, true);
+            // Two windows of the full stream...
+            let want: Vec<_> = (0..512).map(|_| full.next_target().unwrap()).collect();
+            // ...must equal the union of every strided slice, reassembled in
+            // (window, seq) order.
+            let mut slices: Vec<_> = (0..producers)
+                .map(|k| {
+                    TargetStream::new(&generator, &candidates, 56, 77, true).slice(k, producers)
+                })
+                .collect();
+            assert_eq!(slices.iter().map(|s| s.slice_len()).sum::<usize>(), 256);
+            let mut got = Vec::new();
+            for (k, slice) in slices.iter_mut().enumerate() {
+                for _ in 0..2 * slice.slice_len() {
+                    let t = slice.next_target().unwrap();
+                    // Producer k owns exactly the positions ≡ k (mod P).
+                    assert_eq!(t.seq as usize % producers, k);
+                    got.push(t);
+                }
+            }
+            got.sort_by_key(|t| (t.window, t.seq));
+            assert_eq!(got, want, "producers={producers}");
+        }
+    }
+
+    #[test]
+    fn slice_bounds_cover_without_overlap() {
+        for n in [0usize, 1, 7, 256, 1000] {
+            for producers in 1..=9 {
+                let mut next = 0;
+                for k in 0..producers {
+                    let (lo, hi) = slice_bounds(n, k, producers);
+                    assert_eq!(lo, next, "n={n} P={producers} k={k}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, n);
+            }
+        }
     }
 
     #[test]

@@ -11,16 +11,21 @@
 //! |---|---|---|
 //! | Event type & sources | [`observation`] | [`Observation`]s, the [`ObservationSource`] trait |
 //! | Engine adapters | [`source`] | Drive a [`ProbeTransport`](scent_prober::ProbeTransport) as a finite scan replay or an infinite virtual-time stream with AIMD rate feedback |
+//! | Producer sharding | [`clock`] | Split the probing side into P per-slice producers and recombine them through the [`MergedClock`] — bit-identical output for any producer count |
 //! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels with backpressure |
 //! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
 //! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking |
 //!
-//! Two properties hold by construction and are enforced by tests:
+//! Three properties hold by construction and are enforced by tests:
 //!
 //! * **Shard-merge determinism** — the merged report is identical for any
 //!   shard count, because every /48's state lives wholly in one shard
 //!   (routing is by announced prefix) and merges are order-normalized.
+//! * **Producer-merge determinism** — the merged observation sequence is
+//!   identical for any *producer* count, because per-producer slices carry
+//!   global sequence numbers and send times and the [`MergedClock`] replays
+//!   them in global order regardless of thread scheduling.
 //! * **Batch equivalence** — [`StreamPipeline::run`] produces the same
 //!   [`PipelineReport`](scent_core::PipelineReport) as the batch pipeline on
 //!   the same world, because the batch classifiers are implemented on top of
@@ -29,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod monitor;
 pub mod observation;
 pub mod pipeline;
@@ -36,6 +42,7 @@ pub mod router;
 pub mod shard;
 pub mod source;
 
+pub use clock::{spawn_producers, ChannelSource, LimitedSource, MergedClock};
 pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor};
 pub use observation::{Observation, ObservationSource, Phase};
 pub use pipeline::{StreamConfig, StreamPipeline};

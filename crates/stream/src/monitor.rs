@@ -17,6 +17,7 @@ use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, TargetGenerator, TargetStream, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 
+use crate::clock::{spawn_producers, LimitedSource};
 use crate::observation::ObservationSource;
 use crate::router::ShardRouter;
 use crate::shard::{spawn_shards, ShardInference};
@@ -27,7 +28,16 @@ use crate::source::ContinuousStream;
 pub struct MonitorConfig {
     /// Number of inference shards.
     pub shards: usize,
-    /// Bounded per-shard queue capacity, in messages.
+    /// Number of probe producers each window's scan is split across (1 = one
+    /// prober thread). Producers probe concurrently; the merged clock keeps
+    /// the observation sequence — and therefore every report — bit-identical
+    /// for any count. Incompatible with [`MonitorConfig::rate_feedback`]
+    /// (AIMD is a whole-stream property).
+    pub producers: usize,
+    /// Bounded per-shard queue capacity, in messages. Also the per-producer
+    /// channel capacity when `producers > 1` — producer channels carry
+    /// batches of up to 64 observations per message, so a producer can run
+    /// up to `64 * channel_capacity` observations ahead of the merge.
     pub channel_capacity: usize,
     /// Observations accumulated per channel message (1 = one message per
     /// observation). Larger batches amortize channel overhead; live
@@ -68,6 +78,7 @@ impl Default for MonitorConfig {
     fn default() -> Self {
         MonitorConfig {
             shards: 2,
+            producers: 1,
             channel_capacity: 1024,
             observation_batch: 1,
             seed: 0x57ae,
@@ -129,57 +140,92 @@ impl StreamMonitor {
     /// Monitor the watched /48s for the configured number of windows,
     /// against any measurement backend.
     ///
-    /// Probing, routing and inference overlap: the prober thread (this one)
-    /// pulls observations off the infinite stream and routes them while the
-    /// shard threads fold earlier observations into their classifiers. When
-    /// a shard queue fills, the resulting stall is fed back into the prober's
-    /// rate limiter before the next probe is paced.
+    /// Probing, routing and inference overlap: the prober side pulls
+    /// observations off the infinite stream and routes them while the shard
+    /// threads fold earlier observations into their classifiers. With one
+    /// producer, a shard-queue stall can be fed back into the prober's rate
+    /// limiter before the next probe is paced
+    /// ([`MonitorConfig::rate_feedback`]); with several, each producer probes
+    /// its slice of every window concurrently and the
+    /// [`MergedClock`](crate::clock::MergedClock) reconstructs the
+    /// single-producer observation sequence exactly.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(
         &self,
         world: &B,
         watched_48s: &[Ipv6Prefix],
     ) -> MonitorReport {
         let cfg = &self.config;
+        assert!(cfg.producers > 0, "at least one producer");
+        assert!(
+            cfg.producers == 1 || !cfg.rate_feedback,
+            "rate feedback requires a single producer"
+        );
         let generator = TargetGenerator::new(cfg.seed);
-        let targets = TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
-        let per_window = targets.window_len() as u64;
-        let mut stream = ContinuousStream::builder(world, targets)
-            .rate_pps(cfg.packets_per_second)
-            .start(cfg.start)
-            .window_interval(cfg.window_interval)
-            .build();
+        let build_stream = |producer: usize| {
+            let targets =
+                TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
+            ContinuousStream::builder(world, targets)
+                .rate_pps(cfg.packets_per_second)
+                .start(cfg.start)
+                .window_interval(cfg.window_interval)
+                .slice(producer, cfg.producers)
+                .build()
+        };
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
-        let (merged, stalls) = std::thread::scope(|scope| {
+        let (merged, stalls, final_rate) = std::thread::scope(|scope| {
             let (senders, handles) =
                 spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
             let mut router =
                 ShardRouter::with_batch(&world.rib().entries(), senders, cfg.observation_batch);
-            let total = per_window * cfg.windows;
             let mut current_window = 0u64;
-            for _ in 0..total {
-                let Some(obs) = stream.next_observation() else {
-                    break;
-                };
-                if obs.window > current_window {
-                    current_window = obs.window;
+            let mut compact_on_entering = |router: &mut ShardRouter, window: u64| {
+                if window > current_window {
+                    current_window = window;
                     if let Some(keep) = cfg.retention_windows {
                         if current_window > keep {
                             router.compact_before(current_window - keep);
                         }
                     }
                 }
-                let outcome = router.route(obs);
-                // Only delivering routes carry a stall signal; buffered
-                // routes say nothing about consumer capacity.
-                if cfg.rate_feedback && outcome.delivered {
-                    if outcome.backpressured {
-                        stream.throttle();
-                    } else {
-                        stream.recover();
+            };
+
+            let final_rate = if cfg.producers == 1 {
+                let mut stream = build_stream(0);
+                let total = stream.window_len() as u64 * cfg.windows;
+                for _ in 0..total {
+                    let Some(obs) = stream.next_observation() else {
+                        break;
+                    };
+                    compact_on_entering(&mut router, obs.window);
+                    let outcome = router.route(obs);
+                    // Only delivering routes carry a stall signal; buffered
+                    // routes say nothing about consumer capacity.
+                    if cfg.rate_feedback && outcome.delivered {
+                        if outcome.backpressured {
+                            stream.throttle();
+                        } else {
+                            stream.recover();
+                        }
                     }
                 }
-            }
+                stream.rate()
+            } else {
+                let sources: Vec<_> = (0..cfg.producers)
+                    .map(|k| {
+                        let stream = build_stream(k);
+                        let limit = stream.slice_len() as u64 * cfg.windows;
+                        LimitedSource::new(stream, limit)
+                    })
+                    .collect();
+                let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
+                while let Some(obs) = clock.next_observation() {
+                    compact_on_entering(&mut router, obs.window);
+                    router.route(obs);
+                }
+                cfg.packets_per_second
+            };
+
             let stalls = router.stalls();
             router.shutdown();
             let merged = ShardInference::merge_all(
@@ -187,7 +233,7 @@ impl StreamMonitor {
                     .into_iter()
                     .map(|h| h.join().expect("shard panicked")),
             );
-            (merged, stalls)
+            (merged, stalls, final_rate)
         });
 
         // The live channel has seen every event already; the merged state is
@@ -215,7 +261,7 @@ impl StreamMonitor {
             events,
             tracking,
             backpressure_stalls: stalls,
-            final_rate: stream.rate(),
+            final_rate,
         }
     }
 }
@@ -373,25 +419,72 @@ mod tests {
     }
 
     #[test]
-    fn monitor_is_deterministic_across_shard_counts_and_batching() {
+    fn monitor_is_deterministic_across_shard_counts_batching_and_producers() {
         let world = scenarios::continuous_world(37);
         let mut reports = Vec::new();
-        for (shards, observation_batch) in [(1usize, 1usize), (3, 1), (3, 128)] {
+        for (shards, observation_batch, producers) in [
+            (1usize, 1usize, 1usize),
+            (3, 1, 1),
+            (3, 128, 1),
+            (2, 1, 4),
+            (3, 64, 8),
+        ] {
             let engine = Engine::build(world.clone()).unwrap();
             let watched = watched_48s(&engine);
             let monitor = StreamMonitor::new(MonitorConfig {
                 shards,
                 observation_batch,
+                producers,
                 windows: 3,
                 ..MonitorConfig::default()
             });
             reports.push(monitor.run(&engine, &watched));
         }
-        for report in &reports[1..] {
-            assert_eq!(reports[0].events, report.events);
-            assert_eq!(reports[0].detection, report.detection);
-            assert_eq!(reports[0].tracking, report.tracking);
-            assert_eq!(reports[0].observations, report.observations);
+        let (first, rest) = reports.split_first_mut().expect("reports collected");
+        for report in rest {
+            // Stall counts are wall-clock scheduling, not inference state —
+            // the only field allowed to differ between runs.
+            report.backpressure_stalls = first.backpressure_stalls;
+            assert_eq!(first, report, "every report field must agree");
         }
+    }
+
+    #[test]
+    fn sharded_producers_respect_retention_compaction() {
+        // The compaction path must behave identically whether observations
+        // come from one producer or from the merged clock.
+        let world = scenarios::continuous_world(53);
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched = watched_48s(&engine);
+        let single = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            retention_windows: Some(2),
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+        let engine = Engine::build(world).unwrap();
+        let mut sharded = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            retention_windows: Some(2),
+            producers: 3,
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+        sharded.backpressure_stalls = single.backpressure_stalls;
+        assert_eq!(single, sharded);
+        assert!(!sharded.events.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate feedback requires a single producer")]
+    fn rate_feedback_rejects_sharded_producers() {
+        let engine = Engine::build(scenarios::continuous_world(41)).unwrap();
+        let watched = watched_48s(&engine);
+        StreamMonitor::new(MonitorConfig {
+            producers: 2,
+            rate_feedback: true,
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
     }
 }

@@ -12,6 +12,12 @@
 //! functions are built on, so the final [`PipelineReport`] is identical to
 //! the batch pipeline's on any world — the equivalence the integration tests
 //! assert.
+//!
+//! With [`StreamConfig::producers`] above 1, each phase's scan is split into
+//! per-producer slices probing the backend concurrently and recombined
+//! through the [`MergedClock`](crate::clock::MergedClock); the merged
+//! sequence is bit-identical to the single-producer scan, so the report
+//! equality holds for any producer count (also test-enforced).
 
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +27,7 @@ use scent_core::{DensityReport, PipelineConfig, PipelineReport, SeedExpansion};
 use scent_prober::{ProbeTransport, SeedCampaign, TargetGenerator, WorldView};
 use scent_simnet::SimDuration;
 
+use crate::clock::spawn_producers;
 use crate::observation::{ObservationSource, Phase};
 use crate::router::ShardRouter;
 use crate::shard::{spawn_shards, ShardInference};
@@ -33,7 +40,15 @@ pub struct StreamConfig {
     pub pipeline: PipelineConfig,
     /// Number of inference shards.
     pub shards: usize,
-    /// Bounded per-shard queue capacity, in messages.
+    /// Number of probe producers each phase's scan is split across (1 = the
+    /// classic single-threaded prober). Producers probe concurrently; the
+    /// merged clock keeps the observation sequence — and therefore the
+    /// report — bit-identical for any count.
+    pub producers: usize,
+    /// Bounded per-shard queue capacity, in messages. Also the per-producer
+    /// channel capacity when `producers > 1` — producer channels carry
+    /// batches of up to 64 observations per message, so a producer can run
+    /// up to `64 * channel_capacity` observations ahead of the merge.
     pub channel_capacity: usize,
     /// Observations accumulated per channel message (1 = one message per
     /// observation). Larger batches amortize channel overhead without
@@ -46,9 +61,30 @@ impl Default for StreamConfig {
         StreamConfig {
             pipeline: PipelineConfig::default(),
             shards: 2,
+            producers: 1,
             channel_capacity: 1024,
             observation_batch: 1,
         }
+    }
+}
+
+/// Drive a set of per-producer sources into the router: directly for a
+/// single producer, through threaded producers and the merged clock
+/// otherwise.
+fn route_producers<'scope, S>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    router: &mut ShardRouter,
+    sources: Vec<S>,
+    channel_capacity: usize,
+) where
+    S: ObservationSource + Send + 'scope,
+{
+    if sources.len() == 1 {
+        let mut source = sources.into_iter().next().expect("one source");
+        router.route_stream(&mut source);
+    } else {
+        let mut clock = spawn_producers(scope, sources, channel_capacity);
+        router.route_stream(&mut clock);
     }
 }
 
@@ -77,11 +113,26 @@ impl StreamPipeline {
         }
     }
 
+    /// A streamed pipeline with the given shard and producer counts and
+    /// otherwise default configuration.
+    pub fn with_producers(pipeline: PipelineConfig, shards: usize, producers: usize) -> Self {
+        StreamPipeline {
+            config: StreamConfig {
+                pipeline,
+                shards,
+                producers,
+                ..StreamConfig::default()
+            },
+        }
+    }
+
     /// Run the full pipeline against any measurement backend, streaming
     /// every probe through the shards. Produces the identical report the
     /// batch [`Pipeline`](scent_core::Pipeline) computes from whole scans.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(&self, world: &B) -> PipelineReport {
         let cfg = &self.config.pipeline;
+        let producers = self.config.producers;
+        assert!(producers > 0, "at least one producer");
 
         // Step 0: stale seed traceroute campaign (bootstrap, not streamed —
         // it predates the monitor by construction).
@@ -110,15 +161,18 @@ impl StreamPipeline {
                 .iter()
                 .map(|c| generator.random_addr_in(c))
                 .collect();
-            let mut source = ScanStream::builder(world, expansion_targets)
-                .phase(Phase::Expansion)
-                .seed(cfg.seed ^ 0x9e37)
-                .rate_pps(10_000)
-                .start(cfg.expansion_time)
-                .build();
-            while let Some(obs) = source.next_observation() {
-                router.route(obs);
-            }
+            let sources: Vec<_> = (0..producers)
+                .map(|k| {
+                    ScanStream::builder(world, expansion_targets.clone())
+                        .phase(Phase::Expansion)
+                        .seed(cfg.seed ^ 0x9e37)
+                        .rate_pps(10_000)
+                        .start(cfg.expansion_time)
+                        .slice(k, producers)
+                        .build()
+                })
+                .collect();
+            route_producers(scope, &mut router, sources, self.config.channel_capacity);
             let after_expansion = ShardInference::merge_all(router.flush());
             let validated: Vec<_> = after_expansion.validated.iter().copied().collect();
 
@@ -127,15 +181,18 @@ impl StreamPipeline {
             let density_generator = TargetGenerator::new(cfg.seed ^ 0xdead);
             let density_targets =
                 density_generator.per_candidate_48(&validated, cfg.density_granularity);
-            let mut source = ScanStream::builder(world, density_targets)
-                .phase(Phase::Density)
-                .seed(cfg.seed)
-                .rate_pps(cfg.packets_per_second)
-                .start(cfg.expansion_time + SimDuration::from_hours(2))
-                .build();
-            while let Some(obs) = source.next_observation() {
-                router.route(obs);
-            }
+            let sources: Vec<_> = (0..producers)
+                .map(|k| {
+                    ScanStream::builder(world, density_targets.clone())
+                        .phase(Phase::Density)
+                        .seed(cfg.seed)
+                        .rate_pps(cfg.packets_per_second)
+                        .start(cfg.expansion_time + SimDuration::from_hours(2))
+                        .slice(k, producers)
+                        .build()
+                })
+                .collect();
+            route_producers(scope, &mut router, sources, self.config.channel_capacity);
             let after_density = ShardInference::merge_all(router.flush());
             let density = DensityReport::from_accumulators(&validated, &after_density.density);
             let high = density.high_density();
@@ -147,16 +204,19 @@ impl StreamPipeline {
             for window in 0..2u64 {
                 let start = cfg.first_snapshot
                     + SimDuration::from_secs(SimDuration::from_days(1).as_secs() * window);
-                let mut source = ScanStream::builder(world, detection_targets.clone())
-                    .phase(Phase::Detection)
-                    .window(window)
-                    .seed(cfg.seed)
-                    .rate_pps(cfg.packets_per_second)
-                    .start(start)
-                    .build();
-                while let Some(obs) = source.next_observation() {
-                    router.route(obs);
-                }
+                let sources: Vec<_> = (0..producers)
+                    .map(|k| {
+                        ScanStream::builder(world, detection_targets.clone())
+                            .phase(Phase::Detection)
+                            .window(window)
+                            .seed(cfg.seed)
+                            .rate_pps(cfg.packets_per_second)
+                            .start(start)
+                            .slice(k, producers)
+                            .build()
+                    })
+                    .collect();
+                route_producers(scope, &mut router, sources, self.config.channel_capacity);
             }
 
             // Shut the stream down and fold the final shard states.
@@ -235,6 +295,22 @@ mod tests {
         .run(&engine);
         assert_eq!(unbatched, batched);
         assert!(!batched.rotating_48s.is_empty());
+    }
+
+    #[test]
+    fn producer_count_does_not_change_the_report() {
+        let world = scenarios::paper_world(71, WorldScale::small());
+        let reports: Vec<PipelineReport> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&producers| {
+                let engine = Engine::build(world.clone()).unwrap();
+                StreamPipeline::with_producers(small_config(), 2, producers).run(&engine)
+            })
+            .collect();
+        for report in &reports[1..] {
+            assert_eq!(&reports[0], report);
+        }
+        assert!(!reports[0].rotating_48s.is_empty());
     }
 
     #[test]

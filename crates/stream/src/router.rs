@@ -26,7 +26,7 @@ use scent_bgp::{PrefixTrie, RibEntry};
 use scent_ipv6::{addr_to_u128, Ipv6Prefix};
 use scent_simnet::det::hash2;
 
-use crate::observation::Observation;
+use crate::observation::{Observation, ObservationSource};
 use crate::shard::ShardMsg;
 
 /// The outcome of routing one observation.
@@ -135,6 +135,20 @@ impl ShardRouter {
                 backpressured: false,
             }
         }
+    }
+
+    /// Drain an observation source into the shards, one route per
+    /// observation, returning how many were routed. This is the ingest loop
+    /// of the streamed pipeline: the source may be a single scan stream or a
+    /// [`MergedClock`](crate::clock::MergedClock) over many producers — the
+    /// router cannot tell the difference, which is the point.
+    pub fn route_stream<S: ObservationSource + ?Sized>(&mut self, source: &mut S) -> u64 {
+        let mut routed = 0;
+        while let Some(obs) = source.next_observation() {
+            self.route(obs);
+            routed += 1;
+        }
+        routed
     }
 
     /// Send one message, blocking on a full queue and counting the stall.

@@ -23,6 +23,14 @@ use scent_simnet::{SimDuration, SimTime};
 use crate::observation::{Observation, ObservationSource, Phase};
 
 /// Replay of one scan pass as an observation stream.
+///
+/// A scan can be split into P per-producer streams with
+/// [`ScanStreamBuilder::slice`]: producer `k` then yields only its *strided*
+/// slice of the global probing order (positions `k, k + P, k + 2P, …`), with
+/// the same global sequence numbers and send times the single-producer
+/// stream assigns. The slices partition the full stream's output exactly,
+/// and because they interleave position-wise, a k-way merge consumes all P
+/// producers round-robin — no producer ever waits for another to finish.
 pub struct ScanStream<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: Vec<std::net::Ipv6Addr>,
@@ -31,6 +39,7 @@ pub struct ScanStream<'a, T: ProbeTransport + ?Sized> {
     phase: Phase,
     window: u64,
     pos: usize,
+    step: usize,
 }
 
 /// Builder for [`ScanStream`]: configures the scan parameters
@@ -46,6 +55,8 @@ pub struct ScanStreamBuilder<'a, T: ProbeTransport + ?Sized> {
     packets_per_second: u64,
     randomize_order: bool,
     start: SimTime,
+    producer: usize,
+    producers: usize,
 }
 
 impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
@@ -87,6 +98,18 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
         self
     }
 
+    /// Restrict the stream to producer `producer`'s strided slice of the
+    /// global probing order (default: the whole scan). The sliced stream's
+    /// sequence numbers and send times are the positions the single-producer
+    /// stream would assign, so P slices partition one scan pass exactly.
+    pub fn slice(mut self, producer: usize, producers: usize) -> Self {
+        assert!(producers > 0, "at least one producer");
+        assert!(producer < producers, "producer index out of range");
+        self.producer = producer;
+        self.producers = producers;
+        self
+    }
+
     /// Build the stream: the same probing order and send times
     /// `Scanner::scan` would use with these parameters.
     pub fn build(self) -> ScanStream<'a, T> {
@@ -102,7 +125,8 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
             pacer: ProbePacer::new(self.start, self.packets_per_second),
             phase: self.phase,
             window: self.window,
-            pos: 0,
+            pos: self.producer,
+            step: self.producers,
         }
     }
 }
@@ -119,17 +143,23 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStream<'a, T> {
             packets_per_second: 10_000,
             randomize_order: true,
             start: SimTime::at(0, 0),
+            producer: 0,
+            producers: 1,
         }
     }
 
-    /// Number of probes this stream will send.
+    /// Number of probes this stream has left to send (its slice of the scan;
+    /// the whole scan unless sliced).
     pub fn len(&self) -> usize {
-        self.targets.len()
+        if self.pos >= self.targets.len() {
+            return 0;
+        }
+        (self.targets.len() - self.pos).div_ceil(self.step)
     }
 
-    /// Whether the stream has no targets at all.
+    /// Whether the stream has nothing (left) to send.
     pub fn is_empty(&self) -> bool {
-        self.targets.is_empty()
+        self.len() == 0
     }
 }
 
@@ -141,7 +171,7 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ScanStream<'_, T> {
         let seq = self.pos as u64;
         let target = self.targets[self.order[self.pos] as usize];
         let sent_at = self.pacer.send_time(seq);
-        self.pos += 1;
+        self.pos += self.step;
         let response = self
             .transport
             .probe(target, sent_at)
@@ -162,13 +192,26 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ScanStream<'_, T> {
 
 /// An infinite virtual-time probe stream: the same targets, window after
 /// window, with AIMD rate feedback.
+///
+/// Like [`ScanStream`], a continuous stream can be restricted to one
+/// producer's strided slice of every window's probing order
+/// ([`ContinuousStreamBuilder::slice`]). A sliced stream fast-forwards its
+/// pacer over the positions other producers own
+/// ([`FeedbackPacer::skip`]), so every observation it emits carries exactly
+/// the sequence number and virtual send time the single-producer stream
+/// assigns to that position — including across window boundaries and
+/// overrunning windows. Rate feedback is a whole-stream property and is only
+/// available on an unsliced stream.
 pub struct ContinuousStream<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: TargetStream,
     pacer: FeedbackPacer,
     first_start: SimTime,
     window_interval: SimDuration,
-    entered_window: u64,
+    entered: Option<u64>,
+    /// Probing-order positions of the current window already accounted for
+    /// on the pacer (sent by this producer or skipped as foreign).
+    accounted: u64,
 }
 
 /// Builder for [`ContinuousStream`].
@@ -179,6 +222,8 @@ pub struct ContinuousStreamBuilder<'a, T: ProbeTransport + ?Sized> {
     packets_per_second: u64,
     first_start: SimTime,
     window_interval: SimDuration,
+    producer: usize,
+    producers: usize,
 }
 
 impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
@@ -202,18 +247,45 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
         self
     }
 
+    /// Restrict the stream to producer `producer`'s strided slice of each
+    /// window's probing order (default: the whole window). Sliced streams
+    /// cannot use rate feedback ([`ContinuousStream::throttle`] panics):
+    /// their send times are a pure function of position, which is what makes
+    /// a P-producer merge bit-identical to the single-producer stream.
+    ///
+    /// Equivalent to passing an already-sliced [`TargetStream`] to
+    /// [`ContinuousStream::builder`]; slicing in both places panics
+    /// ([`TargetStream::slice`] rejects re-slicing) so a slice is always
+    /// applied exactly once.
+    pub fn slice(mut self, producer: usize, producers: usize) -> Self {
+        assert!(producers > 0, "at least one producer");
+        assert!(producer < producers, "producer index out of range");
+        self.producer = producer;
+        self.producers = producers;
+        self
+    }
+
     /// Build the stream: window `w` begins no earlier than
     /// `start + w * window_interval` (and no earlier than the pacer's own
     /// clock — a stream throttled below the window budget simply runs late,
     /// it never probes back in time).
     pub fn build(self) -> ContinuousStream<'a, T> {
+        let targets = if self.producers > 1 {
+            // One authoritative slicing site: if the caller pre-sliced the
+            // target stream, TargetStream::slice panics here rather than
+            // silently replacing the slice.
+            self.targets.slice(self.producer, self.producers)
+        } else {
+            self.targets
+        };
         ContinuousStream {
             transport: self.transport,
-            targets: self.targets,
+            targets,
             pacer: FeedbackPacer::new(self.first_start, self.packets_per_second),
             first_start: self.first_start,
             window_interval: self.window_interval,
-            entered_window: 0,
+            entered: None,
+            accounted: 0,
         }
     }
 }
@@ -227,16 +299,35 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
             packets_per_second: 10_000,
             first_start: SimTime::at(0, 0),
             window_interval: SimDuration::from_days(1),
+            producer: 0,
+            producers: 1,
         }
     }
 
+    /// Whether this stream paces every position of the window itself (i.e.
+    /// was not sliced across producers).
+    fn owns_whole_window(&self) -> bool {
+        self.targets.slice_stride() == (0, 1)
+    }
+
     /// Signal that the consumer could not keep up: halve the probing rate.
+    /// Panics on a sliced stream — feedback would desynchronize the slice's
+    /// virtual clock from its sibling producers'.
     pub fn throttle(&mut self) {
+        assert!(
+            self.owns_whole_window(),
+            "rate feedback requires an unsliced producer"
+        );
         self.pacer.on_backpressure();
     }
 
     /// Signal free-flowing consumption: recover the probing rate additively.
+    /// Panics on a sliced stream, like [`ContinuousStream::throttle`].
     pub fn recover(&mut self) {
+        assert!(
+            self.owns_whole_window(),
+            "rate feedback requires an unsliced producer"
+        );
         self.pacer.on_progress();
     }
 
@@ -250,22 +341,49 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
         self.targets.current_window()
     }
 
-    /// Number of probes per window.
+    /// Number of probes per window (across all producers).
     pub fn window_len(&self) -> usize {
         self.targets.window_len()
+    }
+
+    /// Number of probes per window this stream sends itself (`window_len`
+    /// unless sliced).
+    pub fn slice_len(&self) -> usize {
+        self.targets.slice_len()
+    }
+
+    /// Enter `window`: advance the pacer to the window's nominal start
+    /// (never probing back in time). Foreign positions ahead of this
+    /// producer's first are skipped lazily by the emission path.
+    fn enter_window(&mut self, window: u64) {
+        let nominal =
+            self.first_start + SimDuration::from_secs(self.window_interval.as_secs() * window);
+        self.pacer.advance_to(nominal);
+        self.entered = Some(window);
+        self.accounted = 0;
     }
 }
 
 impl<T: ProbeTransport + ?Sized> ObservationSource for ContinuousStream<'_, T> {
     fn next_observation(&mut self) -> Option<Observation> {
         let streamed = self.targets.next_target()?;
-        if streamed.window > self.entered_window || (streamed.window == 0 && streamed.seq == 0) {
-            // Window boundary: never probe before the window's nominal start.
-            let nominal = self.first_start
-                + SimDuration::from_secs(self.window_interval.as_secs() * streamed.window);
-            self.pacer.advance_to(nominal);
-            self.entered_window = streamed.window;
+        match self.entered {
+            Some(window) if streamed.window == window => {}
+            Some(window) => {
+                debug_assert_eq!(streamed.window, window + 1, "windows advance one at a time");
+                // Fast-forward over the finished window's remaining foreign
+                // positions, then enter the new one.
+                self.pacer
+                    .skip(self.targets.window_len() as u64 - self.accounted);
+                self.enter_window(streamed.window);
+            }
+            None => self.enter_window(streamed.window),
         }
+        // Fast-forward over foreign positions between the last position this
+        // pacer accounted for and our own; the pacer then stamps our position
+        // with exactly the send time the single-producer stream would.
+        self.pacer.skip(streamed.seq - self.accounted);
+        self.accounted = streamed.seq + 1;
         let sent_at = self.pacer.next_send_time();
         let response = self
             .transport
@@ -336,6 +454,119 @@ mod tests {
             seen.push(obs.target);
         }
         assert_eq!(seen, targets, "list order preserved");
+    }
+
+    /// Regression: an observation emitted exactly on a window boundary (the
+    /// previous window's probing consumed its interval to the second) must be
+    /// tagged with the *new* window — under any producer count.
+    #[test]
+    fn boundary_observation_lands_in_the_new_window_for_any_producer_count() {
+        let engine = Engine::build(scenarios::continuous_world(9)).unwrap();
+        let pool = engine.pools()[0].config.prefix;
+        let watched = [pool.nth_subnet(48, 0).unwrap()];
+        let start = SimTime::at(10, 9);
+        let make = |k: usize, producers: usize| {
+            // 256 targets at 256 pps and a 1-second interval: window w's
+            // probing exactly fills [start + w, start + w + 1).
+            let targets = TargetStream::new(&TargetGenerator::new(4), &watched, 56, 11, true);
+            ContinuousStream::builder(&engine, targets)
+                .rate_pps(256)
+                .start(start)
+                .window_interval(SimDuration::from_secs(1))
+                .slice(k, producers)
+                .build()
+        };
+        let drain_two_windows = |producers: usize| {
+            let mut sources: Vec<_> = (0..producers).map(|k| make(k, producers)).collect();
+            let mut merged = Vec::new();
+            // Round-robin-ish drain in key order via the merged clock.
+            let mut clock = crate::clock::MergedClock::new(
+                sources
+                    .drain(..)
+                    .map(|s| {
+                        let per_window = s.slice_len() as u64;
+                        crate::clock::LimitedSource::new(s, per_window * 2)
+                    })
+                    .collect(),
+            );
+            while let Some(obs) =
+                crate::observation::ObservationSource::next_observation(&mut clock)
+            {
+                merged.push(obs);
+            }
+            merged
+        };
+
+        let single = drain_two_windows(1);
+        assert_eq!(single.len(), 512);
+        // Window 0 fills second 0 exactly; the first window-1 observation
+        // lands exactly on the boundary instant and belongs to window 1.
+        assert!(single[..256].iter().all(|o| o.window == 0));
+        assert!(single[..256].iter().all(|o| o.sent_at == start));
+        let boundary = &single[256];
+        assert_eq!(
+            boundary.window, 1,
+            "boundary observation tags the new window"
+        );
+        assert_eq!(boundary.seq, 0);
+        assert_eq!(boundary.sent_at, start + SimDuration::from_secs(1));
+        assert!(single[256..].iter().all(|o| o.window == 1));
+
+        for producers in [2usize, 4] {
+            assert_eq!(
+                drain_two_windows(producers),
+                single,
+                "producers={producers}"
+            );
+        }
+
+        // An overrunning window (rate below the per-window budget) may spill
+        // past the boundary, but a new window still never starts before its
+        // nominal time — again for any producer count.
+        let make_slow = |k: usize, producers: usize| {
+            let targets = TargetStream::new(&TargetGenerator::new(4), &watched, 56, 11, true);
+            // 256 targets at 192 pps overrun the 1-second interval: window 0
+            // spends 192 probes in its own second and 64 in the boundary
+            // second, which window 1 then shares.
+            ContinuousStream::builder(&engine, targets)
+                .rate_pps(192)
+                .start(start)
+                .window_interval(SimDuration::from_secs(1))
+                .slice(k, producers)
+                .build()
+        };
+        let drain_slow = |producers: usize| {
+            let mut clock = crate::clock::MergedClock::new(
+                (0..producers)
+                    .map(|k| {
+                        let s = make_slow(k, producers);
+                        let per_window = s.slice_len() as u64;
+                        crate::clock::LimitedSource::new(s, per_window * 2)
+                    })
+                    .collect(),
+            );
+            let mut all = Vec::new();
+            while let Some(obs) =
+                crate::observation::ObservationSource::next_observation(&mut clock)
+            {
+                all.push(obs);
+            }
+            all
+        };
+        let slow = drain_slow(1);
+        for obs in &slow {
+            let nominal = start + SimDuration::from_secs(obs.window);
+            assert!(obs.sent_at >= nominal, "window starts before its time");
+        }
+        // The overrun makes window 0's tail share its second with window 1's
+        // head; the window tags must still partition by position.
+        assert_eq!(slow[255].window, 0);
+        assert_eq!(slow[256].window, 1);
+        assert_eq!(
+            slow[255].sent_at, slow[256].sent_at,
+            "shared boundary second"
+        );
+        assert_eq!(drain_slow(4), slow);
     }
 
     #[test]

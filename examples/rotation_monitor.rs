@@ -36,11 +36,14 @@ fn run() -> Result<(), ScentError> {
         }
     }
     println!(
-        "monitoring {} /48s across {} providers, 2 shards, 14 daily windows\n",
+        "monitoring {} /48s across {} providers, 4 producers -> 2 shards, 14 daily windows\n",
         watched.len(),
         engine.config().providers.len()
     );
 
+    // Four probe producers split every window's scan between them and are
+    // recombined through the merged deterministic clock, so this report is
+    // bit-identical to a single-threaded run's.
     let report = Campaign::builder()
         .world(&engine)
         .seed(0x57ae)
@@ -54,6 +57,7 @@ fn run() -> Result<(), ScentError> {
         .mode(CampaignMode::Monitor {
             windows: 14,
             shards: 2,
+            producers: 4,
         })
         .run()?;
     let report = report

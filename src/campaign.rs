@@ -23,12 +23,17 @@
 //!         .mode(CampaignMode::Batch)
 //!         .run()?;
 //!     // ...then replay the log through the streamed pipeline: same report,
-//!     // different backend, different execution strategy.
+//!     // different backend, different execution strategy — here with the
+//!     // probing side split across four parallel producers merged back into
+//!     // one deterministic virtual clock.
 //!     let replay = followscent::prober::RecordedBackend::from_log(recorder.finish());
 //!     let streamed = Campaign::builder()
 //!         .world(&replay)
 //!         .max_48s_per_seed(128)
-//!         .mode(CampaignMode::Streamed { shards: 2 })
+//!         .mode(CampaignMode::Streamed {
+//!             shards: 2,
+//!             producers: 4,
+//!         })
 //!         .run()?;
 //!     assert_eq!(batch.pipeline(), streamed.pipeline());
 //!     Ok(())
@@ -49,13 +54,18 @@ pub enum CampaignMode {
     /// The batch discovery pipeline: whole scans, one thread.
     Batch,
     /// The sharded streaming pipeline: identical report to [`Batch`]
-    /// (test-enforced), observations flow through `shards` inference
-    /// workers.
+    /// (test-enforced for any shard *and* producer count), observations are
+    /// probed by `producers` parallel probe threads, recombined through the
+    /// merged deterministic virtual clock, and flow through `shards`
+    /// inference workers.
     ///
     /// [`Batch`]: CampaignMode::Batch
     Streamed {
         /// Number of inference shards.
         shards: usize,
+        /// Number of probe producers each scan is split across (1 = the
+        /// classic single-threaded prober).
+        producers: usize,
     },
     /// The continuous rotation monitor over the watched /48s (set with
     /// [`CampaignBuilder::watch`]): endless windows, live rotation events,
@@ -65,6 +75,10 @@ pub enum CampaignMode {
         windows: u64,
         /// Number of inference shards.
         shards: usize,
+        /// Number of probe producers each window's scan is split across.
+        /// More than one is incompatible with
+        /// [`CampaignBuilder::rate_feedback`].
+        producers: usize,
     },
 }
 
@@ -275,13 +289,17 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
             CampaignMode::Batch => Ok(CampaignReport::Pipeline(
                 Pipeline::new(self.pipeline).run(self.world),
             )),
-            CampaignMode::Streamed { shards } => {
+            CampaignMode::Streamed { shards, producers } => {
                 if shards == 0 {
                     return Err(CampaignError::NoShards.into());
+                }
+                if producers == 0 {
+                    return Err(CampaignError::NoProducers.into());
                 }
                 let config = StreamConfig {
                     pipeline: self.pipeline,
                     shards,
+                    producers,
                     channel_capacity: self.channel_capacity,
                     observation_batch: self.observation_batch,
                 };
@@ -289,9 +307,16 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     StreamPipeline::new(config).run(self.world),
                 ))
             }
-            CampaignMode::Monitor { windows, shards } => {
+            CampaignMode::Monitor {
+                windows,
+                shards,
+                producers,
+            } => {
                 if shards == 0 {
                     return Err(CampaignError::NoShards.into());
+                }
+                if producers == 0 {
+                    return Err(CampaignError::NoProducers.into());
                 }
                 if windows == 0 {
                     return Err(CampaignError::NoWindows.into());
@@ -299,8 +324,12 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                 if self.watched.is_empty() {
                     return Err(CampaignError::EmptyWatchList.into());
                 }
+                if self.rate_feedback && producers > 1 {
+                    return Err(CampaignError::FeedbackWithShardedProducers.into());
+                }
                 let config = MonitorConfig {
                     shards,
+                    producers,
                     channel_capacity: self.channel_capacity,
                     observation_batch: self.observation_batch,
                     seed: self.pipeline.seed,
@@ -333,10 +362,39 @@ mod tests {
         let engine = Engine::build(scenarios::versatel_like(1)).unwrap();
         let err = Campaign::builder()
             .world(&engine)
-            .mode(CampaignMode::Streamed { shards: 0 })
+            .mode(CampaignMode::Streamed {
+                shards: 0,
+                producers: 1,
+            })
             .run()
             .unwrap_err();
         assert_eq!(err, ScentError::Campaign(CampaignError::NoShards));
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .mode(CampaignMode::Streamed {
+                shards: 2,
+                producers: 0,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(err, ScentError::Campaign(CampaignError::NoProducers));
+
+        let err = Campaign::builder()
+            .world(&engine)
+            .watch(vec!["2001:16b8:100::/48".parse().unwrap()])
+            .rate_feedback(true)
+            .mode(CampaignMode::Monitor {
+                windows: 2,
+                shards: 2,
+                producers: 4,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScentError::Campaign(CampaignError::FeedbackWithShardedProducers)
+        );
 
         let err = Campaign::builder()
             .world(&engine)
@@ -364,6 +422,7 @@ mod tests {
             .mode(CampaignMode::Monitor {
                 windows: 2,
                 shards: 2,
+                producers: 1,
             })
             .run()
             .unwrap_err();
@@ -375,6 +434,7 @@ mod tests {
             .mode(CampaignMode::Monitor {
                 windows: 0,
                 shards: 2,
+                producers: 1,
             })
             .run()
             .unwrap_err();
@@ -396,6 +456,7 @@ mod tests {
             .mode(CampaignMode::Monitor {
                 windows: 2,
                 shards: 2,
+                producers: 1,
             })
             .watch(watched)
             .monitor_granularity(56)

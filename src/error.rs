@@ -17,6 +17,9 @@ use scent_simnet::WorldError;
 pub enum CampaignError {
     /// A streamed or monitoring campaign was asked to run with zero shards.
     NoShards,
+    /// A streamed or monitoring campaign was asked to run with zero probe
+    /// producers.
+    NoProducers,
     /// The bounded shard channels were given zero capacity.
     ZeroChannelCapacity,
     /// The observation-batching knob was set to zero (batches must hold at
@@ -26,12 +29,20 @@ pub enum CampaignError {
     EmptyWatchList,
     /// A monitoring campaign was asked to observe zero windows.
     NoWindows,
+    /// A monitoring campaign combined AIMD rate feedback with more than one
+    /// probe producer. Feedback steers one shared virtual clock; sharded
+    /// producers each replay a slice of a fixed clock, so the two are
+    /// mutually exclusive.
+    FeedbackWithShardedProducers,
 }
 
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CampaignError::NoShards => write!(f, "campaign needs at least one inference shard"),
+            CampaignError::NoProducers => {
+                write!(f, "campaign needs at least one probe producer")
+            }
             CampaignError::ZeroChannelCapacity => {
                 write!(f, "bounded shard channels need non-zero capacity")
             }
@@ -43,6 +54,12 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::NoWindows => {
                 write!(f, "monitoring campaign must observe at least one window")
+            }
+            CampaignError::FeedbackWithShardedProducers => {
+                write!(
+                    f,
+                    "rate feedback requires a single producer; disable rate_feedback or set producers to 1"
+                )
             }
         }
     }

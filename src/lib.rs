@@ -17,12 +17,15 @@
 //!     // third-party `ProbeTransport + WorldView` implementor.
 //!     let engine = Engine::build(scenarios::paper_world(71, WorldScale::small()))?;
 //!
+//!     // Two inference shards consume observations probed by four parallel
+//!     // producers; the merged virtual clock keeps the run bit-identical to
+//!     // a single-threaded one.
 //!     let report = Campaign::builder()
 //!         .world(&engine)
 //!         .seed(0xf0110)
 //!         .rate_pps(10_000)
 //!         .max_48s_per_seed(128)
-//!         .mode(CampaignMode::Streamed { shards: 2 })
+//!         .mode(CampaignMode::Streamed { shards: 2, producers: 4 })
 //!         .run()?;
 //!
 //!     let pipeline = report.pipeline().expect("streamed mode yields a pipeline report");
@@ -32,7 +35,8 @@
 //! ```
 //!
 //! Switching `.mode(..)` to [`CampaignMode::Batch`] produces the identical
-//! report on one thread (test-enforced equivalence), and
+//! report on one thread — the streamed report is test-enforced equal for
+//! *any* shard and producer count — and
 //! [`CampaignMode::Monitor`] turns the same builder into a continuous
 //! rotation monitor over a watched /48 list (`.watch(..)`) with live events
 //! and passive device tracking. Errors are typed end to end:

@@ -83,7 +83,10 @@ fn campaign_accepts_a_generic_third_party_backend() {
     let streamed = Campaign::builder()
         .world(&backend)
         .max_48s_per_seed(64)
-        .mode(CampaignMode::Streamed { shards: 2 })
+        .mode(CampaignMode::Streamed {
+            shards: 2,
+            producers: 1,
+        })
         .run()
         .unwrap();
     assert_empty_discovery(&batch);
@@ -100,7 +103,10 @@ fn campaign_accepts_a_dyn_backend() {
     let report = Campaign::builder()
         .world(dyn_backend)
         .max_48s_per_seed(64)
-        .mode(CampaignMode::Streamed { shards: 2 })
+        .mode(CampaignMode::Streamed {
+            shards: 2,
+            producers: 1,
+        })
         .run()
         .unwrap();
     assert_empty_discovery(&report);
@@ -112,6 +118,7 @@ fn campaign_accepts_a_dyn_backend() {
         .mode(CampaignMode::Monitor {
             windows: 2,
             shards: 2,
+            producers: 1,
         })
         .run()
         .unwrap();

@@ -1,0 +1,393 @@
+//! Error-path coverage: every variant of the workspace error hierarchy —
+//! [`ScentError`], [`CampaignError`], [`WorldError`], [`PoolError`],
+//! [`RibParseError`] — is constructible from a *public entry point*
+//! (`Engine::build`, config `validate`, `Rib::from_table_text`, the
+//! [`Campaign`] builder), and every error renders a non-empty `Display`
+//! chain through [`std::error::Error::source`].
+
+use std::error::Error;
+
+use followscent::bgp::{Rib, RibParseError, RibParseErrorKind};
+use followscent::ipv6::Ipv6Prefix;
+use followscent::simnet::{
+    scenarios, Engine, PlantedCpe, PoolError, ProviderConfig, RotationPoolConfig, SlotLayout,
+    WorldConfig, WorldError,
+};
+use followscent::{Campaign, CampaignError, CampaignMode, ScentError};
+
+fn p(s: &str) -> Ipv6Prefix {
+    s.parse().unwrap()
+}
+
+/// A world expected to fail paired with the variant check it must trip.
+type WorldCase = (WorldConfig, fn(&WorldError) -> bool);
+
+/// A pool config expected to fail paired with its variant check.
+type PoolCase = (RotationPoolConfig, fn(&PoolError) -> bool);
+
+fn pool(prefix: &str, allocation_len: u8) -> RotationPoolConfig {
+    RotationPoolConfig {
+        prefix: p(prefix),
+        allocation_len,
+        occupancy: 0.5,
+        layout: SlotLayout::Contiguous,
+        rotation: followscent::simnet::RotationPolicy::Static,
+    }
+}
+
+fn provider(asn: u32) -> ProviderConfig {
+    ProviderConfig::new(
+        asn,
+        "Test",
+        "DE",
+        vec![p("2001:db8::/32")],
+        vec![pool("2001:db8:100::/46", 56)],
+    )
+}
+
+/// Walk the `source` chain, asserting every level renders something.
+fn assert_chain(err: &(dyn Error + 'static), min_depth: usize) {
+    let mut depth = 0;
+    let mut cursor: Option<&(dyn Error + 'static)> = Some(err);
+    while let Some(e) = cursor {
+        assert!(
+            !e.to_string().trim().is_empty(),
+            "level {depth} of the chain renders an empty Display"
+        );
+        depth += 1;
+        cursor = e.source();
+    }
+    assert!(
+        depth >= min_depth,
+        "expected a chain of at least {min_depth} errors, got {depth}"
+    );
+}
+
+/// Build a world expected to fail, returning the typed error via the
+/// umbrella's `ScentError` conversion (the same path `Engine::build(..)?`
+/// takes in a `fn main() -> Result<(), ScentError>`).
+fn build_err(config: WorldConfig) -> (WorldError, ScentError) {
+    let world = Engine::build(config).expect_err("world must be rejected");
+    (world.clone(), ScentError::from(world))
+}
+
+#[test]
+fn every_world_error_variant_is_reachable_and_renders() {
+    let cases: Vec<WorldCase> = vec![
+        (WorldConfig::new(vec![], 1), |e| {
+            matches!(e, WorldError::NoProviders)
+        }),
+        (
+            WorldConfig::new(vec![provider(64500), provider(64500)], 1),
+            |e| matches!(e, WorldError::DuplicateAsn),
+        ),
+        (
+            {
+                let mut config = WorldConfig::new(vec![provider(64500)], 1);
+                config.churn_fraction = 1.5;
+                config
+            },
+            |e| matches!(e, WorldError::ChurnOutOfRange { .. }),
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.announced.clear();
+                    bad
+                }],
+                1,
+            ),
+            |e| matches!(e, WorldError::NoAnnouncedPrefixes { .. }),
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.pools = vec![pool("2001:db8:100::/48", 40)];
+                    bad
+                }],
+                1,
+            ),
+            |e| {
+                matches!(
+                    e,
+                    WorldError::Pool {
+                        error: PoolError::AllocationShorterThanPool { .. },
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.pools = vec![pool("2001:db8:100::/48", 72)];
+                    bad
+                }],
+                1,
+            ),
+            |e| {
+                matches!(
+                    e,
+                    WorldError::Pool {
+                        error: PoolError::AllocationTooLong { .. },
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.announced = vec![p("2001:db8::/20")];
+                    bad.pools = vec![pool("2001:db8::/20", 64)];
+                    bad
+                }],
+                1,
+            ),
+            |e| {
+                matches!(
+                    e,
+                    WorldError::Pool {
+                        error: PoolError::TooManySlots { .. },
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.pools[0].occupancy = 1.5;
+                    bad
+                }],
+                1,
+            ),
+            |e| {
+                matches!(
+                    e,
+                    WorldError::Pool {
+                        error: PoolError::OccupancyOutOfRange { .. },
+                        ..
+                    }
+                )
+            },
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.pools = vec![pool("2001:db9:100::/46", 56)];
+                    bad
+                }],
+                1,
+            ),
+            |e| matches!(e, WorldError::PoolNotCovered { .. }),
+        ),
+        (
+            WorldConfig::new(
+                vec![provider(64500).with_planted(PlantedCpe::always(
+                    3,
+                    "c8:0e:14:01:02:03".parse().unwrap(),
+                    0,
+                ))],
+                1,
+            ),
+            |e| matches!(e, WorldError::PlantedPoolMissing { .. }),
+        ),
+        (
+            WorldConfig::new(
+                vec![provider(64500).with_planted(PlantedCpe::always(
+                    0,
+                    "c8:0e:14:01:02:03".parse().unwrap(),
+                    5_000, // the /46 pool of /56 allocations has 1024 slots
+                ))],
+                1,
+            ),
+            |e| matches!(e, WorldError::PlantedSlotOutOfRange { .. }),
+        ),
+        (
+            WorldConfig::new(vec![provider(64500).with_vendor_mix(vec![(999, 1.0)])], 1),
+            |e| matches!(e, WorldError::VendorIndexOutOfRange { .. }),
+        ),
+        (
+            WorldConfig::new(vec![provider(64500).with_eui64_fraction(1.5)], 1),
+            |e| matches!(e, WorldError::ProbabilityOutOfRange { .. }),
+        ),
+        (
+            WorldConfig::new(
+                vec![{
+                    let mut bad = provider(64500);
+                    bad.pools = vec![pool("2001:db8:100::/46", 56), pool("2001:db8:100::/46", 56)];
+                    bad
+                }],
+                1,
+            ),
+            |e| matches!(e, WorldError::DuplicatePoolPrefix { .. }),
+        ),
+    ];
+
+    for (config, expected) in cases {
+        let (world, scent) = build_err(config);
+        assert!(expected(&world), "unexpected variant: {world:?}");
+        // The umbrella error prefixes context and exposes the member error
+        // as its source; a Pool variant chains one level deeper.
+        let min_depth = if matches!(world, WorldError::Pool { .. }) {
+            3
+        } else {
+            2
+        };
+        assert_chain(&scent, min_depth);
+        assert!(scent.to_string().contains("world configuration"));
+    }
+}
+
+#[test]
+fn every_pool_error_variant_is_reachable_from_validate() {
+    let cases: Vec<PoolCase> = vec![
+        (pool("2001:db8:100::/48", 40), |e| {
+            matches!(e, PoolError::AllocationShorterThanPool { .. })
+        }),
+        (pool("2001:db8:100::/48", 72), |e| {
+            matches!(e, PoolError::AllocationTooLong { .. })
+        }),
+        (pool("2001:db8::/20", 64), |e| {
+            matches!(e, PoolError::TooManySlots { .. })
+        }),
+        (
+            {
+                let mut bad = pool("2001:db8:100::/46", 56);
+                bad.occupancy = -0.25;
+                bad
+            },
+            |e| matches!(e, PoolError::OccupancyOutOfRange { .. }),
+        ),
+    ];
+    for (config, expected) in cases {
+        let err = config.validate().expect_err("pool must be rejected");
+        assert!(expected(&err), "unexpected variant: {err:?}");
+        assert_chain(&err, 1);
+    }
+}
+
+#[test]
+fn every_rib_parse_error_variant_is_reachable_and_carries_its_line() {
+    let bad_prefix = Rib::from_table_text("# comment\nnot-a-prefix 64500\n")
+        .expect_err("bad prefix must be rejected");
+    assert_eq!(
+        bad_prefix,
+        RibParseError {
+            line: 2,
+            kind: RibParseErrorKind::BadPrefix
+        }
+    );
+    assert_chain(&bad_prefix, 1);
+    assert!(bad_prefix.to_string().contains("line 2"));
+
+    let bad_asn = Rib::from_table_text("2001:db8::/32 64500\n2001:db8::/32 not-an-asn\n")
+        .expect_err("bad ASN must be rejected");
+    assert_eq!(
+        bad_asn,
+        RibParseError {
+            line: 2,
+            kind: RibParseErrorKind::BadAsn
+        }
+    );
+    assert_chain(&ScentError::from(bad_asn), 2);
+}
+
+#[test]
+fn every_campaign_error_variant_is_reachable_from_the_builder() {
+    let engine = Engine::build(scenarios::versatel_like(1)).unwrap();
+    let watched = vec![p("2001:16b8:100::/48")];
+
+    let cases: Vec<(ScentError, CampaignError)> = vec![
+        (
+            Campaign::builder()
+                .world(&engine)
+                .mode(CampaignMode::Streamed {
+                    shards: 0,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::NoShards,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .mode(CampaignMode::Streamed {
+                    shards: 2,
+                    producers: 0,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::NoProducers,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .channel_capacity(0)
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroChannelCapacity,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .observation_batch(0)
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroObservationBatch,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::EmptyWatchList,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .watch(watched.clone())
+                .mode(CampaignMode::Monitor {
+                    windows: 0,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::NoWindows,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .watch(watched)
+                .rate_feedback(true)
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 4,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::FeedbackWithShardedProducers,
+        ),
+    ];
+
+    for (err, expected) in cases {
+        assert_eq!(err, ScentError::Campaign(expected));
+        assert_chain(&err, 2);
+        assert!(err.to_string().contains("campaign configuration"));
+    }
+}

@@ -1,14 +1,21 @@
 //! Cross-crate integration tests for the streaming engine and the
-//! [`Campaign`] facade: streaming/batch equivalence and shard-merge
-//! determinism — the two contracts the subsystem is built around — now
-//! additionally parameterized over measurement backends (live simnet and
-//! recorded replay).
+//! [`Campaign`] facade: streaming/batch equivalence, shard-merge determinism
+//! and producer-merge determinism — the three contracts the subsystem is
+//! built around — parameterized over measurement backends (live simnet and
+//! recorded replay) and property-tested over random worlds, target lists and
+//! producer counts.
 
 use followscent::core::{PipelineConfig, PipelineReport};
 use followscent::ipv6::Ipv6Prefix;
-use followscent::prober::{ProbeTransport, RecordedBackend, RecordingBackend, WorldView};
-use followscent::simnet::{scenarios, Engine, WorldScale};
+use followscent::prober::{
+    ProbeTransport, RecordedBackend, RecordingBackend, TargetGenerator, WorldView,
+};
+use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
+use followscent::stream::{
+    spawn_producers, MergedClock, MonitorReport, Observation, ObservationSource, ScanStream,
+};
 use followscent::{Campaign, CampaignMode};
+use proptest::prelude::*;
 
 fn small_config() -> PipelineConfig {
     PipelineConfig {
@@ -43,7 +50,10 @@ fn streaming_equals_batch_on_the_paper_world() {
     let batch = discover(&Engine::build(world.clone()).unwrap(), CampaignMode::Batch);
     let streamed = discover(
         &Engine::build(world).unwrap(),
-        CampaignMode::Streamed { shards: 2 },
+        CampaignMode::Streamed {
+            shards: 2,
+            producers: 1,
+        },
     );
     assert_eq!(batch.rotating_48s, streamed.rotating_48s);
     assert_eq!(batch, streamed, "every report field must agree");
@@ -66,7 +76,13 @@ fn streaming_equals_batch_on_the_recorded_backend() {
     let replay = RecordedBackend::from_log(recorder.finish());
 
     let replayed_batch = discover(&replay, CampaignMode::Batch);
-    let replayed_stream = discover(&replay, CampaignMode::Streamed { shards: 3 });
+    let replayed_stream = discover(
+        &replay,
+        CampaignMode::Streamed {
+            shards: 3,
+            producers: 1,
+        },
+    );
     assert_eq!(live, replayed_batch, "replay must reproduce the live run");
     assert_eq!(live, replayed_stream, "streamed replay must agree too");
     assert!(
@@ -85,7 +101,10 @@ fn shard_merge_is_deterministic() {
         .map(|&shards| {
             discover(
                 &Engine::build(world.clone()).unwrap(),
-                CampaignMode::Streamed { shards },
+                CampaignMode::Streamed {
+                    shards,
+                    producers: 1,
+                },
             )
         })
         .collect();
@@ -95,10 +114,200 @@ fn shard_merge_is_deterministic() {
         .world(&Engine::build(world).unwrap())
         .pipeline_config(small_config())
         .observation_batch(128)
-        .mode(CampaignMode::Streamed { shards: 4 })
+        .mode(CampaignMode::Streamed {
+            shards: 4,
+            producers: 1,
+        })
         .run()
         .unwrap();
     assert_eq!(&reports[0], batched.pipeline().unwrap());
+}
+
+/// Run the continuous monitor through the facade against any backend.
+fn monitor_with<B: ProbeTransport + WorldView + ?Sized>(
+    world: &B,
+    watched: &[Ipv6Prefix],
+    shards: usize,
+    producers: usize,
+    windows: u64,
+) -> MonitorReport {
+    let mut report = Campaign::builder()
+        .world(world)
+        .seed(0x57ae)
+        .watch(watched.to_vec())
+        .monitor_granularity(56)
+        .start(SimTime::at(10, 9))
+        .mode(CampaignMode::Monitor {
+            windows,
+            shards,
+            producers,
+        })
+        .run()
+        .expect("valid monitor configuration")
+        .monitor()
+        .expect("monitor mode yields a monitor report")
+        .clone();
+    // Stall counts are wall-clock scheduling, not inference state; zero them
+    // so reports from different runs compare on inference output alone.
+    report.backpressure_stalls = 0;
+    report
+}
+
+/// The /48s of every pool of an engine's world.
+fn pool_48s(engine: &Engine) -> Vec<Ipv6Prefix> {
+    engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .collect()
+}
+
+/// The acceptance contract of the producer-sharding work: for any
+/// `producers ∈ {1, 2, 4, 8}`, batch ≡ streamed ≡ monitor reports are
+/// byte-equal on both the live simnet backend and the recorded replay
+/// backend.
+#[test]
+fn producer_count_is_invariant_on_live_and_recorded_backends() {
+    let world = scenarios::paper_world(2024, WorldScale::small());
+    let engine = Engine::build(world).unwrap();
+    let recorder = RecordingBackend::new(&engine);
+    let batch = discover(&recorder, CampaignMode::Batch);
+    let replay = RecordedBackend::from_log(recorder.finish());
+    assert!(
+        !batch.rotating_48s.is_empty(),
+        "vacuous equality proves nothing"
+    );
+
+    for producers in [1usize, 2, 4, 8] {
+        let live = discover(
+            &engine,
+            CampaignMode::Streamed {
+                shards: 2,
+                producers,
+            },
+        );
+        assert_eq!(batch, live, "live streamed, producers={producers}");
+        let replayed = discover(
+            &replay,
+            CampaignMode::Streamed {
+                shards: 3,
+                producers,
+            },
+        );
+        assert_eq!(batch, replayed, "replayed streamed, producers={producers}");
+    }
+
+    // The same invariance for the continuous monitor: record a single-producer
+    // run, then check every producer count reproduces it on both backends.
+    let world = scenarios::continuous_world(13);
+    let engine = Engine::build(world).unwrap();
+    let watched = pool_48s(&engine);
+    let recorder = RecordingBackend::new(&engine);
+    let reference = monitor_with(&recorder, &watched, 2, 1, 2);
+    let replay = RecordedBackend::from_log(recorder.finish());
+    assert!(!reference.events.is_empty(), "rotation must emit events");
+    for producers in [1usize, 2, 4, 8] {
+        let live = monitor_with(&engine, &watched, 2, producers, 2);
+        assert_eq!(reference, live, "live monitor, producers={producers}");
+        let replayed = monitor_with(&replay, &watched, 3, producers, 2);
+        assert_eq!(
+            reference, replayed,
+            "replayed monitor, producers={producers}"
+        );
+    }
+}
+
+proptest! {
+    // Producer-merge determinism at the observation level: for random
+    // worlds, random target lists and any producer count, the merged
+    // observation sequence — inline or through actual producer threads — is
+    // bit-identical to the single-producer scan stream.
+    #[test]
+    fn merged_observation_sequence_equals_single_producer(
+        world_seed in 1u64..1_000_000,
+        scan_seed in any::<u64>(),
+        len in 1usize..400,
+        producers in 1usize..=8,
+        randomize in any::<bool>(),
+    ) {
+        let engine = Engine::build(scenarios::entel_like(world_seed)).unwrap();
+        let pool = engine.pools()[0].config.prefix;
+        let mut targets = TargetGenerator::new(scan_seed).one_per_subnet(&pool, 60);
+        targets.truncate(len);
+        let start = SimTime::at(2, 7);
+        let drain = |source: &mut dyn ObservationSource| {
+            let mut all = Vec::new();
+            while let Some(obs) = source.next_observation() {
+                all.push(obs);
+            }
+            all
+        };
+        let build = |k: usize, of: usize| {
+            ScanStream::builder(&engine, targets.clone())
+                .seed(scan_seed ^ 0x5eed)
+                .randomize_order(randomize)
+                .start(start)
+                .slice(k, of)
+                .build()
+        };
+        let want: Vec<Observation> = drain(&mut build(0, 1));
+        prop_assert_eq!(want.len(), targets.len());
+
+        // Inline k-way merge...
+        let mut merged = MergedClock::new((0..producers).map(|k| build(k, producers)).collect());
+        prop_assert_eq!(&drain(&mut merged), &want);
+
+        // ...and through real producer threads feeding bounded channels.
+        let threaded = std::thread::scope(|scope| {
+            let mut clock =
+                spawn_producers(scope, (0..producers).map(|k| build(k, producers)).collect(), 16);
+            drain(&mut clock)
+        });
+        prop_assert_eq!(&threaded, &want);
+    }
+
+    // Producer-merge determinism at the report level: a streamed discovery
+    // pipeline over a random world produces the identical
+    // [`PipelineReport`] for any producer count.
+    #[test]
+    fn sharded_producer_pipeline_report_equals_single_producer(
+        world_seed in 1u64..1_000_000,
+        producers in 2usize..=8,
+        shards in 1usize..=3,
+    ) {
+        let world = scenarios::versatel_like(world_seed);
+        let single = discover(
+            &Engine::build(world.clone()).unwrap(),
+            CampaignMode::Streamed { shards, producers: 1 },
+        );
+        let sharded = discover(
+            &Engine::build(world).unwrap(),
+            CampaignMode::Streamed { shards, producers },
+        );
+        prop_assert_eq!(single, sharded);
+    }
+
+    // Producer-merge determinism for the continuous monitor: random worlds,
+    // random watch lists, any producer count — the full
+    // [`MonitorReport`] (events, detection, `TrackingReport`, observation
+    // counts) equals the single-producer run's.
+    #[test]
+    fn sharded_monitor_report_equals_single_producer(
+        world_seed in 1u64..1_000_000,
+        producers in 2usize..=8,
+        shards in 1usize..=3,
+        watch_count in 1usize..=6,
+    ) {
+        let world = scenarios::continuous_world(world_seed);
+        let engine = Engine::build(world.clone()).unwrap();
+        let mut watched = pool_48s(&engine);
+        watched.truncate(watch_count);
+        let single = monitor_with(&engine, &watched, shards, 1, 2);
+        let engine = Engine::build(world).unwrap();
+        let sharded = monitor_with(&engine, &watched, shards, producers, 2);
+        prop_assert_eq!(single, sharded);
+    }
 }
 
 /// The continuous monitor, driven through the facade, sees the same rotating
@@ -124,6 +333,7 @@ fn continuous_monitor_agrees_with_batch_detection() {
         .mode(CampaignMode::Monitor {
             windows: 2,
             shards: 3,
+            producers: 1,
         })
         .run()
         .expect("valid monitor configuration");
