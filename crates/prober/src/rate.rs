@@ -144,6 +144,222 @@ impl FeedbackPacer {
     }
 }
 
+/// Configuration of the deterministic virtual-queue feedback model.
+///
+/// The model replaces wall-clock backpressure (OS channel rendezvous) with a
+/// *virtual* queue per inference shard: every observation enqueues one unit
+/// on its shard's counter, and a configurable [`QueueModel::drain_rate`]
+/// retires units per virtual second. The resulting depth is a pure function
+/// of `(config, target order, virtual time)` — no thread scheduling, no
+/// channel state — which is what lets every producer of a sharded scan
+/// replay the same global rate trajectory locally and keep the merged stream
+/// bit-identical to the single-producer run with feedback **on**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueModel {
+    /// Observations each shard retires per virtual second. `None` models an
+    /// infinitely fast consumer: depths are always zero and the pacer
+    /// reproduces the feedback-off trajectory exactly.
+    pub drain_rate: Option<u64>,
+    /// Depth at or above which a feedback instant backs off
+    /// (multiplicative).
+    pub high_watermark: u64,
+    /// Depth at or below which a feedback instant recovers (additive). Must
+    /// be strictly below [`QueueModel::high_watermark`].
+    pub low_watermark: u64,
+}
+
+impl QueueModel {
+    /// An infinitely fast consumer: depths stay zero, the rate stays at the
+    /// configured budget — today's feedback-off trajectory, exactly.
+    pub fn unbounded() -> Self {
+        QueueModel {
+            drain_rate: None,
+            high_watermark: 1024,
+            low_watermark: 128,
+        }
+    }
+
+    /// A consumer retiring `drain_rate` observations per shard per virtual
+    /// second, with the default watermarks.
+    pub fn with_drain_rate(drain_rate: u64) -> Self {
+        QueueModel {
+            drain_rate: Some(drain_rate),
+            ..Self::unbounded()
+        }
+    }
+
+    /// Whether the watermarks are ordered sensibly (`low < high`).
+    pub fn is_valid(&self) -> bool {
+        self.low_watermark < self.high_watermark
+    }
+}
+
+impl Default for QueueModel {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// A deterministic per-shard queue-depth counter: observations enqueued
+/// minus observations a drain rate would have retired by a given virtual
+/// instant.
+///
+/// The counter is *virtual*: it never inspects a real channel. Draining is
+/// computed, not tracked — `depth_at(t)` subtracts `drain_rate × (t − epoch)`
+/// from the enqueue count (saturating at zero), so the depth at any instant
+/// is a pure function of how many observations were routed to the shard and
+/// how much virtual time has passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualQueue {
+    enqueued: u64,
+    epoch: SimTime,
+}
+
+impl VirtualQueue {
+    /// An empty queue whose drain clock starts at `epoch`.
+    pub fn new(epoch: SimTime) -> Self {
+        VirtualQueue { enqueued: 0, epoch }
+    }
+
+    /// Account one observation routed to this shard.
+    pub fn enqueue(&mut self) {
+        self.enqueued += 1;
+    }
+
+    /// Observations enqueued so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// The queue depth at virtual time `now` under `drain_rate`
+    /// (observations retired per virtual second; `None` = infinitely fast).
+    pub fn depth_at(&self, now: SimTime, drain_rate: Option<u64>) -> u64 {
+        let Some(rate) = drain_rate else { return 0 };
+        let retired = now.since(self.epoch).as_secs().saturating_mul(rate);
+        self.enqueued.saturating_sub(retired)
+    }
+}
+
+/// A [`FeedbackPacer`] driven by the deterministic virtual-queue model
+/// instead of OS channel pressure.
+///
+/// Every probing-order position — owned or foreign — is accounted through
+/// [`QueuePacer::pace`] / [`QueuePacer::skip`], which perform the *identical*
+/// state transition (the only difference is whether the caller sends a
+/// probe). Feedback is evaluated at well-defined virtual instants: each time
+/// the pacer's cursor rolls over to a new second, the maximum shard depth at
+/// that instant decides between [`FeedbackPacer::on_backpressure`] (depth ≥
+/// high watermark) and [`FeedbackPacer::on_progress`] (depth ≤ low
+/// watermark). Because all of that is a pure function of the position
+/// sequence and virtual time, P producers that each account all positions
+/// (probing only their own strided slice) hold bit-identical pacer states at
+/// every position — the property that makes AIMD feedback compatible with
+/// sharded producers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuePacer {
+    pacer: FeedbackPacer,
+    model: QueueModel,
+    queues: Vec<VirtualQueue>,
+}
+
+impl QueuePacer {
+    /// Create a pacer over `shards` virtual queues, starting at `start` with
+    /// a non-zero probe budget.
+    pub fn new(start: SimTime, packets_per_second: u64, shards: usize, model: QueueModel) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(model.is_valid(), "low watermark must be below high");
+        QueuePacer {
+            pacer: FeedbackPacer::new(start, packets_per_second),
+            model,
+            queues: vec![VirtualQueue::new(start); shards],
+        }
+    }
+
+    /// Account one observation routed to `shard` and return its virtual send
+    /// time at the current (feedback-adjusted) rate.
+    pub fn pace(&mut self, shard: usize) -> SimTime {
+        if self.pacer.sent_in_second >= self.pacer.current_pps {
+            self.pacer.cursor += SimDuration::from_secs(1);
+            self.pacer.sent_in_second = 0;
+            // The well-defined virtual instant: a new send second begins.
+            self.evaluate();
+        }
+        self.pacer.sent_in_second += 1;
+        self.queues[shard].enqueue();
+        self.pacer.cursor
+    }
+
+    /// Fast-forward over one *foreign* position routed to `shard`: the exact
+    /// state transition of [`QueuePacer::pace`] — enqueue accounting, second
+    /// rollovers and the multiplicative/additive rate events they trigger —
+    /// without the caller sending the probe. This is skip-with-feedback: a
+    /// producer that owns only a strided slice of the scan calls it for every
+    /// position another producer probes, so its pacer replays the global rate
+    /// trajectory locally.
+    pub fn skip(&mut self, shard: usize) {
+        let _ = self.pace(shard);
+    }
+
+    /// Evaluate the feedback signal at the current cursor instant.
+    fn evaluate(&mut self) {
+        let depth = self.depth();
+        if depth >= self.model.high_watermark {
+            self.pacer.on_backpressure();
+        } else if depth <= self.model.low_watermark {
+            self.pacer.on_progress();
+        }
+    }
+
+    /// The maximum shard depth at the pacer's current virtual instant.
+    pub fn depth(&self) -> u64 {
+        let now = self.pacer.cursor;
+        self.queues
+            .iter()
+            .map(|q| q.depth_at(now, self.model.drain_rate))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The depth of one shard's queue at the current virtual instant.
+    pub fn shard_depth(&self, shard: usize) -> u64 {
+        self.queues[shard].depth_at(self.pacer.cursor, self.model.drain_rate)
+    }
+
+    /// Number of virtual queues (shards).
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The current effective rate.
+    pub fn rate(&self) -> u64 {
+        self.pacer.rate()
+    }
+
+    /// The configured (maximum) rate.
+    pub fn base_rate(&self) -> u64 {
+        self.pacer.base_rate()
+    }
+
+    /// The queue model in force.
+    pub fn model(&self) -> &QueueModel {
+        &self.model
+    }
+
+    /// Advance to a window boundary: the next probe is sent no earlier than
+    /// `start` (virtual time never runs backwards). No feedback is evaluated
+    /// here — rate events fire only at send-second rollovers, which keeps
+    /// the instants identical for every producer regardless of where its
+    /// slice boundaries fall.
+    pub fn advance_to(&mut self, start: SimTime) {
+        self.pacer.advance_to(start);
+    }
+
+    /// The virtual time the pacer has reached.
+    pub fn now(&self) -> SimTime {
+        self.pacer.now()
+    }
+}
+
 /// A token bucket: capacity `burst`, refilled at `rate` tokens per second.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TokenBucket {
@@ -290,6 +506,172 @@ mod tests {
     #[should_panic(expected = "rate must be non-zero")]
     fn pacer_rejects_zero_rate() {
         ProbePacer::new(SimTime::EPOCH, 0);
+    }
+
+    /// Satellite property: `drain_rate = ∞` (None) reproduces the
+    /// feedback-off trajectory exactly — every send time equals the fixed
+    /// [`ProbePacer`]'s, across second rollovers, for any shard count.
+    #[test]
+    fn unbounded_queue_model_reproduces_feedback_off_exactly() {
+        for shards in [1usize, 2, 5] {
+            let start = SimTime::at(3, 7);
+            let fixed = ProbePacer::new(start, 100);
+            let mut queued = QueuePacer::new(start, 100, shards, QueueModel::unbounded());
+            for i in 0..1_000u64 {
+                let shard = (i % shards as u64) as usize;
+                assert_eq!(queued.pace(shard), fixed.send_time(i), "probe {i}");
+                assert_eq!(queued.rate(), 100, "rate never moves without depth");
+                assert_eq!(queued.depth(), 0, "unbounded drain keeps depth zero");
+            }
+        }
+    }
+
+    /// Satellite property: queue depth is monotone-consistent under `skip` —
+    /// skipping a position is the identical state transition to pacing it, so
+    /// depths (and the whole pacer state) agree no matter how pace/skip
+    /// interleave, and depth at a fixed instant grows by exactly one per
+    /// accounted position.
+    #[test]
+    fn skip_is_the_same_state_transition_as_pace() {
+        let model = QueueModel {
+            drain_rate: Some(3),
+            high_watermark: 10,
+            low_watermark: 2,
+        };
+        let mut paced = QueuePacer::new(SimTime::at(0, 0), 8, 2, model);
+        let mut skipped = QueuePacer::new(SimTime::at(0, 0), 8, 2, model);
+        for i in 0..500u64 {
+            let shard = (i % 2) as usize;
+            let before_depth = paced.shard_depth(shard);
+            let before_now = paced.now();
+            let t = paced.pace(shard);
+            // Producer B probes only every third position, skipping the rest.
+            if i % 3 == 0 {
+                assert_eq!(skipped.pace(shard), t, "position {i}");
+            } else {
+                skipped.skip(shard);
+            }
+            assert_eq!(paced, skipped, "position {i}");
+            // Within one send second the depth grows by exactly one per
+            // accounted position; a rollover retires drain_rate × elapsed.
+            if paced.now() == before_now {
+                assert_eq!(paced.shard_depth(shard), before_depth + 1, "position {i}");
+            }
+            assert_eq!(paced.depth(), skipped.depth());
+        }
+    }
+
+    /// Satellite property: the rate never exceeds the configured ceiling nor
+    /// drops below the floor, whatever the queue model does.
+    #[test]
+    fn queue_pacer_rate_stays_within_ceiling_and_floor() {
+        for drain in [Some(0u64), Some(1), Some(7), Some(1_000), None] {
+            let model = QueueModel {
+                drain_rate: drain,
+                high_watermark: 16,
+                low_watermark: 4,
+            };
+            let mut pacer = QueuePacer::new(SimTime::EPOCH, 1024, 3, model);
+            let floor = 1024 / 64;
+            for i in 0..5_000u64 {
+                pacer.pace((i % 3) as usize);
+                assert!(pacer.rate() <= 1024, "ceiling at {i}");
+                assert!(pacer.rate() >= floor, "floor at {i}");
+            }
+            if drain == Some(0) {
+                assert_eq!(pacer.rate(), floor, "a dead consumer pins the floor");
+            }
+            if drain.is_none() {
+                assert_eq!(pacer.rate(), 1024, "an infinite consumer never backs off");
+            }
+        }
+    }
+
+    /// A slow virtual consumer forces a deterministic back-off: depth builds,
+    /// the rate halves at a second rollover, and virtual time stretches
+    /// compared to the unthrottled run.
+    #[test]
+    fn queue_pacer_backs_off_deterministically_under_slow_drain() {
+        let model = QueueModel {
+            drain_rate: Some(10),
+            high_watermark: 50,
+            low_watermark: 5,
+        };
+        let run = || {
+            let mut pacer = QueuePacer::new(SimTime::EPOCH, 100, 1, model);
+            let mut last = SimTime::EPOCH;
+            for _ in 0..1_000u64 {
+                last = pacer.pace(0);
+            }
+            (pacer.rate(), last)
+        };
+        let (rate_a, last_a) = run();
+        let (rate_b, last_b) = run();
+        assert_eq!(rate_a, rate_b, "trajectory is a pure function");
+        assert_eq!(last_a, last_b);
+        assert!(rate_a < 100, "a 10/s consumer must throttle a 100/s prober");
+        let mut free = QueuePacer::new(SimTime::EPOCH, 100, 1, QueueModel::unbounded());
+        let mut free_last = SimTime::EPOCH;
+        for _ in 0..1_000u64 {
+            free_last = free.pace(0);
+        }
+        assert!(last_a > free_last, "throttling must stretch virtual time");
+    }
+
+    #[test]
+    fn queue_pacer_advance_to_matches_feedback_pacer() {
+        let mut pacer = QueuePacer::new(SimTime::at(0, 0), 10, 2, QueueModel::unbounded());
+        pacer.pace(0);
+        pacer.advance_to(SimTime::at(1, 0));
+        assert_eq!(pacer.now(), SimTime::at(1, 0));
+        assert_eq!(pacer.pace(1), SimTime::at(1, 0));
+        pacer.advance_to(SimTime::at(0, 5));
+        assert_eq!(pacer.now(), SimTime::at(1, 0), "never moves backwards");
+        assert_eq!(pacer.shards(), 2);
+        assert_eq!(pacer.base_rate(), 10);
+        assert!(pacer.model().is_valid());
+    }
+
+    #[test]
+    fn virtual_queue_depth_is_a_pure_function_of_time() {
+        let epoch = SimTime::at(1, 0);
+        let mut queue = VirtualQueue::new(epoch);
+        for _ in 0..100 {
+            queue.enqueue();
+        }
+        assert_eq!(queue.enqueued(), 100);
+        assert_eq!(queue.depth_at(epoch, Some(7)), 100);
+        assert_eq!(
+            queue.depth_at(epoch + SimDuration::from_secs(10), Some(7)),
+            30
+        );
+        // Depth is non-increasing in time and saturates at zero.
+        let mut previous = u64::MAX;
+        for secs in 0..40 {
+            let depth = queue.depth_at(epoch + SimDuration::from_secs(secs), Some(7));
+            assert!(depth <= previous);
+            previous = depth;
+        }
+        assert_eq!(
+            queue.depth_at(epoch + SimDuration::from_days(1), Some(7)),
+            0
+        );
+        assert_eq!(queue.depth_at(epoch, None), 0, "infinite drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark must be below high")]
+    fn queue_pacer_rejects_inverted_watermarks() {
+        QueuePacer::new(
+            SimTime::EPOCH,
+            10,
+            1,
+            QueueModel {
+                drain_rate: Some(1),
+                high_watermark: 4,
+                low_watermark: 4,
+            },
+        );
     }
 
     #[test]

@@ -208,6 +208,14 @@ impl TargetStream {
         self.window
     }
 
+    /// The target at probing-order position `pos` — identical every window,
+    /// and independent of any slice applied to this stream. This is what lets
+    /// a sliced producer account positions *other* producers own (e.g. to
+    /// feed the virtual-queue feedback model) without drawing them.
+    pub fn target_at(&self, pos: usize) -> std::net::Ipv6Addr {
+        self.targets[self.order[pos] as usize]
+    }
+
     /// Draw the next target. Returns `None` only for an empty target list (or
     /// an empty slice); otherwise the stream is infinite, advancing to the
     /// next window after each full pass over its slice.
@@ -358,6 +366,23 @@ mod tests {
             }
             got.sort_by_key(|t| (t.window, t.seq));
             assert_eq!(got, want, "producers={producers}");
+        }
+    }
+
+    #[test]
+    fn target_at_is_slice_independent_and_window_invariant() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        let full = TargetStream::new(&generator, &candidates, 56, 77, true);
+        let sliced = TargetStream::new(&generator, &candidates, 56, 77, true).slice(1, 3);
+        let mut drawn = TargetStream::new(&generator, &candidates, 56, 77, true);
+        for pos in 0..full.window_len() {
+            assert_eq!(full.target_at(pos), sliced.target_at(pos));
+            assert_eq!(drawn.next_target().unwrap().target, full.target_at(pos));
+        }
+        // Window 1 revisits the same positions in the same order.
+        for pos in 0..full.window_len() {
+            assert_eq!(drawn.next_target().unwrap().target, full.target_at(pos));
         }
     }
 

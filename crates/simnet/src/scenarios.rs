@@ -416,14 +416,14 @@ fn dominant_vendor_for(country: &str, h: u64) -> usize {
     match country {
         "DE" | "AT" | "CH" => vendor::AVM,
         "VN" | "CN" => {
-            if h.is_multiple_of(2) {
+            if h % 2 == 0 {
                 vendor::ZTE
             } else {
                 vendor::HUAWEI
             }
         }
         "BR" | "AR" | "UY" | "CO" | "CL" | "MX" => {
-            if h.is_multiple_of(2) {
+            if h % 2 == 0 {
                 vendor::INTELBRAS
             } else {
                 vendor::ARRIS
@@ -514,7 +514,7 @@ pub fn paper_world(seed: u64, scale: WorldScale) -> WorldConfig {
             2 => 60,
             _ => 64,
         };
-        let rotating = h.is_multiple_of(2);
+        let rotating = h % 2 == 0;
         let homogeneity = match (h >> 8) % 4 {
             0 | 1 => 0.9 + ((h >> 16) % 100) as f64 / 1_000.0, // 0.90..1.00
             2 => 0.67 + ((h >> 16) % 230) as f64 / 1_000.0,    // 0.67..0.90
@@ -593,7 +593,7 @@ fn provider_from_spec(seed: u64, spec: &AsSpec) -> ProviderConfig {
             // the containing /46, which is what we want for pool alignment.
             ;
         let rotation = if spec.rotating {
-            if h.is_multiple_of(3) {
+            if h % 3 == 0 {
                 RotationPolicy::PeriodicRandom {
                     period_days: 1 + (h % 3),
                     hour: (h % 5) as u8,

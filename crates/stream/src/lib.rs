@@ -10,14 +10,14 @@
 //! | Piece | Module | What it does |
 //! |---|---|---|
 //! | Event type & sources | [`observation`] | [`Observation`]s, the [`ObservationSource`] trait |
-//! | Engine adapters | [`source`] | Drive a [`ProbeTransport`](scent_prober::ProbeTransport) as a finite scan replay or an infinite virtual-time stream with AIMD rate feedback |
+//! | Engine adapters | [`source`] | Drive a [`ProbeTransport`](scent_prober::ProbeTransport) as a finite scan replay or an infinite virtual-time stream, optionally with deterministic virtual-queue AIMD rate feedback |
 //! | Producer sharding | [`clock`] | Split the probing side into P per-slice producers and recombine them through the [`MergedClock`] — bit-identical output for any producer count |
-//! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels with backpressure |
+//! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels; [`ShardMap`] exposes the pure target → shard mapping the feedback model shares |
 //! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
 //! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking |
 //!
-//! Three properties hold by construction and are enforced by tests:
+//! Four properties hold by construction and are enforced by tests:
 //!
 //! * **Shard-merge determinism** — the merged report is identical for any
 //!   shard count, because every /48's state lives wholly in one shard
@@ -30,6 +30,12 @@
 //!   [`PipelineReport`](scent_core::PipelineReport) as the batch pipeline on
 //!   the same world, because the batch classifiers are implemented on top of
 //!   the same incremental state this engine folds one observation at a time.
+//! * **Deterministic backpressure** — AIMD rate feedback
+//!   ([`QueueModel`](scent_prober::QueueModel)) reacts to *virtual* queue
+//!   depths (observations enqueued per shard minus what a configured drain
+//!   rate retired by the current virtual send time), never to OS channel
+//!   pressure, so feedback-on runs are pure functions of their configuration
+//!   and stay producer-count-invariant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +52,6 @@ pub use clock::{spawn_producers, ChannelSource, LimitedSource, MergedClock};
 pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor};
 pub use observation::{Observation, ObservationSource, Phase};
 pub use pipeline::{StreamConfig, StreamPipeline};
-pub use router::ShardRouter;
+pub use router::{ShardMap, ShardRouter};
 pub use shard::{spawn_shards, ShardInference, ShardMsg};
 pub use source::{ContinuousStream, ContinuousStreamBuilder, ScanStream, ScanStreamBuilder};

@@ -14,12 +14,12 @@ use serde::{Deserialize, Serialize};
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::{RotationDetection, TrackingReport};
 use scent_ipv6::Ipv6Prefix;
-use scent_prober::{ProbeTransport, TargetGenerator, TargetStream, WorldView};
+use scent_prober::{ProbeTransport, QueueModel, TargetGenerator, TargetStream, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 
 use crate::clock::{spawn_producers, LimitedSource};
 use crate::observation::ObservationSource;
-use crate::router::ShardRouter;
+use crate::router::{ShardMap, ShardRouter};
 use crate::shard::{spawn_shards, ShardInference};
 use crate::source::ContinuousStream;
 
@@ -31,18 +31,19 @@ pub struct MonitorConfig {
     /// Number of probe producers each window's scan is split across (1 = one
     /// prober thread). Producers probe concurrently; the merged clock keeps
     /// the observation sequence — and therefore every report — bit-identical
-    /// for any count. Incompatible with [`MonitorConfig::rate_feedback`]
-    /// (AIMD is a whole-stream property).
+    /// for any count, with [`MonitorConfig::rate_feedback`] on or off (every
+    /// producer replays the same deterministic rate trajectory locally).
     pub producers: usize,
     /// Bounded per-shard queue capacity, in messages. Also the per-producer
     /// channel capacity when `producers > 1` — producer channels carry
     /// batches of up to 64 observations per message, so a producer can run
     /// up to `64 * channel_capacity` observations ahead of the merge.
     pub channel_capacity: usize,
-    /// Observations accumulated per channel message (1 = one message per
-    /// observation). Larger batches amortize channel overhead; live
-    /// [`RotationEvent`]s are then emitted per delivered batch rather than
-    /// per probe.
+    /// Observations accumulated per channel message. Larger batches amortize
+    /// channel overhead; live [`RotationEvent`]s are then emitted per
+    /// delivered batch rather than per probe. The default of 64 was promoted
+    /// from the `streaming/batching_experiment_scale` bench; set it to 1 for
+    /// per-probe event latency.
     pub observation_batch: usize,
     /// Seed controlling target generation and probe order.
     pub seed: u64,
@@ -60,12 +61,22 @@ pub struct MonitorConfig {
     pub start: SimTime,
     /// Cap on devices folded into the tracking report.
     pub max_tracked: usize,
-    /// Whether shard-queue stalls feed back into the prober's virtual-time
-    /// rate (AIMD). Off by default: blocking sends already slow the producer
-    /// in wall-clock terms, and keeping virtual send times independent of OS
-    /// scheduling makes runs bit-reproducible. Enable for a deployment-shaped
-    /// run where consumer capacity should govern the probe budget itself.
+    /// Whether the prober's virtual-time rate adapts to the deterministic
+    /// virtual-queue model (AIMD against [`MonitorConfig::queue_model`]).
+    /// Off by default: the fixed-rate trajectory is the paper's, and the
+    /// queue model is only worth paying for when consumer capacity should
+    /// govern the probe budget. Feedback is bit-reproducible — the signal is
+    /// a pure function of `(config, target order, virtual time)`, never of
+    /// OS scheduling — and works with any
+    /// [`MonitorConfig::producers`] count.
     pub rate_feedback: bool,
+    /// The virtual-queue feedback model consulted when
+    /// [`MonitorConfig::rate_feedback`] is on: per-shard drain rate plus the
+    /// depth watermarks that trigger multiplicative back-off and additive
+    /// recovery. The default ([`QueueModel::unbounded`]) models an
+    /// infinitely fast consumer and leaves the trajectory identical to
+    /// feedback-off.
+    pub queue_model: QueueModel,
     /// When set, shards drop per-window tracker state (sightings, probe
     /// counts, retained events) older than this many windows behind the
     /// current one, keeping a genuinely endless run's memory bounded. The
@@ -80,7 +91,7 @@ impl Default for MonitorConfig {
             shards: 2,
             producers: 1,
             channel_capacity: 1024,
-            observation_batch: 1,
+            observation_batch: 64,
             seed: 0x57ae,
             packets_per_second: 10_000,
             granularity: 56,
@@ -89,6 +100,7 @@ impl Default for MonitorConfig {
             start: SimTime::at(10, 9),
             max_tracked: 8,
             rate_feedback: false,
+            queue_model: QueueModel::default(),
             retention_windows: None,
         }
     }
@@ -110,10 +122,14 @@ pub struct MonitorReport {
     /// Passive tracking of the most-seen identifiers, in the batch report
     /// shape (one "day" per window).
     pub tracking: TrackingReport,
-    /// Deliveries that had to wait for shard queue space.
+    /// Deliveries that had to wait for shard queue space (a wall-clock
+    /// scheduling diagnostic — the only report field that is not a pure
+    /// function of the configuration).
     pub backpressure_stalls: u64,
-    /// The effective probe rate when the run ended (equals the configured
-    /// rate unless backpressure forced a back-off).
+    /// The effective probe rate when the run ended: the configured rate
+    /// unless the virtual-queue feedback model forced a back-off. A pure
+    /// function of `(config, target order, virtual time)` — identical for
+    /// any producer count.
     pub final_rate: u64,
 }
 
@@ -142,13 +158,13 @@ impl StreamMonitor {
     ///
     /// Probing, routing and inference overlap: the prober side pulls
     /// observations off the infinite stream and routes them while the shard
-    /// threads fold earlier observations into their classifiers. With one
-    /// producer, a shard-queue stall can be fed back into the prober's rate
-    /// limiter before the next probe is paced
-    /// ([`MonitorConfig::rate_feedback`]); with several, each producer probes
-    /// its slice of every window concurrently and the
+    /// threads fold earlier observations into their classifiers. With
+    /// [`MonitorConfig::rate_feedback`] on, every producer paces against the
+    /// deterministic virtual-queue model, so the AIMD trajectory — and
+    /// therefore every send time — is reproduced exactly no matter how many
+    /// producers probe concurrently; the
     /// [`MergedClock`](crate::clock::MergedClock) reconstructs the
-    /// single-producer observation sequence exactly.
+    /// single-producer observation sequence either way.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(
         &self,
         world: &B,
@@ -156,28 +172,31 @@ impl StreamMonitor {
     ) -> MonitorReport {
         let cfg = &self.config;
         assert!(cfg.producers > 0, "at least one producer");
-        assert!(
-            cfg.producers == 1 || !cfg.rate_feedback,
-            "rate feedback requires a single producer"
-        );
         let generator = TargetGenerator::new(cfg.seed);
-        let build_stream = |producer: usize| {
+        // One ShardMap instance serves both the router and (when feedback is
+        // on) every producer's virtual-queue pacer, so the two agree on
+        // routing by construction.
+        let shard_map = ShardMap::new(&world.rib().entries(), cfg.shards);
+        let feedback_map = cfg.rate_feedback.then(|| shard_map.clone());
+        let build_stream = |producer: usize, producers: usize| {
             let targets =
                 TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
-            ContinuousStream::builder(world, targets)
+            let mut builder = ContinuousStream::builder(world, targets)
                 .rate_pps(cfg.packets_per_second)
                 .start(cfg.start)
                 .window_interval(cfg.window_interval)
-                .slice(producer, cfg.producers)
-                .build()
+                .slice(producer, producers);
+            if let Some(map) = &feedback_map {
+                builder = builder.feedback(cfg.queue_model, map.clone());
+            }
+            builder.build()
         };
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
         let (merged, stalls, final_rate) = std::thread::scope(|scope| {
             let (senders, handles) =
                 spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
-            let mut router =
-                ShardRouter::with_batch(&world.rib().entries(), senders, cfg.observation_batch);
+            let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
             let mut current_window = 0u64;
             let mut compact_on_entering = |router: &mut ShardRouter, window: u64| {
                 if window > current_window {
@@ -191,29 +210,20 @@ impl StreamMonitor {
             };
 
             let final_rate = if cfg.producers == 1 {
-                let mut stream = build_stream(0);
+                let mut stream = build_stream(0, 1);
                 let total = stream.window_len() as u64 * cfg.windows;
                 for _ in 0..total {
                     let Some(obs) = stream.next_observation() else {
                         break;
                     };
                     compact_on_entering(&mut router, obs.window);
-                    let outcome = router.route(obs);
-                    // Only delivering routes carry a stall signal; buffered
-                    // routes say nothing about consumer capacity.
-                    if cfg.rate_feedback && outcome.delivered {
-                        if outcome.backpressured {
-                            stream.throttle();
-                        } else {
-                            stream.recover();
-                        }
-                    }
+                    router.route(obs);
                 }
                 stream.rate()
             } else {
                 let sources: Vec<_> = (0..cfg.producers)
                     .map(|k| {
-                        let stream = build_stream(k);
+                        let stream = build_stream(k, cfg.producers);
                         let limit = stream.slice_len() as u64 * cfg.windows;
                         LimitedSource::new(stream, limit)
                     })
@@ -223,7 +233,17 @@ impl StreamMonitor {
                     compact_on_entering(&mut router, obs.window);
                     router.route(obs);
                 }
-                cfg.packets_per_second
+                // The producers' pacers ended on their own threads; replay
+                // the (deterministic) trajectory probe-free to report the
+                // same final rate the single-producer run ends at. Without
+                // feedback the rate never moves, so skip the replay.
+                if cfg.rate_feedback {
+                    let mut replay = build_stream(0, 1);
+                    replay.replay_windows(cfg.windows);
+                    replay.rate()
+                } else {
+                    cfg.packets_per_second
+                }
             };
 
             let stalls = router.stalls();
@@ -371,14 +391,62 @@ mod tests {
         let monitor = StreamMonitor::new(MonitorConfig {
             windows: 2,
             shards: 2,
-            channel_capacity: 4, // tiny queues to provoke stalls
+            packets_per_second: 128,
             rate_feedback: true,
+            queue_model: QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 64,
+                low_watermark: 8,
+            },
             ..MonitorConfig::default()
         });
         let report = monitor.run(&engine, &watched);
         assert_eq!(report.observations, watched.len() as u64 * 256 * 2);
         assert!(report.final_rate <= monitor.config.packets_per_second);
         assert!(report.final_rate >= monitor.config.packets_per_second / 64);
+        assert!(
+            report.final_rate < monitor.config.packets_per_second,
+            "a 16/s-per-shard consumer must throttle a 128 pps prober"
+        );
+        // The trajectory is a pure function of the config: a second run
+        // reproduces the report bit for bit (stall counts aside).
+        let mut again = monitor.run(&engine, &watched);
+        again.backpressure_stalls = report.backpressure_stalls;
+        assert_eq!(report, again);
+    }
+
+    /// The tentpole contract: AIMD feedback on, any producer count — the
+    /// merged run is byte-identical to the single-producer run, including
+    /// the deterministic `final_rate`.
+    #[test]
+    fn rate_feedback_is_producer_invariant() {
+        let world = scenarios::continuous_world(41);
+        let config = |producers: usize| MonitorConfig {
+            windows: 3,
+            shards: 2,
+            producers,
+            packets_per_second: 128,
+            rate_feedback: true,
+            queue_model: QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 64,
+                low_watermark: 8,
+            },
+            ..MonitorConfig::default()
+        };
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched: Vec<Ipv6Prefix> = watched_48s(&engine).into_iter().take(2).collect();
+        let single = StreamMonitor::new(config(1)).run(&engine, &watched);
+        assert!(
+            single.final_rate < 128,
+            "throttling must be non-vacuous for the equality to prove anything"
+        );
+        for producers in [2usize, 4, 8] {
+            let engine = Engine::build(world.clone()).unwrap();
+            let mut sharded = StreamMonitor::new(config(producers)).run(&engine, &watched);
+            sharded.backpressure_stalls = single.backpressure_stalls;
+            assert_eq!(single, sharded, "producers={producers}");
+        }
     }
 
     #[test]
@@ -475,16 +543,28 @@ mod tests {
         assert!(!sharded.events.is_empty());
     }
 
+    /// An unbounded queue model must leave the report identical to
+    /// feedback-off — the `drain_rate = ∞` compatibility guarantee, at the
+    /// whole-monitor level.
     #[test]
-    #[should_panic(expected = "rate feedback requires a single producer")]
-    fn rate_feedback_rejects_sharded_producers() {
-        let engine = Engine::build(scenarios::continuous_world(41)).unwrap();
-        let watched = watched_48s(&engine);
-        StreamMonitor::new(MonitorConfig {
-            producers: 2,
-            rate_feedback: true,
+    fn unbounded_feedback_equals_feedback_off() {
+        let world = scenarios::continuous_world(41);
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched: Vec<Ipv6Prefix> = watched_48s(&engine).into_iter().take(2).collect();
+        let off = StreamMonitor::new(MonitorConfig {
+            windows: 2,
             ..MonitorConfig::default()
         })
         .run(&engine, &watched);
+        let engine = Engine::build(world).unwrap();
+        let mut on = StreamMonitor::new(MonitorConfig {
+            windows: 2,
+            rate_feedback: true,
+            queue_model: QueueModel::unbounded(),
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+        on.backpressure_stalls = off.backpressure_stalls;
+        assert_eq!(off, on);
     }
 }

@@ -24,12 +24,12 @@ use serde::{Deserialize, Serialize};
 use scent_core::pipeline::RotatingCounts;
 use scent_core::rotation_detect::WindowedRotationDetector;
 use scent_core::{DensityReport, PipelineConfig, PipelineReport, SeedExpansion};
-use scent_prober::{ProbeTransport, SeedCampaign, TargetGenerator, WorldView};
+use scent_prober::{ProbeTransport, QueueModel, SeedCampaign, TargetGenerator, WorldView};
 use scent_simnet::SimDuration;
 
 use crate::clock::spawn_producers;
 use crate::observation::{ObservationSource, Phase};
-use crate::router::ShardRouter;
+use crate::router::{ShardMap, ShardRouter};
 use crate::shard::{spawn_shards, ShardInference};
 use crate::source::ScanStream;
 
@@ -50,10 +50,24 @@ pub struct StreamConfig {
     /// batches of up to 64 observations per message, so a producer can run
     /// up to `64 * channel_capacity` observations ahead of the merge.
     pub channel_capacity: usize,
-    /// Observations accumulated per channel message (1 = one message per
-    /// observation). Larger batches amortize channel overhead without
-    /// changing the report.
+    /// Observations accumulated per channel message. Larger batches amortize
+    /// channel overhead without changing the report; the default of 64 was
+    /// promoted from the `streaming/batching_experiment_scale` bench, where
+    /// per-message rendezvous dominated at experiment scale.
     pub observation_batch: usize,
+    /// Whether every phase's scan adapts its rate to the deterministic
+    /// virtual-queue model (AIMD against [`StreamConfig::queue_model`]).
+    /// Off by default: the fixed-rate trajectory matches the batch pipeline
+    /// bit for bit, which is what the batch ≡ streamed equivalence tests
+    /// assert. Feedback-on runs stay bit-reproducible — the signal is a pure
+    /// function of `(config, target order, virtual time)` — and remain
+    /// producer-count-invariant, but their send times (and therefore what a
+    /// time-varying world answers) may differ from the fixed-rate run's.
+    pub rate_feedback: bool,
+    /// The virtual-queue feedback model consulted when
+    /// [`StreamConfig::rate_feedback`] is on. Each phase's scan starts from
+    /// fresh (empty) queues — the drain epoch is the phase's scan start.
+    pub queue_model: QueueModel,
 }
 
 impl Default for StreamConfig {
@@ -63,8 +77,23 @@ impl Default for StreamConfig {
             shards: 2,
             producers: 1,
             channel_capacity: 1024,
-            observation_batch: 1,
+            observation_batch: 64,
+            rate_feedback: false,
+            queue_model: QueueModel::default(),
         }
+    }
+}
+
+/// Attach the virtual-queue feedback model to a scan builder when one is
+/// configured (`shard_map` is `Some` exactly when feedback is on).
+fn attach_feedback<'a, B: ProbeTransport + ?Sized>(
+    builder: crate::source::ScanStreamBuilder<'a, B>,
+    shard_map: &Option<ShardMap>,
+    queue_model: QueueModel,
+) -> crate::source::ScanStreamBuilder<'a, B> {
+    match shard_map {
+        Some(map) => builder.feedback(queue_model, map.clone()),
+        None => builder,
     }
 }
 
@@ -140,6 +169,14 @@ impl StreamPipeline {
         let seed_unique = seed_campaign.unique_eui64_48s();
         let seed_32s = seed_campaign.seed_32s();
 
+        // One ShardMap instance serves both the router and (when feedback is
+        // on) every producer's virtual-queue pacer, so the two agree on
+        // routing by construction.
+        let shard_map = ShardMap::new(&world.rib().entries(), self.config.shards);
+        let feedback_map = self.config.rate_feedback.then(|| shard_map.clone());
+        let queue_model = self.config.queue_model;
+        let with_feedback = |builder| attach_feedback(builder, &feedback_map, queue_model);
+
         std::thread::scope(|scope| {
             let (senders, handles) = spawn_shards(
                 scope,
@@ -147,11 +184,8 @@ impl StreamPipeline {
                 self.config.channel_capacity,
                 None,
             );
-            let mut router = ShardRouter::with_batch(
-                &world.rib().entries(),
-                senders,
-                self.config.observation_batch,
-            );
+            let mut router =
+                ShardRouter::with_map(shard_map, senders, self.config.observation_batch);
 
             // Step 1: expansion & validation (§4.1), streamed. Same targets,
             // order and pacing as `SeedExpansion::run`.
@@ -163,13 +197,15 @@ impl StreamPipeline {
                 .collect();
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
-                    ScanStream::builder(world, expansion_targets.clone())
-                        .phase(Phase::Expansion)
-                        .seed(cfg.seed ^ 0x9e37)
-                        .rate_pps(10_000)
-                        .start(cfg.expansion_time)
-                        .slice(k, producers)
-                        .build()
+                    with_feedback(
+                        ScanStream::builder(world, expansion_targets.clone())
+                            .phase(Phase::Expansion)
+                            .seed(cfg.seed ^ 0x9e37)
+                            .rate_pps(10_000)
+                            .start(cfg.expansion_time)
+                            .slice(k, producers),
+                    )
+                    .build()
                 })
                 .collect();
             route_producers(scope, &mut router, sources, self.config.channel_capacity);
@@ -183,13 +219,15 @@ impl StreamPipeline {
                 density_generator.per_candidate_48(&validated, cfg.density_granularity);
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
-                    ScanStream::builder(world, density_targets.clone())
-                        .phase(Phase::Density)
-                        .seed(cfg.seed)
-                        .rate_pps(cfg.packets_per_second)
-                        .start(cfg.expansion_time + SimDuration::from_hours(2))
-                        .slice(k, producers)
-                        .build()
+                    with_feedback(
+                        ScanStream::builder(world, density_targets.clone())
+                            .phase(Phase::Density)
+                            .seed(cfg.seed)
+                            .rate_pps(cfg.packets_per_second)
+                            .start(cfg.expansion_time + SimDuration::from_hours(2))
+                            .slice(k, producers),
+                    )
+                    .build()
                 })
                 .collect();
             route_producers(scope, &mut router, sources, self.config.channel_capacity);
@@ -206,14 +244,16 @@ impl StreamPipeline {
                     + SimDuration::from_secs(SimDuration::from_days(1).as_secs() * window);
                 let sources: Vec<_> = (0..producers)
                     .map(|k| {
-                        ScanStream::builder(world, detection_targets.clone())
-                            .phase(Phase::Detection)
-                            .window(window)
-                            .seed(cfg.seed)
-                            .rate_pps(cfg.packets_per_second)
-                            .start(start)
-                            .slice(k, producers)
-                            .build()
+                        with_feedback(
+                            ScanStream::builder(world, detection_targets.clone())
+                                .phase(Phase::Detection)
+                                .window(window)
+                                .seed(cfg.seed)
+                                .rate_pps(cfg.packets_per_second)
+                                .start(start)
+                                .slice(k, producers),
+                        )
+                        .build()
                     })
                     .collect();
                 route_producers(scope, &mut router, sources, self.config.channel_capacity);
@@ -281,20 +321,54 @@ mod tests {
         assert!(streamed.high_density > 0);
     }
 
+    /// Regression for the promoted default (`observation_batch = 64`): the
+    /// report is invariant between the new default, per-probe delivery and
+    /// an even larger batch.
     #[test]
     fn observation_batching_does_not_change_the_report() {
         let world = scenarios::paper_world(71, WorldScale::small());
         let engine = Engine::build(world).unwrap();
-        let unbatched = StreamPipeline::with_shards(small_config(), 2).run(&engine);
-        let batched = StreamPipeline::new(StreamConfig {
+        let default_batch = StreamPipeline::with_shards(small_config(), 2).run(&engine);
+        for observation_batch in [1usize, 256] {
+            let batched = StreamPipeline::new(StreamConfig {
+                pipeline: small_config(),
+                shards: 2,
+                observation_batch,
+                ..StreamConfig::default()
+            })
+            .run(&engine);
+            assert_eq!(default_batch, batched, "batch={observation_batch}");
+        }
+        assert!(!default_batch.rotating_48s.is_empty());
+    }
+
+    /// Feedback-on streamed runs stay producer-count-invariant: the
+    /// virtual-queue trajectory is replayed identically by every slice.
+    #[test]
+    fn feedback_pipeline_report_is_producer_invariant() {
+        let world = scenarios::paper_world(71, WorldScale::small());
+        let config = |producers: usize| StreamConfig {
             pipeline: small_config(),
             shards: 2,
-            observation_batch: 64,
+            producers,
+            rate_feedback: true,
+            queue_model: QueueModel {
+                drain_rate: Some(2_000),
+                high_watermark: 4_096,
+                low_watermark: 512,
+            },
             ..StreamConfig::default()
-        })
-        .run(&engine);
-        assert_eq!(unbatched, batched);
-        assert!(!batched.rotating_48s.is_empty());
+        };
+        let single = {
+            let engine = Engine::build(world.clone()).unwrap();
+            StreamPipeline::new(config(1)).run(&engine)
+        };
+        assert!(!single.rotating_48s.is_empty());
+        for producers in [2usize, 4, 8] {
+            let engine = Engine::build(world.clone()).unwrap();
+            let sharded = StreamPipeline::new(config(producers)).run(&engine);
+            assert_eq!(single, sharded, "producers={producers}");
+        }
     }
 
     #[test]

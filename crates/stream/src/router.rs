@@ -43,9 +43,62 @@ pub struct RouteOutcome {
     pub backpressured: bool,
 }
 
+/// The pure target → shard mapping the router is built on.
+///
+/// Extracted as its own type so the mapping can be evaluated *away* from the
+/// router: the virtual-queue feedback model
+/// ([`QueuePacer`](scent_prober::QueuePacer)) needs to know, for every
+/// probing-order position, which shard the observation will be routed to —
+/// including positions owned by other producers — and it must agree with the
+/// router exactly. Both sides therefore share this one implementation.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    trie: PrefixTrie<usize>,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Build the mapping over the announced prefixes of a RIB for `shards`
+    /// shards.
+    pub fn new(entries: &[RibEntry], shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        let mut trie = PrefixTrie::new();
+        for entry in entries {
+            trie.insert(entry.prefix, Self::shard_of_prefix(&entry.prefix, shards));
+        }
+        ShardMap { trie, shards }
+    }
+
+    /// The shard an announced prefix is pinned to: a hash of its /32 bits
+    /// (announcements shorter than /32 hash their own network bits, keeping
+    /// all their more-specific space together).
+    fn shard_of_prefix(prefix: &Ipv6Prefix, shards: usize) -> usize {
+        let key_len = prefix.len().min(32);
+        let bits32 = (prefix.network_bits() >> 96) as u64 & (u64::MAX << (32 - key_len as u64));
+        (hash2(0x7368_6172, bits32, key_len as u64) % shards as u64) as usize
+    }
+
+    /// The shard a target address routes to: its longest-matching
+    /// announcement's shard, or a hash of the target's own /32 for
+    /// unannounced space (so stray observations still land
+    /// deterministically).
+    pub fn shard_for(&self, target: Ipv6Addr) -> usize {
+        if let Some((_, &shard)) = self.trie.longest_match(target) {
+            return shard;
+        }
+        let bits32 = (addr_to_u128(target) >> 96) as u64;
+        (hash2(0x7368_6172, bits32, 32) % self.shards as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
 /// Routes observations to shard workers over bounded channels.
 pub struct ShardRouter {
-    trie: PrefixTrie<usize>,
+    map: ShardMap,
     senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
     stalls: u64,
     routed: u64,
@@ -69,15 +122,25 @@ impl ShardRouter {
         senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
         batch: usize,
     ) -> Self {
+        let map = ShardMap::new(entries, senders.len());
+        Self::with_map(map, senders, batch)
+    }
+
+    /// Build a router around an existing [`ShardMap`]. This is how a caller
+    /// that also needs the mapping elsewhere (the virtual-queue feedback
+    /// model) guarantees — by construction, not by convention — that the
+    /// router and the feedback model route every target identically.
+    pub fn with_map(
+        map: ShardMap,
+        senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
+        batch: usize,
+    ) -> Self {
         assert!(!senders.is_empty(), "at least one shard");
+        assert_eq!(map.shards(), senders.len(), "one sender per mapped shard");
         assert!(batch > 0, "batch size must be non-zero");
         let shards = senders.len();
-        let mut trie = PrefixTrie::new();
-        for entry in entries {
-            trie.insert(entry.prefix, Self::shard_of_prefix(&entry.prefix, shards));
-        }
         ShardRouter {
-            trie,
+            map,
             buffers: vec![Vec::with_capacity(batch); shards],
             senders,
             stalls: 0,
@@ -86,24 +149,9 @@ impl ShardRouter {
         }
     }
 
-    /// The shard an announced prefix is pinned to: a hash of its /32 bits
-    /// (announcements shorter than /32 hash their own network bits, keeping
-    /// all their more-specific space together).
-    fn shard_of_prefix(prefix: &Ipv6Prefix, shards: usize) -> usize {
-        let key_len = prefix.len().min(32);
-        let bits32 = (prefix.network_bits() >> 96) as u64 & (u64::MAX << (32 - key_len as u64));
-        (hash2(0x7368_6172, bits32, key_len as u64) % shards as u64) as usize
-    }
-
-    /// The shard a target address routes to: its longest-matching
-    /// announcement's shard, or a hash of the target's own /32 for
-    /// unannounced space (so stray observations still land deterministically).
+    /// The shard a target address routes to (see [`ShardMap::shard_for`]).
     pub fn shard_for(&self, target: Ipv6Addr) -> usize {
-        if let Some((_, &shard)) = self.trie.longest_match(target) {
-            return shard;
-        }
-        let bits32 = (addr_to_u128(target) >> 96) as u64;
-        (hash2(0x7368_6172, bits32, 32) % self.senders.len() as u64) as usize
+        self.map.shard_for(target)
     }
 
     /// Deliver one observation to its shard (or buffer it until the shard's
@@ -304,6 +352,33 @@ mod tests {
             r1.shutdown();
             r2.shutdown();
             for handle in h1.into_iter().chain(h2) {
+                handle.join().unwrap();
+            }
+        });
+    }
+
+    /// The standalone [`ShardMap`] must agree with the router exactly — the
+    /// virtual-queue feedback model evaluates shard assignment away from the
+    /// router and the two must never diverge.
+    #[test]
+    fn shard_map_agrees_with_the_router() {
+        std::thread::scope(|scope| {
+            let (senders, handles) = spawn_shards(scope, 5, 64, None);
+            let router = ShardRouter::new(&rib().entries(), senders);
+            let map = ShardMap::new(&rib().entries(), 5);
+            assert_eq!(map.shards(), 5);
+            for target in [
+                "2001:16b8:1::1",
+                "2a02:27b0:200::9",
+                "2803:9810:100::3",
+                "2a01:c3f::1",
+                "3fff::1",
+            ] {
+                let t: Ipv6Addr = target.parse().unwrap();
+                assert_eq!(router.shard_for(t), map.shard_for(t), "{target}");
+            }
+            router.shutdown();
+            for handle in handles {
                 handle.join().unwrap();
             }
         });

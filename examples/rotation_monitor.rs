@@ -73,7 +73,7 @@ fn run() -> Result<(), ScentError> {
     println!("rotation events per window:");
     for window in 0..report.windows {
         let count = report.events_in_window(window).count();
-        let bar: String = std::iter::repeat_n('#', count.min(60)).collect();
+        let bar: String = "#".repeat(count.min(60));
         println!("  window {window:>2}: {count:>4} {bar}");
     }
 

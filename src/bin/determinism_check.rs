@@ -1,0 +1,78 @@
+//! CI determinism cross-check: run representative feedback-on campaigns and
+//! print their full reports.
+//!
+//! The CI job runs this binary twice and asserts the outputs are byte-equal.
+//! Each run spawns real producer and shard threads, so the OS interleaves
+//! the two processes differently on its own — any reintroduced dependence of
+//! campaign results on scheduling or wall-clock timing shows up as a diff.
+//! Everything printed is `Vec`-shaped report state (no hash-map iteration
+//! order), and the one wall-clock diagnostic in a monitor report
+//! (`backpressure_stalls`) is zeroed before printing.
+
+use followscent::prober::QueueModel;
+use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
+use followscent::{Campaign, CampaignMode, ScentError};
+
+fn main() -> Result<(), ScentError> {
+    // Streamed discovery with virtual-queue feedback, across producer
+    // counts: reports must be identical to each other and across process
+    // runs.
+    let world = scenarios::paper_world(2024, WorldScale::small());
+    for producers in [1usize, 4] {
+        let engine = Engine::build(world.clone())?;
+        let report = Campaign::builder()
+            .world(&engine)
+            .max_48s_per_seed(128)
+            .rate_feedback(true)
+            .queue_model(QueueModel {
+                drain_rate: Some(2_000),
+                high_watermark: 4_096,
+                low_watermark: 512,
+            })
+            .mode(CampaignMode::Streamed {
+                shards: 2,
+                producers,
+            })
+            .run()?;
+        println!("== streamed feedback-on, producers={producers} ==");
+        println!("{:#?}", report.pipeline().expect("pipeline report"));
+    }
+
+    // The continuous monitor with a throttling queue model, across producer
+    // counts.
+    let world = scenarios::continuous_world(13);
+    let engine = Engine::build(world)?;
+    let watched: Vec<followscent::ipv6::Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(2)
+        .collect();
+    for producers in [1usize, 4] {
+        let report = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .rate_pps(128)
+            .rate_feedback(true)
+            .queue_model(QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 64,
+                low_watermark: 8,
+            })
+            .watch(watched.clone())
+            .monitor_granularity(56)
+            .start(SimTime::at(10, 9))
+            .mode(CampaignMode::Monitor {
+                windows: 2,
+                shards: 2,
+                producers,
+            })
+            .run()?;
+        let mut report = report.monitor().expect("monitor report").clone();
+        report.backpressure_stalls = 0; // wall-clock diagnostic, not state
+        println!("== monitor feedback-on, producers={producers} ==");
+        println!("{report:#?}");
+    }
+    Ok(())
+}

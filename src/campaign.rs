@@ -39,10 +39,51 @@
 //!     Ok(())
 //! }
 //! ```
+//!
+//! AIMD rate feedback composes with sharded producers: the virtual-queue
+//! model is a pure function of the configuration and virtual time, so every
+//! producer replays the same rate trajectory and the run stays
+//! bit-reproducible at any producer count:
+//!
+//! ```
+//! use followscent::prober::QueueModel;
+//! use followscent::simnet::{scenarios, Engine};
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     let engine = Engine::build(scenarios::continuous_world(13))?;
+//!     let watched = vec!["2001:16b8:100::/48".parse().unwrap()];
+//!     let run = |producers| {
+//!         Campaign::builder()
+//!             .world(&engine)
+//!             .rate_pps(128)
+//!             .rate_feedback(true) // adapt to consumer capacity...
+//!             .queue_model(QueueModel {
+//!                 drain_rate: Some(16), // ...16 obs/s per shard...
+//!                 high_watermark: 64,   // ...backing off at 64 queued...
+//!                 low_watermark: 8,     // ...recovering below 8
+//!             })
+//!             .watch(watched.clone())
+//!             .mode(CampaignMode::Monitor {
+//!                 windows: 2,
+//!                 shards: 2,
+//!                 producers, // feedback works at any producer count
+//!             })
+//!             .run()
+//!     };
+//!     let single = run(1)?;
+//!     let mut sharded = run(4)?.monitor().unwrap().clone();
+//!     let single = single.monitor().unwrap();
+//!     sharded.backpressure_stalls = single.backpressure_stalls;
+//!     assert_eq!(single, &sharded, "byte-identical at any producer count");
+//!     assert!(single.final_rate < 128, "the slow consumer throttled probing");
+//!     Ok(())
+//! }
+//! ```
 
 use scent_core::{Pipeline, PipelineConfig, PipelineReport};
 use scent_ipv6::Ipv6Prefix;
-use scent_prober::{ProbeTransport, WorldView};
+use scent_prober::{ProbeTransport, QueueModel, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 use scent_stream::{MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline};
 
@@ -76,8 +117,9 @@ pub enum CampaignMode {
         /// Number of inference shards.
         shards: usize,
         /// Number of probe producers each window's scan is split across.
-        /// More than one is incompatible with
-        /// [`CampaignBuilder::rate_feedback`].
+        /// Composes with [`CampaignBuilder::rate_feedback`] at any count:
+        /// every producer replays the same deterministic virtual-queue rate
+        /// trajectory.
         producers: usize,
     },
 }
@@ -123,13 +165,14 @@ impl Campaign {
             pipeline: PipelineConfig::default(),
             mode: CampaignMode::Batch,
             channel_capacity: 1024,
-            observation_batch: 1,
+            observation_batch: 64,
             watched: Vec::new(),
             granularity: None,
             window_interval: SimDuration::from_days(1),
             start: None,
             max_tracked: 8,
             rate_feedback: false,
+            queue_model: QueueModel::default(),
             retention_windows: None,
         }
     }
@@ -153,6 +196,7 @@ pub struct CampaignBuilder<W> {
     start: Option<SimTime>,
     max_tracked: usize,
     rate_feedback: bool,
+    queue_model: QueueModel,
     retention_windows: Option<u64>,
 }
 
@@ -197,8 +241,10 @@ impl<W> CampaignBuilder<W> {
         self
     }
 
-    /// Observations accumulated per channel message (default: 1). Larger
-    /// batches amortize channel overhead without changing the report.
+    /// Observations accumulated per channel message (default: 64, promoted
+    /// from the `streaming/batching_experiment_scale` bench). Larger batches
+    /// amortize channel overhead without changing the report; set 1 for
+    /// per-probe live-event latency in monitor mode.
     pub fn observation_batch(mut self, observation_batch: usize) -> Self {
         self.observation_batch = observation_batch;
         self
@@ -237,10 +283,36 @@ impl<W> CampaignBuilder<W> {
         self
     }
 
-    /// Whether shard-queue stalls feed back into the prober's virtual-time
-    /// rate (default: off, for bit-reproducibility).
+    /// Whether the prober adapts its virtual-time rate to the deterministic
+    /// virtual-queue model (default: off). Feedback-on runs are still
+    /// bit-reproducible — the AIMD signal is a pure function of the
+    /// configuration, the target order and virtual time, never of OS
+    /// scheduling — and compose with any producer count in
+    /// [`CampaignMode::Streamed`] and [`CampaignMode::Monitor`].
+    /// [`CampaignMode::Batch`] has no shards to model and ignores the
+    /// feedback signal, though the queue model is still validated (an
+    /// inverted-watermark model is rejected in every mode rather than
+    /// silently carried).
     pub fn rate_feedback(mut self, rate_feedback: bool) -> Self {
         self.rate_feedback = rate_feedback;
+        self
+    }
+
+    /// The virtual-queue feedback model consulted when
+    /// [`CampaignBuilder::rate_feedback`] is on: per-shard drain rate plus
+    /// the depth watermarks for multiplicative back-off and additive
+    /// recovery (default: [`QueueModel::unbounded`], which leaves the
+    /// trajectory identical to feedback-off).
+    pub fn queue_model(mut self, queue_model: QueueModel) -> Self {
+        self.queue_model = queue_model;
+        self
+    }
+
+    /// Shorthand for [`CampaignBuilder::queue_model`] with the given
+    /// per-shard drain rate (observations retired per virtual second) and
+    /// the default watermarks.
+    pub fn drain_rate(mut self, drain_rate: u64) -> Self {
+        self.queue_model = QueueModel::with_drain_rate(drain_rate);
         self
     }
 
@@ -271,6 +343,7 @@ impl CampaignBuilder<()> {
             start: self.start,
             max_tracked: self.max_tracked,
             rate_feedback: self.rate_feedback,
+            queue_model: self.queue_model,
             retention_windows: self.retention_windows,
         }
     }
@@ -284,6 +357,9 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
         }
         if self.observation_batch == 0 {
             return Err(CampaignError::ZeroObservationBatch.into());
+        }
+        if self.rate_feedback && !self.queue_model.is_valid() {
+            return Err(CampaignError::InvalidQueueModel.into());
         }
         match self.mode {
             CampaignMode::Batch => Ok(CampaignReport::Pipeline(
@@ -302,6 +378,8 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     producers,
                     channel_capacity: self.channel_capacity,
                     observation_batch: self.observation_batch,
+                    rate_feedback: self.rate_feedback,
+                    queue_model: self.queue_model,
                 };
                 Ok(CampaignReport::Pipeline(
                     StreamPipeline::new(config).run(self.world),
@@ -324,9 +402,6 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                 if self.watched.is_empty() {
                     return Err(CampaignError::EmptyWatchList.into());
                 }
-                if self.rate_feedback && producers > 1 {
-                    return Err(CampaignError::FeedbackWithShardedProducers.into());
-                }
                 let config = MonitorConfig {
                     shards,
                     producers,
@@ -342,6 +417,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     start: self.start.unwrap_or(self.pipeline.first_snapshot),
                     max_tracked: self.max_tracked,
                     rate_feedback: self.rate_feedback,
+                    queue_model: self.queue_model,
                     retention_windows: self.retention_windows,
                 };
                 Ok(CampaignReport::Monitor(
@@ -382,19 +458,15 @@ mod tests {
 
         let err = Campaign::builder()
             .world(&engine)
-            .watch(vec!["2001:16b8:100::/48".parse().unwrap()])
             .rate_feedback(true)
-            .mode(CampaignMode::Monitor {
-                windows: 2,
-                shards: 2,
-                producers: 4,
+            .queue_model(scent_prober::QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 8,
+                low_watermark: 8, // inverted: low must be strictly below high
             })
             .run()
             .unwrap_err();
-        assert_eq!(
-            err,
-            ScentError::Campaign(CampaignError::FeedbackWithShardedProducers)
-        );
+        assert_eq!(err, ScentError::Campaign(CampaignError::InvalidQueueModel));
 
         let err = Campaign::builder()
             .world(&engine)

@@ -39,7 +39,13 @@
 //! *any* shard and producer count — and
 //! [`CampaignMode::Monitor`] turns the same builder into a continuous
 //! rotation monitor over a watched /48 list (`.watch(..)`) with live events
-//! and passive device tracking. Errors are typed end to end:
+//! and passive device tracking. Adaptive probing composes with all of it:
+//! `.rate_feedback(true)` plus a
+//! [`QueueModel`](prober::QueueModel) make the probe rate adapt (AIMD) to a
+//! *deterministic virtual-queue* model of consumer capacity — a pure
+//! function of the configuration and virtual time, so feedback-on runs stay
+//! bit-reproducible at any `shards × producers` configuration (see the
+//! [`campaign`] module example). Errors are typed end to end:
 //! [`ScentError`] wraps the world-building, RIB-parsing and
 //! campaign-configuration failures of the member crates, all implementing
 //! [`std::error::Error`].

@@ -8,7 +8,7 @@
 use followscent::core::{PipelineConfig, PipelineReport};
 use followscent::ipv6::Ipv6Prefix;
 use followscent::prober::{
-    ProbeTransport, RecordedBackend, RecordingBackend, TargetGenerator, WorldView,
+    ProbeTransport, QueueModel, RecordedBackend, RecordingBackend, TargetGenerator, WorldView,
 };
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
 use followscent::stream::{
@@ -218,7 +218,143 @@ fn producer_count_is_invariant_on_live_and_recorded_backends() {
     }
 }
 
+/// Run the continuous monitor with the virtual-queue AIMD feedback on.
+fn monitor_feedback<B: ProbeTransport + WorldView + ?Sized>(
+    world: &B,
+    watched: &[Ipv6Prefix],
+    shards: usize,
+    producers: usize,
+    model: QueueModel,
+) -> MonitorReport {
+    let mut report = Campaign::builder()
+        .world(world)
+        .seed(0x57ae)
+        .rate_pps(128)
+        .rate_feedback(true)
+        .queue_model(model)
+        .watch(watched.to_vec())
+        .monitor_granularity(56)
+        .start(SimTime::at(10, 9))
+        .mode(CampaignMode::Monitor {
+            windows: 2,
+            shards,
+            producers,
+        })
+        .run()
+        .expect("valid monitor configuration")
+        .monitor()
+        .expect("monitor mode yields a monitor report")
+        .clone();
+    report.backpressure_stalls = 0;
+    report
+}
+
+/// A queue model that genuinely throttles the 128 pps feedback runs in these
+/// tests: each shard retires 16 observations per virtual second and backs
+/// off at 64 queued.
+fn throttling_model() -> QueueModel {
+    QueueModel {
+        drain_rate: Some(16),
+        high_watermark: 64,
+        low_watermark: 8,
+    }
+}
+
+/// The tentpole acceptance contract: with AIMD rate feedback **on**,
+/// monitor reports are byte-identical across producers {1, 2, 4, 8}, on the
+/// live simnet backend and on the recorded replay backend — and the
+/// throttling is non-vacuous (the final rate really backed off).
+#[test]
+fn feedback_on_monitor_is_producer_invariant_on_live_and_recorded_backends() {
+    let world = scenarios::continuous_world(13);
+    let engine = Engine::build(world).unwrap();
+    let watched: Vec<Ipv6Prefix> = pool_48s(&engine).into_iter().take(2).collect();
+    let recorder = RecordingBackend::new(&engine);
+    let reference = monitor_feedback(&recorder, &watched, 2, 1, throttling_model());
+    let replay = RecordedBackend::from_log(recorder.finish());
+    assert!(
+        reference.final_rate < 128,
+        "the virtual queue must throttle, or the equality proves nothing"
+    );
+    assert!(!reference.events.is_empty(), "rotation must emit events");
+    for producers in [1usize, 2, 4, 8] {
+        let live = monitor_feedback(&engine, &watched, 2, producers, throttling_model());
+        assert_eq!(reference, live, "live feedback, producers={producers}");
+        let replayed = monitor_feedback(&replay, &watched, 2, producers, throttling_model());
+        assert_eq!(
+            reference, replayed,
+            "replayed feedback, producers={producers}"
+        );
+    }
+}
+
+/// The same contract for the streamed discovery pipeline: feedback on,
+/// producers {1, 2, 4, 8}, live and recorded backends, identical reports.
+#[test]
+fn feedback_on_pipeline_is_producer_invariant_on_live_and_recorded_backends() {
+    let world = scenarios::paper_world(2024, WorldScale::small());
+    let engine = Engine::build(world).unwrap();
+    let feedback_discover =
+        |world: &dyn followscent::prober::MeasurementBackend, shards: usize, producers: usize| {
+            Campaign::builder()
+                .world(world)
+                .pipeline_config(small_config())
+                .rate_feedback(true)
+                .queue_model(QueueModel {
+                    drain_rate: Some(2_000),
+                    high_watermark: 4_096,
+                    low_watermark: 512,
+                })
+                .mode(CampaignMode::Streamed { shards, producers })
+                .run()
+                .expect("valid campaign configuration")
+                .pipeline()
+                .expect("discovery modes yield pipeline reports")
+                .clone()
+        };
+    let recorder = RecordingBackend::new(&engine);
+    let reference = feedback_discover(&recorder, 2, 1);
+    let replay = RecordedBackend::from_log(recorder.finish());
+    assert!(!reference.rotating_48s.is_empty(), "non-vacuous equality");
+    for producers in [2usize, 4, 8] {
+        let live = feedback_discover(&engine, 2, producers);
+        assert_eq!(reference, live, "live feedback, producers={producers}");
+        let replayed = feedback_discover(&replay, 2, producers);
+        assert_eq!(
+            reference, replayed,
+            "replayed feedback, producers={producers}"
+        );
+    }
+}
+
 proptest! {
+    // The tentpole property: with rate feedback on and a random queue model,
+    // the monitor report is byte-identical for any producer count — the
+    // AIMD trajectory is a pure function of the configuration that every
+    // strided slice replays locally.
+    #[test]
+    fn feedback_on_monitor_report_equals_single_producer(
+        world_seed in 1u64..1_000_000,
+        producers in 2usize..=8,
+        shards in 1usize..=3,
+        drain_rate in 1u64..64,
+        watch_count in 1usize..=4,
+    ) {
+        let model = QueueModel {
+            drain_rate: Some(drain_rate),
+            high_watermark: 64,
+            low_watermark: 8,
+        };
+        let world = scenarios::continuous_world(world_seed);
+        let engine = Engine::build(world.clone()).unwrap();
+        let mut watched = pool_48s(&engine);
+        watched.truncate(watch_count);
+        let single = monitor_feedback(&engine, &watched, shards, 1, model);
+        let engine = Engine::build(world).unwrap();
+        let sharded = monitor_feedback(&engine, &watched, shards, producers, model);
+        prop_assert_eq!(single, sharded);
+    }
+
     // Producer-merge determinism at the observation level: for random
     // worlds, random target lists and any producer count, the merged
     // observation sequence — inline or through actual producer threads — is

@@ -11,8 +11,22 @@
 //! runs exactly once so benches double as smoke tests. The measurement loop
 //! is deliberately small either way: warm-up to ~10ms samples, then
 //! `sample_size` timed samples.
+//!
+//! Three knobs exist for CI perf tracking:
+//!
+//! * **Filters** — like real criterion, positional command-line arguments
+//!   are substring filters: a benchmark runs only if its full name contains
+//!   at least one of them (no filters = run everything). `cargo bench --
+//!   batching` therefore runs just the batching group.
+//! * **`CRITERION_SAMPLE_SIZE`** — overrides every benchmark's sample count
+//!   (quick mode for CI: 2–3 samples instead of the configured size).
+//! * **`CRITERION_OUTPUT_DIR`** — when set, each benchmark appends one JSON
+//!   line (`{"id": …, "mean_ns": …, "min_ns": …}`) to
+//!   `$CRITERION_OUTPUT_DIR/estimates.jsonl`, the machine-readable estimates
+//!   a perf gate can diff against a committed baseline.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque value barrier.
@@ -156,7 +170,63 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The positional (non-flag) command-line arguments: substring filters on
+/// benchmark names, exactly like real criterion's CLI.
+fn name_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
+/// Whether a benchmark passes the command-line filters (no filters = run).
+fn bench_enabled(name: &str) -> bool {
+    let filters = name_filters();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f))
+}
+
+/// The effective sample size: the `CRITERION_SAMPLE_SIZE` environment
+/// override (CI quick mode) or the configured value.
+fn effective_sample_size(configured: usize) -> usize {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(configured)
+        .max(1)
+}
+
+/// Append one benchmark's estimates to `$CRITERION_OUTPUT_DIR/estimates.jsonl`
+/// when that directory is configured; silently a no-op otherwise.
+fn write_estimate(name: &str, mean: Duration, min: Duration) {
+    let Ok(dir) = std::env::var("CRITERION_OUTPUT_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("estimates.jsonl"))
+    else {
+        return;
+    };
+    // The id is a bench-group path (no quotes/backslashes), so plain
+    // formatting yields valid JSON.
+    let _ = writeln!(
+        file,
+        "{{\"id\":\"{name}\",\"mean_ns\":{},\"min_ns\":{}}}",
+        mean.as_nanos(),
+        min.as_nanos()
+    );
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    if !bench_enabled(name) {
+        return;
+    }
+    let sample_size = effective_sample_size(sample_size);
     if test_mode {
         let mut bencher = Bencher {
             iters: 1,
@@ -200,6 +270,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: 
     println!(
         "{name}: mean {mean:?}/iter, min {min:?}/iter ({sample_size} samples x {iters} iters)"
     );
+    write_estimate(name, mean, min);
 }
 
 /// Criterion-compatible group definition macro.

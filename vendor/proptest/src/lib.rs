@@ -11,8 +11,21 @@
 
 use std::ops::{Range, RangeInclusive};
 
-/// Number of deterministic cases each property runs.
+/// Default number of deterministic cases each property runs.
 pub const NUM_CASES: u64 = 64;
+
+/// Number of cases each property runs: the `PROPTEST_CASES` environment
+/// variable (the knob real proptest honours) or [`NUM_CASES`]. Case
+/// generation is deterministic either way — `PROPTEST_CASES=64` twice runs
+/// the identical 64 cases, which is what CI's determinism cross-check
+/// relies on.
+pub fn num_cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(NUM_CASES)
+        .max(1)
+}
 
 /// Deterministic splitmix64 generator seeded per test and case.
 pub struct TestRng {
@@ -244,7 +257,7 @@ macro_rules! proptest {
         $(
             #[$meta]
             fn $name() {
-                for case in 0..$crate::NUM_CASES {
+                for case in 0..$crate::num_cases() {
                     let mut rng = $crate::rng_for(stringify!($name), case);
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng, case);)+
                     let result = (|| -> ::std::result::Result<(), ::std::string::String> {
