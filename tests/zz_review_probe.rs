@@ -1,0 +1,35 @@
+use followscent::ipv6::Ipv6Prefix;
+use followscent::prober::QueueModel;
+use followscent::simnet::{scenarios, Engine, SimTime};
+use followscent::{Campaign, CampaignMode};
+
+#[test]
+fn probe_final_rate_across_windows() {
+    let world = scenarios::continuous_world(41);
+    let engine = Engine::build(world).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(2)
+        .collect();
+    for windows in [1u64, 2, 3, 6] {
+        let report = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .rate_pps(128)
+            .rate_feedback(true)
+            .queue_model(QueueModel { drain_rate: Some(16), high_watermark: 64, low_watermark: 8 })
+            .watch(watched.clone())
+            .monitor_granularity(56)
+            .start(SimTime::at(10, 9))
+            .mode(CampaignMode::Monitor { windows, shards: 2, producers: 1 })
+            .run()
+            .unwrap()
+            .monitor()
+            .unwrap()
+            .clone();
+        println!("windows={windows} final_rate={} observations={}", report.final_rate, report.observations);
+    }
+}
