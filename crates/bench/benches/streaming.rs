@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use scent_core::{Pipeline, PipelineConfig};
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::{scenarios, Engine, WorldScale};
-use scent_stream::{MonitorConfig, StreamConfig, StreamMonitor, StreamPipeline};
+use scent_stream::{MonitorConfig, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn};
 
 fn small_config() -> PipelineConfig {
     PipelineConfig {
@@ -248,10 +248,57 @@ fn bench_producer_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Watch-list churn overhead at `WorldScale::experiment()`: the same
+/// 2-window monitor run with the watch list fixed versus revised every
+/// window. The churned points pay for per-epoch stream rebuilds, the
+/// boundary re-expansion probe (one probe per candidate /48 of each watched
+/// /48's enclosing /44) and the revision computation — the whole churn hot
+/// path the perf gate guards. A 4-producer churned point covers the
+/// epoch-respawning producer machinery too.
+fn bench_watch_churn(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment())).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(8)
+        .collect();
+    let churn = WatchChurn {
+        refresh_every: 1,
+        watch_capacity: watched.len(),
+        ..WatchChurn::default()
+    };
+    let mut group = c.benchmark_group("streaming/churn_experiment_scale");
+    group.sample_size(10);
+    let points: [(&str, Option<WatchChurn>, usize); 3] = [
+        ("fixed_list", None, 1),
+        ("churn_every_window", Some(churn), 1),
+        ("churn_4_producers", Some(churn), 4),
+    ];
+    for (label, churn, producers) in points {
+        group.bench_with_input(
+            BenchmarkId::new("monitor_2_windows", label),
+            &(churn, producers),
+            |b, &(churn, producers)| {
+                let config = MonitorConfig {
+                    shards: 2,
+                    producers,
+                    windows: 2,
+                    churn,
+                    ..MonitorConfig::default()
+                };
+                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
-        bench_producer_scaling
+        bench_producer_scaling, bench_watch_churn
 }
 criterion_main!(streaming);

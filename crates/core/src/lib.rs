@@ -59,7 +59,7 @@ pub use pathology::PathologyReport;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineReport, RotatingCounts};
 pub use rotation_detect::{RotationDetection, RotationEvent, WindowedRotationDetector};
 pub use rotation_pool::RotationPoolInference;
-pub use seed_expansion::SeedExpansion;
+pub use seed_expansion::{SeedExpansion, WatchRevision};
 pub use stats::Cdf;
 pub use tracker::{IncrementalTracker, TrackedDevice, Tracker, TrackerConfig, TrackingReport};
 

@@ -6,11 +6,15 @@
 //! that the seed still produces EUI-64 responses and discovering additional
 //! /48s inside the same announcement that do.
 
+use std::collections::{BTreeSet, HashMap};
+
 use serde::{Deserialize, Serialize};
 
 use scent_ipv6::{Eui64, Ipv6Prefix};
 use scent_prober::{ProbeTransport, Scanner, TargetGenerator};
 use scent_simnet::SimTime;
+
+use crate::density::{DensityAccumulator, DensityClass};
 
 /// Result of the seed-expansion step.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +99,99 @@ impl SeedExpansion {
     }
 }
 
+/// One revision of a live watch list: what a re-expansion step admitted and
+/// what the incremental density state evicted at an epoch boundary.
+///
+/// Produced by [`SeedExpansion::revise_watch_list`], the entry point the
+/// continuous monitor folds its own per-epoch [`DensityAccumulator`] state
+/// through to keep watching the space the devices actually occupy.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchRevision {
+    /// The epoch this revision closed (0-based; the revision takes effect at
+    /// the first window of epoch `epoch + 1`).
+    pub epoch: u64,
+    /// Newly admitted /48s, in deterministic (prefix) order.
+    pub admitted: Vec<Ipv6Prefix>,
+    /// Evicted /48s, in deterministic (prefix) order.
+    pub evicted: Vec<Ipv6Prefix>,
+}
+
+impl WatchRevision {
+    /// Whether the revision changed the watch list at all.
+    pub fn is_noop(&self) -> bool {
+        self.admitted.is_empty() && self.evicted.is_empty()
+    }
+}
+
+impl SeedExpansion {
+    /// Fold one epoch of incremental density state through a re-expansion
+    /// step and compute the next watch list.
+    ///
+    /// * `watched` — the /48s probed during the closing epoch.
+    /// * `epoch_density` — per-/48 [`DensityAccumulator`] state accumulated
+    ///   over that epoch's observations only (not the whole run): watched
+    ///   /48s that stayed [`DensityClass::High`] this epoch survive; the rest
+    ///   have gone quiet and are evicted. An epoch of sustained density
+    ///   outranks the single-probe expansion signal, so a quiet watched /48
+    ///   is evicted even when its expansion probe happened to answer.
+    /// * `validated` — the /48s the boundary re-expansion probe validated
+    ///   (EUI-64 response), sorted and deduplicated as
+    ///   [`SeedExpansion::run`] returns them; candidates not currently
+    ///   watched are admitted in that order until `capacity` is reached.
+    /// * `capacity` — the bound on the revised watch list. When survivors
+    ///   alone exceed it, the densest are kept (unique-EUI-64 count
+    ///   descending, ties broken by prefix order, so the outcome is a pure
+    ///   function of the inputs — never of map iteration order).
+    ///
+    /// Returns the next watch list in prefix order plus the
+    /// [`WatchRevision`] record for epoch `epoch`.
+    pub fn revise_watch_list(
+        epoch: u64,
+        watched: &[Ipv6Prefix],
+        epoch_density: &HashMap<Ipv6Prefix, DensityAccumulator>,
+        validated: &[Ipv6Prefix],
+        capacity: usize,
+    ) -> (Vec<Ipv6Prefix>, WatchRevision) {
+        assert!(capacity > 0, "watch capacity must be non-zero");
+        let empty = DensityAccumulator::new();
+        let mut survivors: Vec<(u64, Ipv6Prefix)> = watched
+            .iter()
+            .map(|prefix| {
+                let measured = epoch_density.get(prefix).unwrap_or(&empty).finish(*prefix);
+                (measured.unique_eui64, measured.class, *prefix)
+            })
+            .filter(|(_, class, _)| *class == DensityClass::High)
+            .map(|(unique, _, prefix)| (unique, prefix))
+            .collect();
+        survivors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        survivors.truncate(capacity);
+
+        let watched_set: BTreeSet<Ipv6Prefix> = watched.iter().copied().collect();
+        let mut next: BTreeSet<Ipv6Prefix> = survivors.iter().map(|(_, p)| *p).collect();
+        let mut admitted = Vec::new();
+        for candidate in validated {
+            if next.len() >= capacity {
+                break;
+            }
+            if watched_set.contains(candidate) || !next.insert(*candidate) {
+                continue;
+            }
+            admitted.push(*candidate);
+        }
+        let evicted: Vec<Ipv6Prefix> = watched_set
+            .iter()
+            .filter(|p| !next.contains(p))
+            .copied()
+            .collect();
+        let revision = WatchRevision {
+            epoch,
+            admitted,
+            evicted,
+        };
+        (next.into_iter().collect(), revision)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +237,106 @@ mod tests {
         let seed_32s = vec!["2001:16b8::/32".parse().unwrap()];
         let expansion = SeedExpansion::run(&engine, &seed_32s, SimTime::at(10, 9), 7, 64);
         assert_eq!(expansion.probed_48s, 64);
+    }
+
+    fn p(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    /// An accumulator with `unique` distinct EUI-64 responders.
+    fn dense(unique: u64) -> DensityAccumulator {
+        let mut acc = DensityAccumulator::new();
+        acc.probes = 256;
+        acc.responded = unique > 0;
+        for i in 0..unique {
+            let mac = scent_ipv6::MacAddr::new([0xc8, 0x0e, 0x14, 0, (i >> 8) as u8, i as u8]);
+            acc.uniques.insert(Eui64::from_mac(mac));
+        }
+        acc
+    }
+
+    #[test]
+    fn revision_evicts_quiet_and_admits_validated() {
+        let watched = [p("2001:db8:1::/48"), p("2001:db8:2::/48")];
+        let mut density = HashMap::new();
+        density.insert(watched[0], dense(8)); // stays dense
+        density.insert(watched[1], dense(1)); // went quiet (low density)
+        let validated = [p("2001:db8:3::/48"), p("2001:db8:1::/48")];
+        let (next, revision) =
+            SeedExpansion::revise_watch_list(4, &watched, &density, &validated, 8);
+        assert_eq!(next, vec![p("2001:db8:1::/48"), p("2001:db8:3::/48")]);
+        assert_eq!(revision.epoch, 4);
+        assert_eq!(revision.admitted, vec![p("2001:db8:3::/48")]);
+        assert_eq!(revision.evicted, vec![p("2001:db8:2::/48")]);
+        assert!(!revision.is_noop());
+    }
+
+    #[test]
+    fn revision_with_no_changes_is_a_noop() {
+        let watched = [p("2001:db8:1::/48")];
+        let mut density = HashMap::new();
+        density.insert(watched[0], dense(5));
+        let (next, revision) = SeedExpansion::revise_watch_list(0, &watched, &density, &watched, 4);
+        assert_eq!(next, watched.to_vec());
+        assert!(revision.is_noop());
+    }
+
+    #[test]
+    fn quiet_watched_prefix_is_not_readmitted_by_its_expansion_probe() {
+        // A single validating expansion probe must not outrank an epoch of
+        // measured low density.
+        let watched = [p("2001:db8:1::/48")];
+        let mut density = HashMap::new();
+        density.insert(watched[0], dense(1));
+        let (next, revision) = SeedExpansion::revise_watch_list(0, &watched, &density, &watched, 4);
+        assert!(next.is_empty());
+        assert_eq!(revision.evicted, watched.to_vec());
+    }
+
+    #[test]
+    fn capacity_keeps_the_densest_survivors_with_deterministic_ties() {
+        let watched = [
+            p("2001:db8:3::/48"),
+            p("2001:db8:1::/48"),
+            p("2001:db8:2::/48"),
+        ];
+        let mut density = HashMap::new();
+        density.insert(watched[0], dense(5)); // tied with :1 — prefix breaks it
+        density.insert(watched[1], dense(5));
+        density.insert(watched[2], dense(9)); // densest: always kept
+        let (next, revision) = SeedExpansion::revise_watch_list(0, &watched, &density, &[], 2);
+        assert_eq!(next, vec![p("2001:db8:1::/48"), p("2001:db8:2::/48")]);
+        assert_eq!(revision.evicted, vec![p("2001:db8:3::/48")]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_one_prefix() {
+        let watched = [p("2001:db8:1::/48"), p("2001:db8:2::/48")];
+        let mut density = HashMap::new();
+        density.insert(watched[0], dense(3));
+        density.insert(watched[1], dense(7));
+        let validated = [p("2001:db8:9::/48")];
+        let (next, revision) =
+            SeedExpansion::revise_watch_list(0, &watched, &density, &validated, 1);
+        assert_eq!(next, vec![p("2001:db8:2::/48")]);
+        assert!(revision.admitted.is_empty(), "no slot left to admit into");
+        assert_eq!(revision.evicted, vec![p("2001:db8:1::/48")]);
+    }
+
+    #[test]
+    fn unmeasured_watched_prefixes_count_as_quiet() {
+        // No accumulator at all (an empty epoch) reads as no-response.
+        let watched = [p("2001:db8:1::/48")];
+        let validated = [p("2001:db8:2::/48")];
+        let (next, revision) =
+            SeedExpansion::revise_watch_list(0, &watched, &HashMap::new(), &validated, 2);
+        assert_eq!(next, vec![p("2001:db8:2::/48")]);
+        assert_eq!(revision.evicted, watched.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "watch capacity")]
+    fn zero_capacity_panics() {
+        SeedExpansion::revise_watch_list(0, &[], &HashMap::new(), &[], 0);
     }
 }

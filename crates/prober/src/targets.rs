@@ -125,6 +125,9 @@ pub struct TargetStream {
     targets: Vec<Ipv6Addr>,
     order: Vec<u64>,
     window: u64,
+    /// The window numbering starts at (0 unless the stream is one epoch of a
+    /// churning run — see [`TargetStream::starting_at_window`]).
+    base_window: u64,
     pos: usize,
     /// First probing-order position this stream yields per window.
     offset: usize,
@@ -154,10 +157,30 @@ impl TargetStream {
             targets,
             order,
             window: 0,
+            base_window: 0,
             pos: 0,
             offset: 0,
             step: 1,
         }
+    }
+
+    /// Start the stream's window numbering at `window` instead of 0. Must be
+    /// called before the first draw.
+    ///
+    /// This is what lets a continuous run revise its target set at epoch
+    /// boundaries: each epoch builds a fresh stream over the revised list
+    /// whose windows carry the *global* window numbers, so downstream
+    /// consumers (send-time pacing, rotation detection, tracking) see one
+    /// uninterrupted window sequence — send times and `seq` stay a pure
+    /// function of the configuration plus the revision history.
+    pub fn starting_at_window(mut self, window: u64) -> Self {
+        assert!(
+            self.window == self.base_window && self.pos == self.offset,
+            "rebase a fresh stream, not one already drawn from"
+        );
+        self.base_window = window;
+        self.window = window;
+        self
     }
 
     /// Restrict the stream to producer `producer`'s strided slice of each
@@ -169,7 +192,7 @@ impl TargetStream {
         assert!(producers > 0, "at least one producer");
         assert!(producer < producers, "producer index out of range");
         assert!(
-            self.window == 0 && self.pos == self.offset,
+            self.window == self.base_window && self.pos == self.offset,
             "slice a fresh stream, not one already drawn from"
         );
         assert!(
@@ -384,6 +407,40 @@ mod tests {
         for pos in 0..full.window_len() {
             assert_eq!(drawn.next_target().unwrap().target, full.target_at(pos));
         }
+    }
+
+    #[test]
+    fn starting_at_window_rebases_numbering_and_composes_with_slices() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        let mut rebased =
+            TargetStream::new(&generator, &candidates, 56, 77, true).starting_at_window(6);
+        assert_eq!(rebased.current_window(), 6);
+        let first: Vec<_> = (0..256).map(|_| rebased.next_target().unwrap()).collect();
+        assert!(first.iter().all(|t| t.window == 6));
+        assert_eq!(rebased.current_window(), 7);
+        // Targets and seq are identical to an un-rebased stream's.
+        let mut plain = TargetStream::new(&generator, &candidates, 56, 77, true);
+        for t in &first {
+            let want = plain.next_target().unwrap();
+            assert_eq!((t.seq, t.target), (want.seq, want.target));
+        }
+        // Slices of a rebased stream partition it exactly like window 0's.
+        let mut sliced = TargetStream::new(&generator, &candidates, 56, 77, true)
+            .starting_at_window(6)
+            .slice(1, 3);
+        let t = sliced.next_target().unwrap();
+        assert_eq!((t.window, t.seq), (6, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase a fresh stream")]
+    fn starting_at_window_rejects_a_drawn_stream() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        let mut stream = TargetStream::new(&generator, &candidates, 56, 77, true);
+        stream.next_target().unwrap();
+        let _ = stream.starting_at_window(3);
     }
 
     #[test]

@@ -15,6 +15,9 @@ use crate::config::{
     PlantedCpe, ProviderConfig, RotationPolicy, RotationPoolConfig, SlotLayout, WorldConfig,
 };
 use crate::det::{hash1, hash2, uniform};
+use crate::engine::Engine;
+use crate::population::CpeId;
+use crate::time::SimTime;
 
 /// Vendor indices into [`scent_oui::ALL_VENDORS`] used by the scenarios.
 pub mod vendor {
@@ -725,6 +728,84 @@ pub fn continuous_world(seed: u64) -> WorldConfig {
     world
 }
 
+/// A world whose *dense space migrates between /48s mid-run* — the workload
+/// the live watch-list churn of the continuous monitor exists for.
+///
+/// One provider delegates /56s out of a /44 pool (4096 slots, sixteen /48s
+/// of 256 slots each) laid out contiguously at exactly 1/16 occupancy, so
+/// the occupied band fills exactly one /48 at a time. The pool rotates by
+/// [`RotationPolicy::DailyIncrement`] with `step_slots: 256`: every day the
+/// whole band marches exactly one /48 forward (wrapping the /44 every
+/// sixteen days), so the /48 that was dense yesterday is silent today and a
+/// sibling /48 is dense instead. Every device is responsive and
+/// EUI-64-bearing, so the migration is fully deterministic — a single
+/// expansion probe into the dense /48 always validates it. A static control
+/// provider keeps one /48 dense for the whole run, so a revising watch list
+/// has something to hold on to while it chases the migrating band.
+pub fn churn_world(seed: u64) -> WorldConfig {
+    let migrating = ProviderConfig::new(
+        8881u32,
+        "Versatel",
+        "DE",
+        vec![p("2001:16b8::/32")],
+        vec![RotationPoolConfig {
+            prefix: p("2001:16b8:1d00::/44"),
+            allocation_len: 56,
+            occupancy: 0.0625, // 256 of 4096 slots: exactly one /48's worth
+            layout: SlotLayout::Contiguous,
+            rotation: RotationPolicy::DailyIncrement {
+                step_slots: 256, // exactly one /48 of /56 slots per day
+                period_days: 1,
+                hour: 0,
+                jitter_hours: 2,
+            },
+        }],
+    )
+    .with_vendor_mix(vec![(vendor::AVM, 0.93), (vendor::LANCOM, 0.07)]);
+
+    let control = ProviderConfig::new(
+        6568u32,
+        "Entel Bolivia",
+        "BO",
+        vec![p("2803:9810::/32")],
+        vec![RotationPoolConfig {
+            prefix: p("2803:9810:100::/48"),
+            allocation_len: 56,
+            occupancy: 0.7,
+            layout: SlotLayout::Spread,
+            rotation: RotationPolicy::Static,
+        }],
+    )
+    .with_vendor_mix(vec![(vendor::HUAWEI, 0.7), (vendor::ZTE, 0.3)])
+    .with_response_rate(0.92);
+
+    let mut world = WorldConfig::new(vec![migrating, control], seed);
+    world.churn_fraction = 0.0;
+    world
+}
+
+/// The /48 the [`churn_world`] migrating pool's band occupies at virtual
+/// time `t` — the prefix a watch list must hold at `t` to see the band.
+///
+/// Shared by the churn tests, the determinism harness and the
+/// `rotation_monitor` example so they all read the band's position the same
+/// way. Panics if the engine's first pool is not a [`churn_world`]-style
+/// migrating band (the occupied delegations must fill exactly one /48).
+pub fn churn_world_dense_48(engine: &Engine, t: SimTime) -> Ipv6Prefix {
+    let mut seen = std::collections::BTreeSet::new();
+    for index in 0..engine.pools()[0].len() as u32 {
+        if let Some(delegation) = engine.current_delegation(CpeId { pool: 0, index }, t) {
+            seen.insert(
+                delegation
+                    .supernet(48)
+                    .expect("delegations are /48 or longer"),
+            );
+        }
+    }
+    assert_eq!(seen.len(), 1, "the churn world's band fills one /48");
+    *seen.iter().next().expect("asserted non-empty")
+}
+
 /// The tracking case-study world of §6: around a dozen providers in distinct
 /// countries, most of them rotating, from which ten target devices are drawn.
 pub fn tracking_world(seed: u64) -> WorldConfig {
@@ -940,6 +1021,30 @@ mod tests {
             SimTime::at(101, 12),
         );
         assert!(held);
+    }
+
+    #[test]
+    fn churn_world_marches_the_dense_48_daily() {
+        let world = churn_world(11);
+        world.validate().expect("churn world must validate");
+        let engine = Engine::build(world).expect("churn world must build");
+        // The migrating pool's devices all sit in one /48 on any given day
+        // (churn_world_dense_48 asserts exactly that), and in a *different*
+        // /48 the next day.
+        let pool = engine.pools()[0].config.prefix;
+        let today = churn_world_dense_48(&engine, SimTime::at(10, 12));
+        let tomorrow = churn_world_dense_48(&engine, SimTime::at(11, 12));
+        assert_ne!(today, tomorrow, "the dense /48 must migrate daily");
+        assert!(pool.contains_prefix(&today));
+        assert!(pool.contains_prefix(&tomorrow));
+        // The band wraps the /44 after sixteen days.
+        assert_eq!(today, churn_world_dense_48(&engine, SimTime::at(26, 12)));
+        // The control provider never moves.
+        let control = CpeId { pool: 1, index: 0 };
+        assert_eq!(
+            engine.current_delegation(control, SimTime::at(10, 12)),
+            engine.current_delegation(control, SimTime::at(11, 12)),
+        );
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels; [`ShardMap`] exposes the pure target → shard mapping the feedback model shares |
 //! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
-//! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking |
+//! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking, and an optionally *live* watch list ([`WatchChurn`]) revised from the monitor's own density state |
 //!
-//! Four properties hold by construction and are enforced by tests:
+//! Five properties hold by construction and are enforced by tests:
 //!
 //! * **Shard-merge determinism** — the merged report is identical for any
 //!   shard count, because every /48's state lives wholly in one shard
@@ -36,6 +36,12 @@
 //!   rate retired by the current virtual send time), never to OS channel
 //!   pressure, so feedback-on runs are pure functions of their configuration
 //!   and stay producer-count-invariant.
+//! * **Deterministic watch-list churn** — a churning monitor's revisions
+//!   ([`WatchChurn`]) are computed from the merged observation sequence and
+//!   deterministic boundary re-expansion probes, never from OS timing, so
+//!   the revision history, the final watch list and every report field stay
+//!   byte-identical across producer counts and across live vs.
+//!   recorded-replay backends.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,7 +55,7 @@ pub mod shard;
 pub mod source;
 
 pub use clock::{spawn_producers, ChannelSource, LimitedSource, MergedClock};
-pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor};
+pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor, WatchChurn};
 pub use observation::{Observation, ObservationSource, Phase};
 pub use pipeline::{StreamConfig, StreamPipeline};
 pub use router::{ShardMap, ShardRouter};

@@ -8,11 +8,22 @@
 //! [`RotationEvent`] the moment any target's
 //! EUI-64 responder changes, follows every identifier passively, and applies
 //! AIMD rate feedback when the inference shards fall behind the prober.
+//!
+//! The watch list itself can be **live** ([`MonitorConfig::churn`]): on a
+//! configurable cadence the monitor folds its own per-epoch density state
+//! through a [`SeedExpansion`] re-expansion step, admitting newly-dense /48s
+//! and evicting prefixes that have gone quiet, under a bounded capacity with
+//! deterministic admission order. Revisions are computed from merged-clock
+//! state only — never from OS timing — so a churning run stays byte-identical
+//! across producer counts and across live vs. recorded-replay backends.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use scent_core::density::DensityAccumulator;
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
-use scent_core::{RotationDetection, TrackingReport};
+use scent_core::{RotationDetection, SeedExpansion, TrackingReport, WatchRevision};
 use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, QueueModel, TargetGenerator, TargetStream, WorldView};
 use scent_simnet::{SimDuration, SimTime};
@@ -22,6 +33,66 @@ use crate::observation::ObservationSource;
 use crate::router::{ShardMap, ShardRouter};
 use crate::shard::{spawn_shards, ShardInference};
 use crate::source::ContinuousStream;
+
+/// Live watch-list churn configuration: how a continuous monitor revises its
+/// own watch list from the density state it accumulates.
+///
+/// With churn enabled the run is divided into *epochs* of
+/// [`WatchChurn::refresh_every`] windows. At each epoch boundary the monitor
+/// re-expands the enclosing [`WatchChurn::expansion_len`] block of every
+/// watched /48 (one probe per candidate /48 —
+/// [`SeedExpansion`] semantics at the boundary's virtual time) and folds the
+/// closing epoch's per-/48 density state through
+/// [`SeedExpansion::revise_watch_list`]: /48s that stayed dense survive,
+/// quiet ones are evicted, and freshly validated candidates are admitted in
+/// deterministic order up to [`WatchChurn::watch_capacity`].
+///
+/// The revision is a pure function of the merged observation sequence and
+/// the expansion probes — both deterministic — so churning runs keep every
+/// reproducibility guarantee of fixed-list runs: byte-identical reports
+/// across producer counts and across live vs. recorded-replay backends.
+/// Note that with rate feedback on, the virtual-queue trajectory restarts at
+/// the configured budget at every epoch boundary (each epoch's revised
+/// target set is paced from scratch).
+///
+/// The scent can dry up: when every watched /48 goes quiet in one epoch and
+/// the boundary expansion validates nothing, the revision leaves the watch
+/// list **empty**, and — since re-expansion seeds derive from the watched
+/// /48s — it stays empty for the rest of the run (the remaining epochs probe
+/// nothing). That terminal state is deliberate and visible:
+/// [`MonitorReport::final_watch`] is empty and the draining revisions are in
+/// [`MonitorReport::revisions`]. Give the monitor a wider
+/// [`WatchChurn::expansion_len`] when pools may migrate beyond their
+/// enclosing block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchChurn {
+    /// Windows per epoch: the watch list is revised every this many windows.
+    /// Must be non-zero.
+    pub refresh_every: u64,
+    /// Bound on the revised watch list. Must be non-zero. The initial list
+    /// may exceed it; the first revision enforces it (densest survivors
+    /// kept, ties broken by prefix order).
+    pub watch_capacity: usize,
+    /// Prefix length of the re-expansion blocks probed at each boundary: the
+    /// enclosing block of this length around every watched /48 is
+    /// re-expanded, so the monitor can follow pools that migrate between
+    /// sibling /48s. At most 48.
+    pub expansion_len: u8,
+    /// Cap on candidate /48s enumerated per re-expansion block (bounds the
+    /// boundary probing cost on short blocks).
+    pub max_48s_per_seed: u64,
+}
+
+impl Default for WatchChurn {
+    fn default() -> Self {
+        WatchChurn {
+            refresh_every: 1,
+            watch_capacity: 64,
+            expansion_len: 44,
+            max_48s_per_seed: 256,
+        }
+    }
+}
 
 /// Continuous monitor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +154,11 @@ pub struct MonitorConfig {
     /// report then covers only the retained horizon. `None` retains
     /// everything (right for finite runs folded into full reports).
     pub retention_windows: Option<u64>,
+    /// When set, the watch list is *live*: revised every
+    /// [`WatchChurn::refresh_every`] windows from the monitor's own density
+    /// state plus a boundary re-expansion probe. `None` (the default) keeps
+    /// the watch list fixed for the whole run.
+    pub churn: Option<WatchChurn>,
 }
 
 impl Default for MonitorConfig {
@@ -102,6 +178,7 @@ impl Default for MonitorConfig {
             rate_feedback: false,
             queue_model: QueueModel::default(),
             retention_windows: None,
+            churn: None,
         }
     }
 }
@@ -129,14 +206,36 @@ pub struct MonitorReport {
     /// The effective probe rate when the run ended: the configured rate
     /// unless the virtual-queue feedback model forced a back-off. A pure
     /// function of `(config, target order, virtual time)` — identical for
-    /// any producer count.
+    /// any producer count. With churn on, the trajectory restarts each
+    /// epoch, so this is the final epoch's end rate.
     pub final_rate: u64,
+    /// Every watch-list revision, in epoch order (empty when churn is off).
+    /// Each records what the boundary re-expansion admitted and what the
+    /// epoch's density state evicted — the monitor's churn telemetry.
+    pub revisions: Vec<WatchRevision>,
+    /// The watch list when the run ended: the initial list unless a
+    /// revision changed it.
+    pub final_watch: Vec<Ipv6Prefix>,
+    /// Probes spent on boundary re-expansion scans. Expansion probes go
+    /// straight into the revision step rather than through the inference
+    /// shards, so they are accounted here and not in
+    /// [`MonitorReport::observations`].
+    pub expansion_probes: u64,
 }
 
 impl MonitorReport {
     /// Events detected during a given window.
     pub fn events_in_window(&self, window: u64) -> impl Iterator<Item = &RotationEvent> {
         self.events.iter().filter(move |e| e.window == window)
+    }
+
+    /// Total /48s admitted and evicted across every revision:
+    /// `(admissions, evictions)`.
+    pub fn churn_counts(&self) -> (usize, usize) {
+        (
+            self.revisions.iter().map(|r| r.admitted.len()).sum(),
+            self.revisions.iter().map(|r| r.evicted.len()).sum(),
+        )
     }
 }
 
@@ -165,6 +264,15 @@ impl StreamMonitor {
     /// producers probe concurrently; the
     /// [`MergedClock`](crate::clock::MergedClock) reconstructs the
     /// single-producer observation sequence either way.
+    ///
+    /// With [`MonitorConfig::churn`] set, the run proceeds in epochs: the
+    /// producers of each epoch probe that epoch's watch list (their target
+    /// streams rebased to the epoch's global window numbers), and the
+    /// revision closing the epoch is computed on the merge side from the
+    /// deterministic observation sequence plus a boundary re-expansion
+    /// probe. Every producer of the next epoch is then built from the same
+    /// revision history, which is what keeps churning runs byte-identical
+    /// at any producer count.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(
         &self,
         world: &B,
@@ -172,25 +280,51 @@ impl StreamMonitor {
     ) -> MonitorReport {
         let cfg = &self.config;
         assert!(cfg.producers > 0, "at least one producer");
+        if let Some(churn) = &cfg.churn {
+            assert!(churn.refresh_every > 0, "refresh cadence must be non-zero");
+            assert!(churn.watch_capacity > 0, "watch capacity must be non-zero");
+            assert!(
+                churn.expansion_len <= 48,
+                "re-expansion blocks must be /48 or shorter"
+            );
+            assert!(
+                churn.max_48s_per_seed > 0,
+                "re-expansion candidate budget must be non-zero"
+            );
+        }
         let generator = TargetGenerator::new(cfg.seed);
         // One ShardMap instance serves both the router and (when feedback is
         // on) every producer's virtual-queue pacer, so the two agree on
         // routing by construction.
         let shard_map = ShardMap::new(&world.rib().entries(), cfg.shards);
         let feedback_map = cfg.rate_feedback.then(|| shard_map.clone());
-        let build_stream = |producer: usize, producers: usize| {
-            let targets =
-                TargetStream::new(&generator, watched_48s, cfg.granularity, cfg.seed, true);
-            let mut builder = ContinuousStream::builder(world, targets)
-                .rate_pps(cfg.packets_per_second)
-                .start(cfg.start)
-                .window_interval(cfg.window_interval)
-                .slice(producer, producers);
-            if let Some(map) = &feedback_map {
-                builder = builder.feedback(cfg.queue_model, map.clone());
-            }
-            builder.build()
-        };
+        let build_stream =
+            |watched: &[Ipv6Prefix], start_window: u64, producer: usize, producers: usize| {
+                let targets =
+                    TargetStream::new(&generator, watched, cfg.granularity, cfg.seed, true)
+                        .starting_at_window(start_window);
+                let mut builder = ContinuousStream::builder(world, targets)
+                    .rate_pps(cfg.packets_per_second)
+                    .start(cfg.start)
+                    .window_interval(cfg.window_interval)
+                    .slice(producer, producers);
+                if let Some(map) = &feedback_map {
+                    builder = builder.feedback(cfg.queue_model, map.clone());
+                }
+                builder.build()
+            };
+
+        // Epoch layout: one segment covering every window while the watch
+        // list is fixed, `refresh_every`-window segments when it churns.
+        let epoch_windows = cfg.churn.map_or(cfg.windows.max(1), |c| c.refresh_every);
+        let epochs: Vec<(u64, u64)> = (0..cfg.windows)
+            .step_by(epoch_windows as usize)
+            .map(|start| (start, epoch_windows.min(cfg.windows - start)))
+            .collect();
+
+        let mut watched: Vec<Ipv6Prefix> = watched_48s.to_vec();
+        let mut revisions: Vec<WatchRevision> = Vec::new();
+        let mut expansion_probes = 0u64;
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
         let (merged, stalls, final_rate) = std::thread::scope(|scope| {
@@ -198,53 +332,112 @@ impl StreamMonitor {
                 spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
             let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
             let mut current_window = 0u64;
-            let mut compact_on_entering = |router: &mut ShardRouter, window: u64| {
-                if window > current_window {
-                    current_window = window;
-                    if let Some(keep) = cfg.retention_windows {
-                        if current_window > keep {
-                            router.compact_before(current_window - keep);
+            let mut final_rate = cfg.packets_per_second;
+            // Per-epoch density state feeding the next revision, keyed by
+            // watched /48. Folded on the merge side — the deterministic
+            // observation order — so revisions never depend on scheduling.
+            let mut epoch_density: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
+
+            for (epoch, &(start_window, len)) in epochs.iter().enumerate() {
+                epoch_density.clear();
+                let mut ingest =
+                    |router: &mut ShardRouter,
+                     epoch_density: &mut HashMap<Ipv6Prefix, DensityAccumulator>,
+                     obs: crate::observation::Observation| {
+                        if cfg.churn.is_some() {
+                            epoch_density
+                                .entry(obs.target_48())
+                                .or_default()
+                                .observe(&obs.record());
                         }
+                        if obs.window > current_window {
+                            current_window = obs.window;
+                            if let Some(keep) = cfg.retention_windows {
+                                if current_window > keep {
+                                    router.compact_before(current_window - keep);
+                                }
+                            }
+                        }
+                        router.route(obs);
+                    };
+
+                final_rate = if cfg.producers == 1 {
+                    let mut stream = build_stream(&watched, start_window, 0, 1);
+                    let total = stream.window_len() as u64 * len;
+                    for _ in 0..total {
+                        let Some(obs) = stream.next_observation() else {
+                            break;
+                        };
+                        ingest(&mut router, &mut epoch_density, obs);
+                    }
+                    stream.rate()
+                } else {
+                    let sources: Vec<_> = (0..cfg.producers)
+                        .map(|k| {
+                            let stream = build_stream(&watched, start_window, k, cfg.producers);
+                            let limit = stream.slice_len() as u64 * len;
+                            LimitedSource::new(stream, limit)
+                        })
+                        .collect();
+                    let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
+                    while let Some(obs) = clock.next_observation() {
+                        ingest(&mut router, &mut epoch_density, obs);
+                    }
+                    // The producers' pacers ended on their own threads;
+                    // replay the (deterministic) trajectory probe-free to
+                    // report the same end-of-epoch rate the single-producer
+                    // run holds. Only the final epoch's rate is ever
+                    // reported (the pacer restarts each epoch), and without
+                    // feedback the rate never moves, so skip the replay
+                    // everywhere else.
+                    if cfg.rate_feedback && epoch + 1 == epochs.len() {
+                        let mut replay = build_stream(&watched, start_window, 0, 1);
+                        replay.replay_windows(len);
+                        replay.rate()
+                    } else {
+                        cfg.packets_per_second
+                    }
+                };
+
+                // Close the epoch: re-expand the blocks around the watched
+                // space and fold the epoch's density state through the
+                // revision — but only when more windows follow (a final
+                // revision would never be probed).
+                if let Some(churn) = &cfg.churn {
+                    if epoch + 1 < epochs.len() {
+                        let boundary = cfg.start
+                            + SimDuration::from_secs(
+                                cfg.window_interval.as_secs() * (start_window + len),
+                            );
+                        let mut seeds: Vec<Ipv6Prefix> = watched
+                            .iter()
+                            .map(|p| {
+                                p.supernet(churn.expansion_len.min(p.len()))
+                                    .expect("supernet of a watched prefix")
+                            })
+                            .collect();
+                        seeds.sort();
+                        seeds.dedup();
+                        let expansion = SeedExpansion::run(
+                            world,
+                            &seeds,
+                            boundary,
+                            cfg.seed,
+                            churn.max_48s_per_seed,
+                        );
+                        expansion_probes += expansion.probed_48s;
+                        let (next, revision) = SeedExpansion::revise_watch_list(
+                            epoch as u64,
+                            &watched,
+                            &epoch_density,
+                            &expansion.validated_48s,
+                            churn.watch_capacity,
+                        );
+                        watched = next;
+                        revisions.push(revision);
                     }
                 }
-            };
-
-            let final_rate = if cfg.producers == 1 {
-                let mut stream = build_stream(0, 1);
-                let total = stream.window_len() as u64 * cfg.windows;
-                for _ in 0..total {
-                    let Some(obs) = stream.next_observation() else {
-                        break;
-                    };
-                    compact_on_entering(&mut router, obs.window);
-                    router.route(obs);
-                }
-                stream.rate()
-            } else {
-                let sources: Vec<_> = (0..cfg.producers)
-                    .map(|k| {
-                        let stream = build_stream(k, cfg.producers);
-                        let limit = stream.slice_len() as u64 * cfg.windows;
-                        LimitedSource::new(stream, limit)
-                    })
-                    .collect();
-                let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
-                while let Some(obs) = clock.next_observation() {
-                    compact_on_entering(&mut router, obs.window);
-                    router.route(obs);
-                }
-                // The producers' pacers ended on their own threads; replay
-                // the (deterministic) trajectory probe-free to report the
-                // same final rate the single-producer run ends at. Without
-                // feedback the rate never moves, so skip the replay.
-                if cfg.rate_feedback {
-                    let mut replay = build_stream(0, 1);
-                    replay.replay_windows(cfg.windows);
-                    replay.rate()
-                } else {
-                    cfg.packets_per_second
-                }
-            };
+            }
 
             let stalls = router.stalls();
             router.shutdown();
@@ -282,6 +475,9 @@ impl StreamMonitor {
             tracking,
             backpressure_stalls: stalls,
             final_rate,
+            revisions,
+            final_watch: watched,
+            expansion_probes,
         }
     }
 }
@@ -541,6 +737,172 @@ mod tests {
         sharded.backpressure_stalls = single.backpressure_stalls;
         assert_eq!(single, sharded);
         assert!(!sharded.events.is_empty());
+    }
+
+    use scenarios::churn_world_dense_48 as dense_48_at;
+
+    /// The tentpole behaviour: on a world whose dense space migrates between
+    /// /48s, a churning monitor follows the band — evicting the /48 that
+    /// went quiet, admitting the newly dense sibling via the boundary
+    /// re-expansion, and ending on a different watch list than it started
+    /// with, while the static control /48 stays watched throughout.
+    #[test]
+    fn churn_follows_a_migrating_pool() {
+        let engine = Engine::build(scenarios::churn_world(11)).unwrap();
+        let start = SimTime::at(10, 9);
+        let initial_dense = dense_48_at(&engine, start);
+        let control: Ipv6Prefix = engine.pools()[1].config.prefix;
+        assert_eq!(control.len(), 48);
+        let initial = vec![initial_dense, control];
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            start,
+            churn: Some(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 3,
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &initial);
+
+        // One revision closes each epoch but the last.
+        assert_eq!(report.revisions.len(), 5);
+        for (index, revision) in report.revisions.iter().enumerate() {
+            assert_eq!(revision.epoch, index as u64);
+        }
+        let (admitted, evicted) = report.churn_counts();
+        assert!(admitted > 0, "the migrated band must be admitted");
+        assert!(evicted > 0, "the abandoned /48 must be evicted");
+        assert!(report.expansion_probes > 0);
+        assert_ne!(report.final_watch, initial, "churn must actually churn");
+        assert!(
+            report.final_watch.contains(&control),
+            "the static control /48 stays dense and stays watched"
+        );
+        // The band marches daily, so the /48 dense during the final window
+        // is not the initial one — and it is being watched by then.
+        let final_dense = dense_48_at(&engine, start + SimDuration::from_days(5));
+        assert_ne!(final_dense, initial_dense);
+        assert!(
+            report.final_watch.contains(&final_dense),
+            "the monitor must have followed the band to {final_dense}"
+        );
+        assert!(!report.final_watch.contains(&initial_dense));
+        // Churn telemetry is self-consistent: replaying the revision history
+        // over the initial list reproduces the final watch list.
+        let mut replayed: std::collections::BTreeSet<Ipv6Prefix> =
+            initial.iter().copied().collect();
+        for revision in &report.revisions {
+            for evicted in &revision.evicted {
+                assert!(replayed.remove(evicted), "evicted {evicted} was watched");
+            }
+            for admitted in &revision.admitted {
+                assert!(replayed.insert(*admitted), "admitted {admitted} was new");
+            }
+        }
+        assert_eq!(replayed.into_iter().collect::<Vec<_>>(), report.final_watch);
+    }
+
+    /// A churning run with a fixed-point world (nothing migrates, everything
+    /// stays dense) must keep its watch list and report the revisions as
+    /// no-ops — and the inference output must equal the churn-off run's.
+    #[test]
+    fn churn_on_a_static_world_is_a_noop() {
+        let world = scenarios::entel_like(13);
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched = watched_48s(&engine);
+        assert_eq!(watched.len(), 1, "entel is a single static /48 pool");
+        let plain = StreamMonitor::new(MonitorConfig {
+            windows: 4,
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+
+        let engine = Engine::build(world).unwrap();
+        let mut churned = StreamMonitor::new(MonitorConfig {
+            windows: 4,
+            churn: Some(WatchChurn {
+                refresh_every: 2,
+                watch_capacity: watched.len(),
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        })
+        .run(&engine, &watched);
+        assert!(churned.revisions.iter().all(|r| r.is_noop()));
+        // Revisions canonicalize the list to prefix order; the content is
+        // unchanged.
+        let mut want = watched.clone();
+        want.sort();
+        assert_eq!(churned.final_watch, want);
+        assert!(churned.expansion_probes > 0);
+        // Inference output (events, detection, tracking, observations) is
+        // identical to the fixed-list run.
+        churned.backpressure_stalls = plain.backpressure_stalls;
+        churned.revisions.clear();
+        churned.expansion_probes = 0;
+        churned.final_watch = plain.final_watch.clone();
+        assert_eq!(plain, churned);
+    }
+
+    /// Churned runs keep the producer-invariance contract: any producer
+    /// count reproduces the single-producer report byte for byte, revisions
+    /// and final watch list included.
+    #[test]
+    fn churn_is_producer_invariant() {
+        let world = scenarios::churn_world(23);
+        let engine = Engine::build(world.clone()).unwrap();
+        let start = SimTime::at(10, 9);
+        let initial = vec![dense_48_at(&engine, start), engine.pools()[1].config.prefix];
+        let config = |producers: usize| MonitorConfig {
+            windows: 5,
+            producers,
+            start,
+            churn: Some(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 2,
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        };
+        let single = StreamMonitor::new(config(1)).run(&engine, &initial);
+        assert!(
+            !single.revisions.iter().all(|r| r.is_noop()),
+            "the equality must not be vacuous: churn must occur"
+        );
+        for producers in [2usize, 4, 8] {
+            let engine = Engine::build(world.clone()).unwrap();
+            let mut sharded = StreamMonitor::new(config(producers)).run(&engine, &initial);
+            sharded.backpressure_stalls = single.backpressure_stalls;
+            assert_eq!(single, sharded, "producers={producers}");
+        }
+    }
+
+    /// Watch capacity 1 degenerates gracefully: the list never exceeds one
+    /// /48 and every revision stays deterministic.
+    #[test]
+    fn churn_with_capacity_one() {
+        let engine = Engine::build(scenarios::churn_world(31)).unwrap();
+        let start = SimTime::at(10, 9);
+        let initial = vec![dense_48_at(&engine, start)];
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 4,
+            start,
+            churn: Some(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 1,
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &initial);
+        assert_eq!(report.final_watch.len(), 1);
+        for revision in &report.revisions {
+            assert!(revision.admitted.len() <= 1);
+        }
+        // The band marched every window, so the watch moved at least once.
+        assert!(report.revisions.iter().any(|r| !r.is_noop()));
     }
 
     /// An unbounded queue model must leave the report identical to

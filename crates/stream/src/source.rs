@@ -506,8 +506,11 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
         // Mirrors the live emission path exactly: each window's tail is
         // fully accounted before the next window is entered, so
         // enter-then-account per window is the same transition sequence.
+        // The first window is wherever the target stream starts (0 unless
+        // the stream is one epoch of a churning run).
         let window_len = self.window_len() as u64;
-        for window in 0..windows {
+        let first = self.targets.current_window();
+        for window in first..first + windows {
             self.enter_window(window);
             self.account_to(window_len);
         }

@@ -1,13 +1,15 @@
-//! Continuous rotation monitoring through the [`Campaign`] facade.
+//! Continuous rotation monitoring through the [`Campaign`] facade — with a
+//! *live*, churning watch list.
 //!
 //! Instead of the batch "two snapshots 24 hours apart" comparison, this
-//! example points the unified campaign builder at a long-horizon world with
-//! three contrasting providers (a daily rotator, a weekly random reassigner
-//! and a static control), runs it in [`CampaignMode::Monitor`] for two weeks
-//! of virtual time, and prints the rotation events the engine flagged — plus
-//! the passive device tracks that fall out of the same stream. Switching
-//! `.mode(..)` is all it takes to run the discovery pipeline (batch or
-//! sharded-streaming) over the same backend instead.
+//! example points the unified campaign builder at a world whose dense /48
+//! migrates daily within a /44 pool (plus a static control provider), runs
+//! it in [`CampaignMode::Monitor`] for two weeks of virtual time with
+//! `.refresh_every(1)` watch-list churn, and prints the rotation events the
+//! engine flagged, the per-epoch admissions/evictions the churning watch
+//! list went through, and the passive device tracks that fall out of the
+//! same stream. Switching `.mode(..)` is all it takes to run the discovery
+//! pipeline (batch or sharded-streaming) over the same backend instead.
 //!
 //! Run with: `cargo run --release --example rotation_monitor`
 
@@ -24,34 +26,38 @@ fn main() {
 }
 
 fn run() -> Result<(), ScentError> {
-    let engine = Engine::build(scenarios::continuous_world(21))?;
+    let engine = Engine::build(scenarios::churn_world(21))?;
+    let start = SimTime::at(10, 9);
 
-    // Watch every /48 of every configured pool (a deployment would watch the
-    // high-density output of the discovery pipeline).
-    let mut watched: Vec<Ipv6Prefix> = Vec::new();
-    for pool in engine.pools() {
-        let prefix = pool.config.prefix;
-        if prefix.len() <= 48 {
-            watched.extend(prefix.subnets(48).expect("pools are /48 or shorter"));
-        }
-    }
+    // Seed the watch list with the /48 the migrating pool occupies on day
+    // one plus the static control pool (a deployment would seed it with the
+    // high-density output of the discovery pipeline); the churning monitor
+    // revises it from there on its own.
+    let watched: Vec<Ipv6Prefix> = vec![
+        engine.pools()[1].config.prefix,
+        scenarios::churn_world_dense_48(&engine, start),
+    ];
     println!(
-        "monitoring {} /48s across {} providers, 4 producers -> 2 shards, 14 daily windows\n",
+        "monitoring {} seed /48s across {} providers, 4 producers -> 2 shards, \
+         14 daily windows, watch list revised every window\n",
         watched.len(),
         engine.config().providers.len()
     );
 
     // Four probe producers split every window's scan between them and are
-    // recombined through the merged deterministic clock, so this report is
-    // bit-identical to a single-threaded run's.
+    // recombined through the merged deterministic clock, so this report —
+    // revision history included — is bit-identical to a single-threaded
+    // run's.
     let report = Campaign::builder()
         .world(&engine)
         .seed(0x57ae)
         .rate_pps(10_000)
-        .watch(watched)
+        .watch(watched.clone())
+        .refresh_every(1)
+        .watch_capacity(3)
         .monitor_granularity(56)
         .window_interval(SimDuration::from_days(1))
-        .start(SimTime::at(10, 9))
+        .start(start)
         .max_tracked(5)
         .observation_batch(64)
         .mode(CampaignMode::Monitor {
@@ -65,12 +71,34 @@ fn run() -> Result<(), ScentError> {
         .expect("monitor mode yields a monitor report");
 
     println!(
-        "{} observations ingested, {} rotation events, {} /48s flagged rotating",
+        "{} observations ingested (+{} re-expansion probes), {} rotation events, \
+         {} /48s flagged rotating",
         report.observations,
+        report.expansion_probes,
         report.events.len(),
         report.rotating_48s.len()
     );
-    println!("rotation events per window:");
+
+    println!("\nwatch-list churn per epoch (revised after every window):");
+    for revision in &report.revisions {
+        print!("  epoch {:>2}: ", revision.epoch);
+        print!("+{} admitted", revision.admitted.len());
+        print!("  -{} evicted", revision.evicted.len());
+        if let Some(first) = revision.admitted.first() {
+            print!("   (now watching {first})");
+        }
+        println!();
+    }
+    let (admitted, evicted) = report.churn_counts();
+    println!(
+        "  total: {admitted} admissions, {evicted} evictions; final watch list: {:?}",
+        report
+            .final_watch
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!("\nrotation events per window:");
     for window in 0..report.windows {
         let count = report.events_in_window(window).count();
         let bar: String = "#".repeat(count.min(60));

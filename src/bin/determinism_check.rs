@@ -11,6 +11,7 @@
 
 use followscent::prober::QueueModel;
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
+use followscent::stream::WatchChurn;
 use followscent::{Campaign, CampaignMode, ScentError};
 
 fn main() -> Result<(), ScentError> {
@@ -72,6 +73,48 @@ fn main() -> Result<(), ScentError> {
         let mut report = report.monitor().expect("monitor report").clone();
         report.backpressure_stalls = 0; // wall-clock diagnostic, not state
         println!("== monitor feedback-on, producers={producers} ==");
+        println!("{report:#?}");
+    }
+
+    // The churning monitor with feedback on, across producer counts: the
+    // revision history (admissions/evictions per epoch) and the final watch
+    // list are part of the printed report, so any scheduling dependence in
+    // the epoch machinery shows up as a byte diff.
+    let world = scenarios::churn_world(17);
+    let engine = Engine::build(world)?;
+    let start = SimTime::at(10, 9);
+    let watched = vec![
+        scenarios::churn_world_dense_48(&engine, start),
+        engine.pools()[1].config.prefix,
+    ];
+    for producers in [1usize, 4] {
+        let report = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .rate_pps(128)
+            .rate_feedback(true)
+            .queue_model(QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 64,
+                low_watermark: 8,
+            })
+            .watch(watched.clone())
+            .watch_churn(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 3,
+                ..WatchChurn::default()
+            })
+            .monitor_granularity(56)
+            .start(start)
+            .mode(CampaignMode::Monitor {
+                windows: 4,
+                shards: 2,
+                producers,
+            })
+            .run()?;
+        let mut report = report.monitor().expect("monitor report").clone();
+        report.backpressure_stalls = 0; // wall-clock diagnostic, not state
+        println!("== monitor churn-on feedback-on, producers={producers} ==");
         println!("{report:#?}");
     }
     Ok(())

@@ -80,12 +80,61 @@
 //!     Ok(())
 //! }
 //! ```
+//!
+//! The watch list itself can be *live*
+//! ([`CampaignBuilder::refresh_every`] / [`CampaignBuilder::watch_capacity`]):
+//! the monitor folds its own density state through a re-expansion step on a
+//! cadence, evicting /48s that went quiet and admitting newly-dense
+//! neighbours — the paper's "scan → find dense prefixes → watch them →
+//! re-expand" loop, closed. Churning runs stay byte-identical across
+//! producer counts and across live vs. recorded replay:
+//!
+//! ```
+//! use followscent::simnet::{scenarios, Engine, SimTime};
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     // A world whose dense /48 migrates daily within a /44 pool.
+//!     let engine = Engine::build(scenarios::churn_world(7))?;
+//!     let initial = vec![
+//!         "2001:16b8:1d0b::/48".parse().unwrap(), // dense on the first day
+//!         "2803:9810:100::/48".parse().unwrap(),  // static control
+//!     ];
+//!     let report = Campaign::builder()
+//!         .world(&engine)
+//!         .watch(initial.clone())
+//!         .refresh_every(1)  // revise the watch list every window...
+//!         .watch_capacity(3) // ...keeping at most three /48s
+//!         .start(SimTime::at(10, 9))
+//!         .mode(CampaignMode::Monitor {
+//!             windows: 4,
+//!             shards: 2,
+//!             producers: 2,
+//!         })
+//!         .run()?;
+//!     let monitor = report.monitor().unwrap();
+//!     for revision in &monitor.revisions {
+//!         println!(
+//!             "epoch {}: +{} admitted, -{} evicted",
+//!             revision.epoch,
+//!             revision.admitted.len(),
+//!             revision.evicted.len()
+//!         );
+//!     }
+//!     let (admitted, evicted) = monitor.churn_counts();
+//!     assert!(admitted > 0 && evicted > 0, "the monitor followed the band");
+//!     assert_ne!(monitor.final_watch, initial);
+//!     Ok(())
+//! }
+//! ```
 
 use scent_core::{Pipeline, PipelineConfig, PipelineReport};
 use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, QueueModel, WorldView};
 use scent_simnet::{SimDuration, SimTime};
-use scent_stream::{MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline};
+use scent_stream::{
+    MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
+};
 
 use crate::error::{CampaignError, ScentError};
 
@@ -174,6 +223,7 @@ impl Campaign {
             rate_feedback: false,
             queue_model: QueueModel::default(),
             retention_windows: None,
+            churn: None,
         }
     }
 }
@@ -198,6 +248,7 @@ pub struct CampaignBuilder<W> {
     rate_feedback: bool,
     queue_model: QueueModel,
     retention_windows: Option<u64>,
+    churn: Option<WatchChurn>,
 }
 
 impl<W> CampaignBuilder<W> {
@@ -322,6 +373,40 @@ impl<W> CampaignBuilder<W> {
         self.retention_windows = Some(retention_windows);
         self
     }
+
+    /// Make the monitor's watch list *live*, revised every `refresh_every`
+    /// windows: each revision folds the closing epoch's density state
+    /// through a boundary re-expansion probe, admitting newly-dense /48s in
+    /// deterministic order and evicting prefixes that went quiet. Zero is a
+    /// typed error ([`CampaignError::ZeroRefreshCadence`]) — leave churn off
+    /// instead. Churning runs keep every reproducibility guarantee: reports
+    /// stay byte-identical across producer counts and across live vs.
+    /// recorded-replay backends.
+    pub fn refresh_every(mut self, refresh_every: u64) -> Self {
+        let mut churn = self.churn.unwrap_or_default();
+        churn.refresh_every = refresh_every;
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Bound the churning monitor's watch list to this many /48s after each
+    /// revision (default: 64 once churn is enabled). Implies churn: setting
+    /// a capacity without [`CampaignBuilder::refresh_every`] revises every
+    /// window. Zero is a typed error
+    /// ([`CampaignError::ZeroWatchCapacity`]).
+    pub fn watch_capacity(mut self, watch_capacity: usize) -> Self {
+        let mut churn = self.churn.unwrap_or_default();
+        churn.watch_capacity = watch_capacity;
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Replace the whole watch-list churn block at once (re-expansion block
+    /// length, per-block candidate cap, cadence, capacity).
+    pub fn watch_churn(mut self, churn: WatchChurn) -> Self {
+        self.churn = Some(churn);
+        self
+    }
 }
 
 impl CampaignBuilder<()> {
@@ -345,6 +430,7 @@ impl CampaignBuilder<()> {
             rate_feedback: self.rate_feedback,
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
+            churn: self.churn,
         }
     }
 }
@@ -360,6 +446,20 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
         }
         if self.rate_feedback && !self.queue_model.is_valid() {
             return Err(CampaignError::InvalidQueueModel.into());
+        }
+        if let Some(churn) = &self.churn {
+            if churn.refresh_every == 0 {
+                return Err(CampaignError::ZeroRefreshCadence.into());
+            }
+            if churn.watch_capacity == 0 {
+                return Err(CampaignError::ZeroWatchCapacity.into());
+            }
+            if churn.expansion_len > 48 {
+                return Err(CampaignError::ExpansionBlockTooLong.into());
+            }
+            if churn.max_48s_per_seed == 0 {
+                return Err(CampaignError::ZeroExpansionBudget.into());
+            }
         }
         match self.mode {
             CampaignMode::Batch => Ok(CampaignReport::Pipeline(
@@ -419,6 +519,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     rate_feedback: self.rate_feedback,
                     queue_model: self.queue_model,
                     retention_windows: self.retention_windows,
+                    churn: self.churn,
                 };
                 Ok(CampaignReport::Monitor(
                     StreamMonitor::new(config).run(self.world, &self.watched),

@@ -47,6 +47,19 @@ pub enum CampaignError {
     /// The virtual-queue feedback model was configured with inverted
     /// watermarks (the low watermark must be strictly below the high one).
     InvalidQueueModel,
+    /// Watch-list churn was configured with a zero refresh cadence (the
+    /// watch list would never be revised; leave churn off instead).
+    ZeroRefreshCadence,
+    /// Watch-list churn was configured with a zero watch capacity (a
+    /// monitor that may watch nothing is a misconfiguration, not a run).
+    ZeroWatchCapacity,
+    /// Watch-list churn was configured with a re-expansion block longer
+    /// than a /48 (blocks must enclose the watched /48s).
+    ExpansionBlockTooLong,
+    /// Watch-list churn was configured with a zero candidate budget
+    /// (`max_48s_per_seed`): the boundary re-expansion could never probe a
+    /// candidate, so the watch list could only ever shrink.
+    ZeroExpansionBudget,
 }
 
 impl fmt::Display for CampaignError {
@@ -80,6 +93,31 @@ impl fmt::Display for CampaignError {
                 write!(
                     f,
                     "queue model watermarks are inverted; low_watermark must be below high_watermark"
+                )
+            }
+            CampaignError::ZeroRefreshCadence => {
+                write!(
+                    f,
+                    "watch-list churn needs a non-zero refresh cadence (refresh_every)"
+                )
+            }
+            CampaignError::ZeroWatchCapacity => {
+                write!(
+                    f,
+                    "watch-list churn needs a non-zero watch capacity (watch_capacity)"
+                )
+            }
+            CampaignError::ExpansionBlockTooLong => {
+                write!(
+                    f,
+                    "watch-list churn re-expansion blocks must be /48 or shorter (expansion_len)"
+                )
+            }
+            CampaignError::ZeroExpansionBudget => {
+                write!(
+                    f,
+                    "watch-list churn needs a non-zero re-expansion candidate budget \
+                     (max_48s_per_seed)"
                 )
             }
         }

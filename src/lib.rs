@@ -39,7 +39,14 @@
 //! *any* shard and producer count — and
 //! [`CampaignMode::Monitor`] turns the same builder into a continuous
 //! rotation monitor over a watched /48 list (`.watch(..)`) with live events
-//! and passive device tracking. Adaptive probing composes with all of it:
+//! and passive device tracking. The watch list can be *live* too:
+//! `.refresh_every(k)` + `.watch_capacity(n)` make the monitor revise its
+//! own list on a cadence — evicting /48s that went quiet, admitting
+//! newly-dense neighbours surfaced by a boundary re-expansion probe — which
+//! closes the paper's "scan → find dense prefixes → watch them → re-expand"
+//! loop while keeping runs byte-identical at any producer count (see the
+//! [`campaign`] module's churn example). Adaptive probing composes with all
+//! of it:
 //! `.rate_feedback(true)` plus a
 //! [`QueueModel`](prober::QueueModel) make the probe rate adapt (AIMD) to a
 //! *deterministic virtual-queue* model of consumer capacity — a pure

@@ -372,6 +372,68 @@ fn every_campaign_error_variant_is_reachable_from_the_builder() {
         (
             Campaign::builder()
                 .world(&engine)
+                .watch(watched.clone())
+                .refresh_every(0)
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroRefreshCadence,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .watch(watched.clone())
+                .watch_capacity(0)
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroWatchCapacity,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .watch(watched.clone())
+                .watch_churn(followscent::stream::WatchChurn {
+                    expansion_len: 52, // longer than a /48: cannot enclose one
+                    ..followscent::stream::WatchChurn::default()
+                })
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::ExpansionBlockTooLong,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .watch(watched.clone())
+                .watch_churn(followscent::stream::WatchChurn {
+                    max_48s_per_seed: 0, // expansion could never admit anything
+                    ..followscent::stream::WatchChurn::default()
+                })
+                .mode(CampaignMode::Monitor {
+                    windows: 2,
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroExpansionBudget,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
                 .watch(watched)
                 .rate_feedback(true)
                 .queue_model(followscent::prober::QueueModel {

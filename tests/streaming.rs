@@ -13,6 +13,7 @@ use followscent::prober::{
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
 use followscent::stream::{
     spawn_producers, MergedClock, MonitorReport, Observation, ObservationSource, ScanStream,
+    WatchChurn,
 };
 use followscent::{Campaign, CampaignMode};
 use proptest::prelude::*;
@@ -327,7 +328,180 @@ fn feedback_on_pipeline_is_producer_invariant_on_live_and_recorded_backends() {
     }
 }
 
+/// Run the continuous monitor with live watch-list churn through the facade.
+fn monitor_churn<B: ProbeTransport + WorldView + ?Sized>(
+    world: &B,
+    watched: &[Ipv6Prefix],
+    shards: usize,
+    producers: usize,
+    windows: u64,
+    churn: WatchChurn,
+) -> MonitorReport {
+    let mut report = Campaign::builder()
+        .world(world)
+        .seed(0x57ae)
+        .watch(watched.to_vec())
+        .watch_churn(churn)
+        .monitor_granularity(56)
+        .start(SimTime::at(10, 9))
+        .mode(CampaignMode::Monitor {
+            windows,
+            shards,
+            producers,
+        })
+        .run()
+        .expect("valid monitor configuration")
+        .monitor()
+        .expect("monitor mode yields a monitor report")
+        .clone();
+    report.backpressure_stalls = 0;
+    report
+}
+
+use followscent::simnet::scenarios::churn_world_dense_48;
+
+/// The acceptance contract of the watch-list-churn work: churn-enabled
+/// monitor runs are byte-identical across producers {1, 2, 4, 8} on the live
+/// simnet backend and on the recorded replay backend — and on
+/// `scenarios::churn_world` the final watch list genuinely differs from the
+/// initial one (the equality is not proved on a run where churn never
+/// fired).
+#[test]
+fn churn_on_monitor_is_producer_invariant_on_live_and_recorded_backends() {
+    let world = scenarios::churn_world(13);
+    let engine = Engine::build(world).unwrap();
+    let initial = vec![
+        churn_world_dense_48(&engine, SimTime::at(10, 9)),
+        engine.pools()[1].config.prefix,
+    ];
+    let churn = WatchChurn {
+        refresh_every: 1,
+        watch_capacity: 3,
+        ..WatchChurn::default()
+    };
+    let recorder = RecordingBackend::new(&engine);
+    let reference = monitor_churn(&recorder, &initial, 2, 1, 4, churn);
+    let replay = RecordedBackend::from_log(recorder.finish());
+
+    assert_ne!(
+        reference.final_watch, initial,
+        "churn must actually be observed for the equalities to prove anything"
+    );
+    let (admitted, evicted) = reference.churn_counts();
+    assert!(
+        admitted > 0 && evicted > 0,
+        "admissions and evictions occur"
+    );
+    assert!(reference.expansion_probes > 0);
+    assert!(!reference.events.is_empty(), "rotation must emit events");
+
+    for producers in [1usize, 2, 4, 8] {
+        let live = monitor_churn(&engine, &initial, 2, producers, 4, churn);
+        assert_eq!(reference, live, "live churn, producers={producers}");
+        let replayed = monitor_churn(&replay, &initial, 3, producers, 4, churn);
+        assert_eq!(reference, replayed, "replayed churn, producers={producers}");
+    }
+}
+
+/// Churn composes with AIMD rate feedback: the revision history and the
+/// virtual-queue trajectory are both pure functions of the configuration, so
+/// the combined run stays producer-invariant on both backends.
+#[test]
+fn churn_with_feedback_is_producer_invariant_on_live_and_recorded_backends() {
+    let world = scenarios::churn_world(29);
+    let engine = Engine::build(world).unwrap();
+    let initial = vec![
+        churn_world_dense_48(&engine, SimTime::at(10, 9)),
+        engine.pools()[1].config.prefix,
+    ];
+    let churn = WatchChurn {
+        refresh_every: 1,
+        watch_capacity: 2,
+        ..WatchChurn::default()
+    };
+    let run = |world: &dyn followscent::prober::MeasurementBackend, producers: usize| {
+        let mut report = Campaign::builder()
+            .world(world)
+            .seed(0x57ae)
+            .rate_pps(128)
+            .rate_feedback(true)
+            .queue_model(throttling_model())
+            .watch(initial.clone())
+            .watch_churn(churn)
+            .monitor_granularity(56)
+            .start(SimTime::at(10, 9))
+            .mode(CampaignMode::Monitor {
+                windows: 3,
+                shards: 2,
+                producers,
+            })
+            .run()
+            .expect("valid monitor configuration")
+            .monitor()
+            .expect("monitor mode yields a monitor report")
+            .clone();
+        report.backpressure_stalls = 0;
+        report
+    };
+    let recorder = RecordingBackend::new(&engine);
+    let reference = run(&recorder, 1);
+    let replay = RecordedBackend::from_log(recorder.finish());
+    // The virtual queues drain across the one-day inter-window gaps and the
+    // churned pacer restarts each epoch, so the *final* epoch ends back at
+    // the configured budget — deterministically. The feedback model still
+    // has teeth here: the first window's AIMD back-off stretches its send
+    // times, and the recorded replay is keyed on (target, send second), so
+    // any producer diverging from the single-producer trajectory would make
+    // the replay lookups miss and the reports differ below.
+    assert_eq!(reference.final_rate, 128);
+    assert!(
+        reference.revisions.iter().any(|r| !r.is_noop()),
+        "churn must fire under feedback too"
+    );
+    for producers in [2usize, 4, 8] {
+        let live = run(&engine, producers);
+        assert_eq!(
+            reference, live,
+            "live churn+feedback, producers={producers}"
+        );
+        let replayed = run(&replay, producers);
+        assert_eq!(
+            reference, replayed,
+            "replayed churn+feedback, producers={producers}"
+        );
+    }
+}
+
 proptest! {
+    // Watch-list churn keeps the producer-invariance property under random
+    // cadences, capacities and worlds: the churn-enabled monitor report —
+    // revisions and final watch list included — is byte-identical for any
+    // producer count.
+    #[test]
+    fn churn_on_monitor_report_equals_single_producer(
+        world_seed in 1u64..1_000_000,
+        producers in 2usize..=8,
+        shards in 1usize..=3,
+        refresh_every in 1u64..=2,
+        watch_capacity in 1usize..=3,
+    ) {
+        let world = scenarios::churn_world(world_seed);
+        let engine = Engine::build(world.clone()).unwrap();
+        let initial = vec![
+            churn_world_dense_48(&engine, SimTime::at(10, 9)),
+            engine.pools()[1].config.prefix,
+        ];
+        let churn = WatchChurn {
+            refresh_every,
+            watch_capacity,
+            ..WatchChurn::default()
+        };
+        let single = monitor_churn(&engine, &initial, shards, 1, 3, churn);
+        let engine = Engine::build(world).unwrap();
+        let sharded = monitor_churn(&engine, &initial, shards, producers, 3, churn);
+        prop_assert_eq!(single, sharded);
+    }
+
     // The tentpole property: with rate feedback on and a random queue model,
     // the monitor report is byte-identical for any producer count — the
     // AIMD trajectory is a pure function of the configuration that every
