@@ -11,6 +11,7 @@ use scent_core::{Pipeline, PipelineConfig};
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::{scenarios, Engine, WorldScale};
 use scent_stream::{MonitorConfig, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn};
+use scent_telemetry::Telemetry;
 
 fn small_config() -> PipelineConfig {
     PipelineConfig {
@@ -295,10 +296,72 @@ fn bench_watch_churn(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead at `WorldScale::experiment()`: the same 2-window
+/// monitor run unobserved (the `None` observer — every hook site reduces to
+/// an `if let` on a `None`), with a live [`Telemetry`] registry attached,
+/// and the feedback-on variant whose enabled run additionally pays for the
+/// merge-side rate replica. The no-op point must track the plain `run()`
+/// cost — the observability layer's contract is zero hot-path cost when
+/// disabled — and the enabled points bound what a wired-up registry costs.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment())).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(8)
+        .collect();
+    let mut group = c.benchmark_group("streaming/telemetry_experiment_scale");
+    group.sample_size(10);
+    let monitor = |feedback: bool| MonitorConfig {
+        shards: 2,
+        producers: 2,
+        windows: 2,
+        rate_feedback: feedback,
+        ..MonitorConfig::default()
+    };
+    group.bench_function(BenchmarkId::new("monitor_2_windows", "noop"), |b| {
+        b.iter(|| {
+            StreamMonitor::new(monitor(false)).run_observed(
+                black_box(&engine),
+                black_box(&watched),
+                None,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("monitor_2_windows", "enabled"), |b| {
+        b.iter(|| {
+            let registry = Telemetry::new();
+            StreamMonitor::new(monitor(false)).run_observed(
+                black_box(&engine),
+                black_box(&watched),
+                Some(&registry),
+            );
+            black_box(registry.snapshot().deterministic.observations)
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new("monitor_2_windows", "enabled_feedback"),
+        |b| {
+            b.iter(|| {
+                let registry = Telemetry::new();
+                StreamMonitor::new(monitor(true)).run_observed(
+                    black_box(&engine),
+                    black_box(&watched),
+                    Some(&registry),
+                );
+                black_box(registry.snapshot().deterministic.observations)
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
-        bench_producer_scaling, bench_watch_churn
+        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead
 }
 criterion_main!(streaming);

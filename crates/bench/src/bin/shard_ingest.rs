@@ -1,0 +1,152 @@
+//! Per-shard ingest throughput, folded into the bench artifact.
+//!
+//! Runs the observed 2-window monitor at `WorldScale::experiment()` a few
+//! times, reads each shard's ingested-observation count out of the telemetry
+//! topology tier, and converts the run's wall time into a per-shard
+//! nanoseconds-per-ingested-observation figure. The estimates are appended
+//! to `$CRITERION_OUTPUT_DIR/estimates.jsonl` in the exact JSONL shape the
+//! vendored criterion harness writes, so `perf_gate collect` folds them into
+//! the same committed-comparable artifact as the benchmark groups (without
+//! the env var they go to stdout).
+//!
+//! Flags:
+//!
+//! * `--iters <n>` — measurement iterations (default 3; mean and min are
+//!   reported across them).
+//! * `--events <path>` — additionally write the last run's deterministic
+//!   telemetry (Prometheus text plus the JSONL event journal) to `<path>`,
+//!   the artifact the CI perf job uploads.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use scent_ipv6::Ipv6Prefix;
+use scent_simnet::{scenarios, Engine, WorldScale};
+use scent_stream::{MonitorConfig, ShardMap, StreamMonitor};
+use scent_telemetry::{self as telemetry, Telemetry, TelemetrySnapshot};
+
+/// Inference shards of the measured monitor.
+const SHARDS: usize = 2;
+
+/// Pull the value following a `--flag` out of the argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One observed monitor run: wall nanoseconds and the telemetry snapshot.
+fn observed_run(engine: &Engine, watched: &[Ipv6Prefix]) -> (u128, TelemetrySnapshot) {
+    let config = MonitorConfig {
+        shards: SHARDS,
+        producers: 2,
+        windows: 2,
+        ..MonitorConfig::default()
+    };
+    let registry = Telemetry::new();
+    let started = Instant::now();
+    StreamMonitor::new(config).run_observed(engine, watched, Some(&registry));
+    (started.elapsed().as_nanos(), registry.snapshot())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let iters: usize = arg_value(&args, "--iters")
+        .map(|v| v.parse().map_err(|e| format!("bad --iters {v}: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    if iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment()))
+        .map_err(|e| format!("building world: {e}"))?;
+    // Sharding keys on the enclosing announcement, so build the watch list
+    // per shard — four /48s routed to each — to guarantee both shards have
+    // an ingest rate to measure.
+    let map = ShardMap::new(&engine.rib().entries(), SHARDS);
+    let mut per_shard: Vec<Vec<Ipv6Prefix>> = vec![Vec::new(); SHARDS];
+    for pool in engine.pools() {
+        if pool.config.prefix.len() > 48 {
+            continue;
+        }
+        let Some(p48) = pool.config.prefix.subnets(48).unwrap().next() else {
+            continue;
+        };
+        let bucket = &mut per_shard[map.shard_for(p48.network())];
+        if bucket.len() < 4 {
+            bucket.push(p48);
+        }
+    }
+    let watched: Vec<Ipv6Prefix> = per_shard.into_iter().flatten().collect();
+
+    // ns-per-ingested-observation samples, per shard (shards run
+    // concurrently, so the run's wall time is charged to each shard's own
+    // ingest count).
+    let mut samples: Vec<Vec<u128>> = Vec::new();
+    let mut last = None;
+    for _ in 0..iters {
+        let (elapsed_ns, snapshot) = observed_run(&engine, &watched);
+        let ingested = &snapshot.topology.ingested_per_shard;
+        samples.resize(ingested.len(), Vec::new());
+        for (shard, &count) in ingested.iter().enumerate() {
+            if count > 0 {
+                samples[shard].push(elapsed_ns / count as u128);
+            }
+        }
+        last = Some(snapshot);
+    }
+
+    let mut lines = String::new();
+    for (shard, shard_samples) in samples.iter().enumerate() {
+        if shard_samples.is_empty() {
+            return Err(format!("shard {shard} ingested no observations"));
+        }
+        let mean = shard_samples.iter().sum::<u128>() / shard_samples.len() as u128;
+        let min = *shard_samples.iter().min().expect("non-empty samples");
+        let _ = writeln!(
+            lines,
+            "{{\"id\":\"streaming/shard_ingest/ns_per_obs/shard_{shard}\",\
+             \"mean_ns\":{mean},\"min_ns\":{min}}}"
+        );
+    }
+    match std::env::var("CRITERION_OUTPUT_DIR") {
+        Ok(dir) => {
+            use std::io::Write as _;
+            let path = std::path::Path::new(&dir).join("estimates.jsonl");
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+            file.write_all(lines.as_bytes())
+                .map_err(|e| format!("appending to {}: {e}", path.display()))?;
+            println!(
+                "appended {} shard-ingest estimates to {}",
+                samples.len(),
+                path.display()
+            );
+        }
+        Err(_) => print!("{lines}"),
+    }
+
+    if let Some(path) = arg_value(&args, "--events") {
+        let snapshot = last.expect("at least one iteration ran");
+        let mut dump = telemetry::deterministic_text(&snapshot.deterministic);
+        dump.push_str(&telemetry::events_jsonl(&snapshot.deterministic.events));
+        std::fs::write(&path, dump).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote telemetry journal to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("shard_ingest: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

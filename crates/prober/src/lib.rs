@@ -49,7 +49,9 @@ pub mod yarrp;
 pub mod zmap6;
 
 pub use permutation::RandomPermutation;
-pub use rate::{FeedbackPacer, ProbePacer, QueueModel, QueuePacer, TokenBucket, VirtualQueue};
+pub use rate::{
+    FeedbackPacer, ProbePacer, QueueModel, QueuePacer, RateTransition, TokenBucket, VirtualQueue,
+};
 pub use recorded::{ProbeLog, RecordedBackend, RecordedTrace, RecordedWorld, RecordingBackend};
 pub use records::{ProbeRecord, ResponseRecord, Scan};
 pub use seed::{SeedCampaign, SeedEntry};

@@ -289,6 +289,20 @@ impl QueuePacer {
         self.pacer.cursor
     }
 
+    /// [`QueuePacer::pace`], additionally reporting the AIMD rate transition
+    /// the position triggered, if any. This is the telemetry hook point:
+    /// because the trajectory is a pure function of the position sequence,
+    /// an observer fed from a merge-side replica pacer sees the exact
+    /// back-off/recovery events every producer replayed locally — in
+    /// deterministic order, at their virtual instants.
+    pub fn pace_tracked(&mut self, shard: usize) -> (SimTime, Option<RateTransition>) {
+        let from_pps = self.rate();
+        let sent_at = self.pace(shard);
+        let to_pps = self.rate();
+        let transition = (from_pps != to_pps).then_some(RateTransition { from_pps, to_pps });
+        (sent_at, transition)
+    }
+
     /// Fast-forward over one *foreign* position routed to `shard`: the exact
     /// state transition of [`QueuePacer::pace`] — enqueue accounting, second
     /// rollovers and the multiplicative/additive rate events they trigger —
@@ -358,6 +372,17 @@ impl QueuePacer {
     pub fn now(&self) -> SimTime {
         self.pacer.now()
     }
+}
+
+/// One AIMD rate change reported by [`QueuePacer::pace_tracked`]: a
+/// multiplicative back-off when `to_pps < from_pps`, an additive recovery
+/// otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateTransition {
+    /// Effective rate before the transition, packets per second.
+    pub from_pps: u64,
+    /// Effective rate after the transition.
+    pub to_pps: u64,
 }
 
 /// A token bucket: capacity `burst`, refilled at `rate` tokens per second.

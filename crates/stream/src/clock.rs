@@ -39,6 +39,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::thread;
 
 use scent_simnet::SimTime;
+use scent_telemetry::StreamObserver;
 
 use crate::observation::{Observation, ObservationSource};
 
@@ -160,6 +161,47 @@ impl<S: ObservationSource> ObservationSource for LimitedSource<S> {
         }
         self.remaining -= 1;
         self.inner.next_observation()
+    }
+}
+
+/// An [`ObservationSource`] that reports every pulled observation to a
+/// telemetry observer as [`StreamObserver::on_probe_sent`] — the
+/// producer-side probe accounting. The hook runs on the producer's thread
+/// (wall-clock tier): per-producer totals are deterministic (producer `k`
+/// owns exactly the strided positions `k, k + P, …`), the interleaving is
+/// the scheduler's.
+pub struct CountedSource<'t, S> {
+    inner: S,
+    observer: Option<&'t dyn StreamObserver>,
+    producer: usize,
+}
+
+impl<'t, S> CountedSource<'t, S> {
+    /// Wrap `inner` as producer `producer`'s stream. With `observer == None`
+    /// the wrapper is a transparent pass-through.
+    pub fn new(inner: S, producer: usize, observer: Option<&'t dyn StreamObserver>) -> Self {
+        CountedSource {
+            inner,
+            observer,
+            producer,
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ObservationSource> ObservationSource for CountedSource<'_, S> {
+    fn next_observation(&mut self) -> Option<Observation> {
+        let obs = self.inner.next_observation();
+        if obs.is_some() {
+            if let Some(observer) = self.observer {
+                observer.on_probe_sent(self.producer);
+            }
+        }
+        obs
     }
 }
 

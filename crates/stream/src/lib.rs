@@ -16,8 +16,9 @@
 //! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
 //! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking, and an optionally *live* watch list ([`WatchChurn`]) revised from the monitor's own density state |
+//! | Telemetry mirrors | [`observe`] | [`RateReplica`]: merge-side replay of the producers' AIMD pacer, feeding [`StreamObserver`](scent_telemetry::StreamObserver) hooks in deterministic order |
 //!
-//! Five properties hold by construction and are enforced by tests:
+//! Six properties hold by construction and are enforced by tests:
 //!
 //! * **Shard-merge determinism** — the merged report is identical for any
 //!   shard count, because every /48's state lives wholly in one shard
@@ -42,6 +43,15 @@
 //!   the revision history, the final watch list and every report field stay
 //!   byte-identical across producer counts and across live vs.
 //!   recorded-replay backends.
+//! * **Deterministic telemetry** — every hook of the deterministic telemetry
+//!   tier (window aggregates, rate transitions, queue depths, epoch
+//!   revisions) fires on the merge/control thread in merged clock order, so
+//!   a [`Telemetry`](scent_telemetry::Telemetry) registry's deterministic
+//!   snapshot is itself a pure function of `(config, world seed)` —
+//!   byte-identical across shard counts, producer counts and live vs.
+//!   recorded-replay backends. Wall-clock diagnostics (stalls, channel
+//!   depths, elapsed spans) live in a separate profile tier that makes no
+//!   such promise.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,15 +59,17 @@
 pub mod clock;
 pub mod monitor;
 pub mod observation;
+pub mod observe;
 pub mod pipeline;
 pub mod router;
 pub mod shard;
 pub mod source;
 
-pub use clock::{spawn_producers, ChannelSource, LimitedSource, MergedClock};
+pub use clock::{spawn_producers, ChannelSource, CountedSource, LimitedSource, MergedClock};
 pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor, WatchChurn};
 pub use observation::{Observation, ObservationSource, Phase};
+pub use observe::RateReplica;
 pub use pipeline::{StreamConfig, StreamPipeline};
 pub use router::{ShardMap, ShardRouter};
-pub use shard::{spawn_shards, ShardInference, ShardMsg};
+pub use shard::{spawn_shards, spawn_shards_observed, ShardInference, ShardMsg};
 pub use source::{ContinuousStream, ContinuousStreamBuilder, ScanStream, ScanStreamBuilder};

@@ -28,10 +28,13 @@ use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, QueueModel, TargetGenerator, TargetStream, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 
-use crate::clock::{spawn_producers, LimitedSource};
+use scent_telemetry::{EpochSummary, StreamObserver};
+
+use crate::clock::{spawn_producers, CountedSource, LimitedSource};
 use crate::observation::ObservationSource;
+use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
-use crate::shard::{spawn_shards, ShardInference};
+use crate::shard::{spawn_shards_observed, ShardInference};
 use crate::source::ContinuousStream;
 
 /// Live watch-list churn configuration: how a continuous monitor revises its
@@ -278,6 +281,27 @@ impl StreamMonitor {
         world: &B,
         watched_48s: &[Ipv6Prefix],
     ) -> MonitorReport {
+        self.run_observed(world, watched_48s, None)
+    }
+
+    /// [`StreamMonitor::run`] with a telemetry observer attached to every
+    /// hook point: producer probe accounting, deterministic routing order,
+    /// per-shard ingest progress, merge-side rate replay (when
+    /// [`MonitorConfig::rate_feedback`] is on), one
+    /// [`StreamObserver::on_epoch_close`] per watch-list revision, and a
+    /// wall-clock span for the whole run. `run` is exactly
+    /// `run_observed(world, watched_48s, None)`, and the no-observer path
+    /// pays one `None` branch per observation over the unobserved code.
+    pub fn run_observed<B: ProbeTransport + WorldView + ?Sized>(
+        &self,
+        world: &B,
+        watched_48s: &[Ipv6Prefix],
+        observer: Option<&dyn StreamObserver>,
+    ) -> MonitorReport {
+        let started = observer.is_some().then(std::time::Instant::now);
+        if let Some(telemetry) = observer {
+            telemetry.on_run_start(self.config.shards, self.config.producers);
+        }
         let cfg = &self.config;
         assert!(cfg.producers > 0, "at least one producer");
         if let Some(churn) = &cfg.churn {
@@ -328,9 +352,17 @@ impl StreamMonitor {
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
         let (merged, stalls, final_rate) = std::thread::scope(|scope| {
-            let (senders, handles) =
-                spawn_shards(scope, cfg.shards, cfg.channel_capacity, Some(live_tx));
+            let (senders, handles) = spawn_shards_observed(
+                scope,
+                cfg.shards,
+                cfg.channel_capacity,
+                Some(live_tx),
+                observer,
+            );
             let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
+            if let Some(telemetry) = observer {
+                router = router.with_observer(telemetry);
+            }
             let mut current_window = 0u64;
             let mut final_rate = cfg.packets_per_second;
             // Per-epoch density state feeding the next revision, keyed by
@@ -340,10 +372,27 @@ impl StreamMonitor {
 
             for (epoch, &(start_window, len)) in epochs.iter().enumerate() {
                 epoch_density.clear();
+                // A fresh merge-side rate replica per epoch, mirroring the
+                // epoch's fresh producer pacers (each epoch's revised target
+                // set is paced from scratch) — only worth building when both
+                // feedback and an observer are on.
+                let mut replica = match (&feedback_map, observer) {
+                    (Some(map), Some(_)) => Some(RateReplica::continuous(
+                        cfg.start,
+                        cfg.packets_per_second,
+                        cfg.queue_model,
+                        map.clone(),
+                        cfg.window_interval,
+                    )),
+                    _ => None,
+                };
                 let mut ingest =
-                    |router: &mut ShardRouter,
+                    |router: &mut ShardRouter<'_>,
                      epoch_density: &mut HashMap<Ipv6Prefix, DensityAccumulator>,
                      obs: crate::observation::Observation| {
+                        if let (Some(replica), Some(telemetry)) = (replica.as_mut(), observer) {
+                            replica.observe(&obs, telemetry);
+                        }
                         if cfg.churn.is_some() {
                             epoch_density
                                 .entry(obs.target_48())
@@ -362,21 +411,22 @@ impl StreamMonitor {
                     };
 
                 final_rate = if cfg.producers == 1 {
-                    let mut stream = build_stream(&watched, start_window, 0, 1);
-                    let total = stream.window_len() as u64 * len;
+                    let mut stream =
+                        CountedSource::new(build_stream(&watched, start_window, 0, 1), 0, observer);
+                    let total = stream.inner().window_len() as u64 * len;
                     for _ in 0..total {
                         let Some(obs) = stream.next_observation() else {
                             break;
                         };
                         ingest(&mut router, &mut epoch_density, obs);
                     }
-                    stream.rate()
+                    stream.inner().rate()
                 } else {
                     let sources: Vec<_> = (0..cfg.producers)
                         .map(|k| {
                             let stream = build_stream(&watched, start_window, k, cfg.producers);
                             let limit = stream.slice_len() as u64 * len;
-                            LimitedSource::new(stream, limit)
+                            CountedSource::new(LimitedSource::new(stream, limit), k, observer)
                         })
                         .collect();
                     let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
@@ -433,6 +483,17 @@ impl StreamMonitor {
                             &expansion.validated_48s,
                             churn.watch_capacity,
                         );
+                        if let Some(telemetry) = observer {
+                            telemetry.on_epoch_close(&EpochSummary {
+                                epoch: revision.epoch,
+                                at: boundary,
+                                window: start_window + len - 1,
+                                admitted: &revision.admitted,
+                                evicted: &revision.evicted,
+                                watch_len: next.len(),
+                                expansion_probes: expansion.probed_48s,
+                            });
+                        }
                         watched = next;
                         revisions.push(revision);
                     }
@@ -441,13 +502,20 @@ impl StreamMonitor {
 
             let stalls = router.stalls();
             router.shutdown();
-            let merged = ShardInference::merge_all(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard panicked")),
-            );
+            let mut states = Vec::with_capacity(handles.len());
+            for (shard, handle) in handles.into_iter().enumerate() {
+                let state = handle.join().expect("shard panicked");
+                if let Some(telemetry) = observer {
+                    telemetry.on_shard_final(shard, state.observations);
+                }
+                states.push(state);
+            }
+            let merged = ShardInference::merge_all(states);
             (merged, stalls, final_rate)
         });
+        if let (Some(telemetry), Some(started)) = (observer, started) {
+            telemetry.on_wall_span("monitor_run", started.elapsed().as_nanos() as u64);
+        }
 
         // The live channel has seen every event already; the merged state is
         // the authoritative record (compaction may have pruned events the

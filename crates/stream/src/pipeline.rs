@@ -27,10 +27,13 @@ use scent_core::{DensityReport, PipelineConfig, PipelineReport, SeedExpansion};
 use scent_prober::{ProbeTransport, QueueModel, SeedCampaign, TargetGenerator, WorldView};
 use scent_simnet::SimDuration;
 
-use crate::clock::spawn_producers;
-use crate::observation::{ObservationSource, Phase};
+use scent_telemetry::StreamObserver;
+
+use crate::clock::{spawn_producers, CountedSource};
+use crate::observation::{Observation, ObservationSource, Phase};
+use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
-use crate::shard::{spawn_shards, ShardInference};
+use crate::shard::{spawn_shards_observed, ShardInference};
 use crate::source::ScanStream;
 
 /// Streaming engine configuration.
@@ -99,22 +102,40 @@ fn attach_feedback<'a, B: ProbeTransport + ?Sized>(
 
 /// Drive a set of per-producer sources into the router: directly for a
 /// single producer, through threaded producers and the merged clock
-/// otherwise.
-fn route_producers<'scope, S>(
+/// otherwise. Every merged observation is fed through the merge-side
+/// [`RateReplica`] (when one is attached) before it is routed, so rate
+/// telemetry is journaled in deterministic clock order. Returns the number
+/// of observations this phase routed.
+fn route_producers<'t, 'scope, S>(
     scope: &'scope std::thread::Scope<'scope, '_>,
-    router: &mut ShardRouter,
+    router: &mut ShardRouter<'t>,
     sources: Vec<S>,
     channel_capacity: usize,
-) where
+    mut replica: Option<RateReplica>,
+    observer: Option<&dyn StreamObserver>,
+) -> u64
+where
     S: ObservationSource + Send + 'scope,
 {
+    let before = router.routed();
+    let mut route = |router: &mut ShardRouter<'t>, obs: Observation| {
+        if let (Some(replica), Some(observer)) = (replica.as_mut(), observer) {
+            replica.observe(&obs, observer);
+        }
+        router.route(obs);
+    };
     if sources.len() == 1 {
         let mut source = sources.into_iter().next().expect("one source");
-        router.route_stream(&mut source);
+        while let Some(obs) = source.next_observation() {
+            route(router, obs);
+        }
     } else {
         let mut clock = spawn_producers(scope, sources, channel_capacity);
-        router.route_stream(&mut clock);
+        while let Some(obs) = clock.next_observation() {
+            route(router, obs);
+        }
     }
+    router.routed() - before
 }
 
 /// The streamed discovery pipeline.
@@ -159,6 +180,26 @@ impl StreamPipeline {
     /// every probe through the shards. Produces the identical report the
     /// batch [`Pipeline`](scent_core::Pipeline) computes from whole scans.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(&self, world: &B) -> PipelineReport {
+        self.run_observed(world, None)
+    }
+
+    /// [`StreamPipeline::run`] with a telemetry observer attached to every
+    /// hook point: producer probe accounting, deterministic routing order,
+    /// per-shard ingest progress, merge-side rate replay (when
+    /// [`StreamConfig::rate_feedback`] is on), one
+    /// [`StreamObserver::on_phase_close`] per scan phase, and a wall-clock
+    /// span for the whole run. `run` is exactly `run_observed(world, None)`,
+    /// and the no-observer path pays one `None` branch per observation over
+    /// the unobserved code.
+    pub fn run_observed<B: ProbeTransport + WorldView + ?Sized>(
+        &self,
+        world: &B,
+        observer: Option<&dyn StreamObserver>,
+    ) -> PipelineReport {
+        let started = observer.is_some().then(std::time::Instant::now);
+        if let Some(telemetry) = observer {
+            telemetry.on_run_start(self.config.shards, self.config.producers);
+        }
         let cfg = &self.config.pipeline;
         let producers = self.config.producers;
         assert!(producers > 0, "at least one producer");
@@ -176,16 +217,27 @@ impl StreamPipeline {
         let feedback_map = self.config.rate_feedback.then(|| shard_map.clone());
         let queue_model = self.config.queue_model;
         let with_feedback = |builder| attach_feedback(builder, &feedback_map, queue_model);
+        // A fresh merge-side rate replica per scan phase, mirroring each
+        // phase's fresh producer pacers — only worth building when both
+        // feedback and an observer are on.
+        let replica_for = |start, rate| match (&feedback_map, observer) {
+            (Some(map), Some(_)) => Some(RateReplica::scan(start, rate, queue_model, map.clone())),
+            _ => None,
+        };
 
-        std::thread::scope(|scope| {
-            let (senders, handles) = spawn_shards(
+        let report = std::thread::scope(|scope| {
+            let (senders, handles) = spawn_shards_observed(
                 scope,
                 self.config.shards,
                 self.config.channel_capacity,
                 None,
+                observer,
             );
             let mut router =
                 ShardRouter::with_map(shard_map, senders, self.config.observation_batch);
+            if let Some(telemetry) = observer {
+                router = router.with_observer(telemetry);
+            }
 
             // Step 1: expansion & validation (§4.1), streamed. Same targets,
             // order and pacing as `SeedExpansion::run`.
@@ -197,18 +249,32 @@ impl StreamPipeline {
                 .collect();
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
-                    with_feedback(
-                        ScanStream::builder(world, expansion_targets.clone())
-                            .phase(Phase::Expansion)
-                            .seed(cfg.seed ^ 0x9e37)
-                            .rate_pps(10_000)
-                            .start(cfg.expansion_time)
-                            .slice(k, producers),
+                    CountedSource::new(
+                        with_feedback(
+                            ScanStream::builder(world, expansion_targets.clone())
+                                .phase(Phase::Expansion)
+                                .seed(cfg.seed ^ 0x9e37)
+                                .rate_pps(10_000)
+                                .start(cfg.expansion_time)
+                                .slice(k, producers),
+                        )
+                        .build(),
+                        k,
+                        observer,
                     )
-                    .build()
                 })
                 .collect();
-            route_producers(scope, &mut router, sources, self.config.channel_capacity);
+            let routed = route_producers(
+                scope,
+                &mut router,
+                sources,
+                self.config.channel_capacity,
+                replica_for(cfg.expansion_time, 10_000),
+                observer,
+            );
+            if let Some(telemetry) = observer {
+                telemetry.on_phase_close("expansion", routed);
+            }
             let after_expansion = ShardInference::merge_all(router.flush());
             let validated: Vec<_> = after_expansion.validated.iter().copied().collect();
 
@@ -217,20 +283,35 @@ impl StreamPipeline {
             let density_generator = TargetGenerator::new(cfg.seed ^ 0xdead);
             let density_targets =
                 density_generator.per_candidate_48(&validated, cfg.density_granularity);
+            let density_start = cfg.expansion_time + SimDuration::from_hours(2);
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
-                    with_feedback(
-                        ScanStream::builder(world, density_targets.clone())
-                            .phase(Phase::Density)
-                            .seed(cfg.seed)
-                            .rate_pps(cfg.packets_per_second)
-                            .start(cfg.expansion_time + SimDuration::from_hours(2))
-                            .slice(k, producers),
+                    CountedSource::new(
+                        with_feedback(
+                            ScanStream::builder(world, density_targets.clone())
+                                .phase(Phase::Density)
+                                .seed(cfg.seed)
+                                .rate_pps(cfg.packets_per_second)
+                                .start(density_start)
+                                .slice(k, producers),
+                        )
+                        .build(),
+                        k,
+                        observer,
                     )
-                    .build()
                 })
                 .collect();
-            route_producers(scope, &mut router, sources, self.config.channel_capacity);
+            let routed = route_producers(
+                scope,
+                &mut router,
+                sources,
+                self.config.channel_capacity,
+                replica_for(density_start, cfg.packets_per_second),
+                observer,
+            );
+            if let Some(telemetry) = observer {
+                telemetry.on_phase_close("density", routed);
+            }
             let after_density = ShardInference::merge_all(router.flush());
             let density = DensityReport::from_accumulators(&validated, &after_density.density);
             let high = density.high_density();
@@ -239,33 +320,52 @@ impl StreamPipeline {
             // windows 24 hours apart.
             let detection_targets =
                 density_generator.per_candidate_48(&high, cfg.detection_granularity);
+            let mut detection_routed = 0u64;
             for window in 0..2u64 {
                 let start = cfg.first_snapshot
                     + SimDuration::from_secs(SimDuration::from_days(1).as_secs() * window);
                 let sources: Vec<_> = (0..producers)
                     .map(|k| {
-                        with_feedback(
-                            ScanStream::builder(world, detection_targets.clone())
-                                .phase(Phase::Detection)
-                                .window(window)
-                                .seed(cfg.seed)
-                                .rate_pps(cfg.packets_per_second)
-                                .start(start)
-                                .slice(k, producers),
+                        CountedSource::new(
+                            with_feedback(
+                                ScanStream::builder(world, detection_targets.clone())
+                                    .phase(Phase::Detection)
+                                    .window(window)
+                                    .seed(cfg.seed)
+                                    .rate_pps(cfg.packets_per_second)
+                                    .start(start)
+                                    .slice(k, producers),
+                            )
+                            .build(),
+                            k,
+                            observer,
                         )
-                        .build()
                     })
                     .collect();
-                route_producers(scope, &mut router, sources, self.config.channel_capacity);
+                detection_routed += route_producers(
+                    scope,
+                    &mut router,
+                    sources,
+                    self.config.channel_capacity,
+                    replica_for(start, cfg.packets_per_second),
+                    observer,
+                );
+            }
+            if let Some(telemetry) = observer {
+                telemetry.on_phase_close("detection", detection_routed);
             }
 
             // Shut the stream down and fold the final shard states.
             router.shutdown();
-            let merged = ShardInference::merge_all(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard panicked")),
-            );
+            let mut states = Vec::with_capacity(handles.len());
+            for (shard, handle) in handles.into_iter().enumerate() {
+                let state = handle.join().expect("shard panicked");
+                if let Some(telemetry) = observer {
+                    telemetry.on_shard_final(shard, state.observations);
+                }
+                states.push(state);
+            }
+            let merged = ShardInference::merge_all(states);
 
             let detection = WindowedRotationDetector::collect(merged.events.clone());
             let rotating_counts =
@@ -288,7 +388,11 @@ impl StreamPipeline {
                 eui64_addresses,
                 unique_iids,
             }
-        })
+        });
+        if let (Some(telemetry), Some(started)) = (observer, started) {
+            telemetry.on_wall_span("pipeline_run", started.elapsed().as_nanos() as u64);
+        }
+        report
     }
 }
 

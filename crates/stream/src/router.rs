@@ -25,6 +25,7 @@ use std::net::Ipv6Addr;
 use scent_bgp::{PrefixTrie, RibEntry};
 use scent_ipv6::{addr_to_u128, Ipv6Prefix};
 use scent_simnet::det::hash2;
+use scent_telemetry::StreamObserver;
 
 use crate::observation::{Observation, ObservationSource};
 use crate::shard::ShardMsg;
@@ -97,16 +98,23 @@ impl ShardMap {
 }
 
 /// Routes observations to shard workers over bounded channels.
-pub struct ShardRouter {
+///
+/// The optional [`StreamObserver`] ([`ShardRouter::with_observer`]) is the
+/// telemetry hook point: [`ShardRouter::route`] reports every observation in
+/// merged deterministic clock order (the deterministic tier), and blocking
+/// deliveries report stalls (the wall-clock tier). Without an observer the
+/// hot path pays one `None` branch per route and nothing else.
+pub struct ShardRouter<'t> {
     map: ShardMap,
     senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>,
     stalls: u64,
     routed: u64,
     batch: usize,
     buffers: Vec<Vec<Observation>>,
+    observer: Option<&'t dyn StreamObserver>,
 }
 
-impl ShardRouter {
+impl<'t> ShardRouter<'t> {
     /// Build a router over the announced prefixes of a RIB, delivering to
     /// `senders` (one per shard), one observation per channel message.
     pub fn new(entries: &[RibEntry], senders: Vec<std::sync::mpsc::SyncSender<ShardMsg>>) -> Self {
@@ -146,7 +154,16 @@ impl ShardRouter {
             stalls: 0,
             routed: 0,
             batch,
+            observer: None,
         }
+    }
+
+    /// Attach a telemetry observer: every routed observation is reported via
+    /// [`StreamObserver::on_routed`] (in deterministic clock order) and every
+    /// blocking delivery via [`StreamObserver::on_stall`].
+    pub fn with_observer(mut self, observer: &'t dyn StreamObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The shard a target address routes to (see [`ShardMap::shard_for`]).
@@ -160,6 +177,9 @@ impl ShardRouter {
     pub fn route(&mut self, obs: Observation) -> RouteOutcome {
         let shard = self.shard_for(obs.target);
         self.routed += 1;
+        if let Some(observer) = self.observer {
+            observer.on_routed(shard, obs.window, obs.sent_at, obs.response.is_some());
+        }
         if self.batch <= 1 {
             let backpressured = self.deliver(shard, ShardMsg::Observe(obs));
             return RouteOutcome {
@@ -205,6 +225,9 @@ impl ShardRouter {
             Ok(()) => false,
             Err(std::sync::mpsc::TrySendError::Full(msg)) => {
                 self.stalls += 1;
+                if let Some(observer) = self.observer {
+                    observer.on_stall(shard);
+                }
                 self.senders[shard]
                     .send(msg)
                     .expect("shard worker must outlive the router");

@@ -20,6 +20,7 @@ use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::tracker::IncrementalTracker;
 use scent_core::SeedExpansion;
 use scent_ipv6::{Eui64, Ipv6Prefix};
+use scent_telemetry::StreamObserver;
 
 use crate::observation::{Observation, Phase};
 
@@ -172,8 +173,10 @@ impl ShardInference {
 /// The worker loop: ingest until every sender is dropped, then return the
 /// final state.
 fn worker(
+    shard: usize,
     receiver: Receiver<ShardMsg>,
     live_events: Option<Sender<RotationEvent>>,
+    observer: Option<&dyn StreamObserver>,
 ) -> ShardInference {
     let mut state = ShardInference::new();
     let observe = |state: &mut ShardInference, obs: &Observation| {
@@ -186,10 +189,18 @@ fn worker(
     };
     while let Ok(msg) = receiver.recv() {
         match msg {
-            ShardMsg::Observe(obs) => observe(&mut state, &obs),
+            ShardMsg::Observe(obs) => {
+                observe(&mut state, &obs);
+                if let Some(observer) = observer {
+                    observer.on_shard_progress(shard, 1);
+                }
+            }
             ShardMsg::ObserveBatch(batch) => {
                 for obs in &batch {
                     observe(&mut state, obs);
+                }
+                if let Some(observer) = observer {
+                    observer.on_shard_progress(shard, batch.len() as u64);
                 }
             }
             ShardMsg::Flush(reply) => {
@@ -217,15 +228,32 @@ pub fn spawn_shards<'scope, 'env>(
     Vec<SyncSender<ShardMsg>>,
     Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
 ) {
+    spawn_shards_observed(scope, shards, channel_capacity, live_events, None)
+}
+
+/// [`spawn_shards`] with a telemetry observer: each worker reports its
+/// ingest progress via [`StreamObserver::on_shard_progress`] (wall-clock
+/// tier — the counts are deterministic, the interleaving is the
+/// scheduler's).
+pub fn spawn_shards_observed<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    shards: usize,
+    channel_capacity: usize,
+    live_events: Option<Sender<RotationEvent>>,
+    observer: Option<&'scope dyn StreamObserver>,
+) -> (
+    Vec<SyncSender<ShardMsg>>,
+    Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
+) {
     assert!(shards > 0, "at least one shard");
     assert!(channel_capacity > 0, "bounded channels need capacity");
     let mut senders = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for _ in 0..shards {
+    for shard in 0..shards {
         let (tx, rx) = std::sync::mpsc::sync_channel(channel_capacity);
         let live = live_events.clone();
         senders.push(tx);
-        handles.push(scope.spawn(move || worker(rx, live)));
+        handles.push(scope.spawn(move || worker(shard, rx, live, observer)));
     }
     (senders, handles)
 }

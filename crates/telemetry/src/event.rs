@@ -1,0 +1,80 @@
+//! The structured event journal: what happened, in virtual time.
+//!
+//! Every event is recorded on the merge side of the streaming engine — the
+//! single thread that consumes observations in deterministic clock order —
+//! so the journal is a pure function of (config, world seed): byte-identical
+//! across shard counts, producer counts, thread schedules and
+//! live-vs-recorded backends.
+
+use scent_ipv6::Ipv6Prefix;
+use scent_simnet::SimTime;
+
+/// One entry of the telemetry event journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// When the event happened, in virtual time.
+    pub virtual_time: SimTime,
+    /// The window the event belongs to (the engine's global window
+    /// numbering).
+    pub window: u64,
+    /// The watch-list epoch the event belongs to (always 0 when churn is
+    /// off).
+    pub epoch: u64,
+    /// The inference shard the event concerns, when it concerns exactly
+    /// one. `None` for engine-wide events (all current kinds).
+    pub shard: Option<usize>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of events the streaming engine journals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A probing window finished: no further observations carry its window
+    /// id. The event's `virtual_time` is the window's last send time.
+    WindowClose {
+        /// Observations routed during the window.
+        observations: u64,
+        /// The subset of `observations` that carried a response.
+        responses: u64,
+        /// The window's first send time; the window's virtual-time latency
+        /// is `virtual_time - first_send`.
+        first_send: SimTime,
+    },
+    /// A discovery-pipeline phase (expansion, density, one detection
+    /// window) finished.
+    PhaseClose {
+        /// The phase's name (`"expansion"`, `"density"`, `"detection"`).
+        phase: &'static str,
+        /// Observations the phase routed.
+        probes: u64,
+    },
+    /// The AIMD rate feedback halved the probe rate because the virtual
+    /// queue crossed its high watermark.
+    RateBackoff {
+        /// Probe rate before the back-off, packets per second.
+        from_pps: u64,
+        /// Probe rate after the back-off.
+        to_pps: u64,
+    },
+    /// The AIMD rate feedback recovered additively because the virtual
+    /// queue drained below its low watermark.
+    RateRecovery {
+        /// Probe rate before the recovery, packets per second.
+        from_pps: u64,
+        /// Probe rate after the recovery.
+        to_pps: u64,
+    },
+    /// A watch-list churn epoch closed: the boundary re-expansion ran and
+    /// the watch list was revised.
+    EpochClose {
+        /// /48s admitted to the watch list by this revision.
+        admitted: Vec<Ipv6Prefix>,
+        /// /48s evicted from the watch list by this revision.
+        evicted: Vec<Ipv6Prefix>,
+        /// Size of the revised watch list.
+        watch_len: usize,
+        /// Probes spent by the boundary re-expansion.
+        expansion_probes: u64,
+    },
+}

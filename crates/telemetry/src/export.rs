@@ -1,0 +1,301 @@
+//! Exporters: Prometheus text exposition and a JSONL event stream.
+//!
+//! Both are hand-rolled, dependency-free string renderers with fully
+//! deterministic output — fixed metric order, fixed label order, no
+//! hash-map iteration anywhere — so the rendered deterministic tier can be
+//! byte-compared across runs the same way reports are.
+
+use std::fmt::Write as _;
+
+use scent_ipv6::Ipv6Prefix;
+
+use crate::event::{EventKind, TelemetryEvent};
+use crate::snapshot::{
+    DeterministicSnapshot, ProfileSnapshot, TelemetrySnapshot, TopologySnapshot,
+    LATENCY_BOUNDS_SECS,
+};
+
+fn metric(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn indexed_metric(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    label: &str,
+    values: &[u64],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (index, value) in values.iter().enumerate() {
+        let _ = writeln!(out, "{name}{{{label}=\"{index}\"}} {value}");
+    }
+}
+
+/// Render the deterministic tier in Prometheus text exposition format.
+///
+/// Byte-identical across shard counts, producer counts, thread schedules
+/// and live-vs-recorded backends whenever the underlying run is (the same
+/// conditions under which reports are invariant).
+pub fn deterministic_text(snapshot: &DeterministicSnapshot) -> String {
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "scent_observations_total",
+        "counter",
+        "Observations routed, in merged deterministic clock order.",
+        snapshot.observations,
+    );
+    metric(
+        &mut out,
+        "scent_responses_total",
+        "counter",
+        "Routed observations that carried a response.",
+        snapshot.responses,
+    );
+    metric(
+        &mut out,
+        "scent_expansion_probes_total",
+        "counter",
+        "Probes spent by watch-list churn boundary re-expansions.",
+        snapshot.expansion_probes,
+    );
+    metric(
+        &mut out,
+        "scent_rate_backoffs_total",
+        "counter",
+        "AIMD multiplicative back-offs taken by the rate feedback.",
+        snapshot.rate_backoffs,
+    );
+    metric(
+        &mut out,
+        "scent_rate_recoveries_total",
+        "counter",
+        "AIMD additive recoveries taken by the rate feedback.",
+        snapshot.rate_recoveries,
+    );
+    metric(
+        &mut out,
+        "scent_virtual_queue_high_water",
+        "gauge",
+        "High-water mark of the modelled virtual-queue depth.",
+        snapshot.queue_high_water,
+    );
+    metric(
+        &mut out,
+        "scent_epochs_closed_total",
+        "counter",
+        "Watch-list churn epochs closed.",
+        snapshot.epochs,
+    );
+    metric(
+        &mut out,
+        "scent_watch_admitted_total",
+        "counter",
+        "/48s admitted across every watch-list revision.",
+        snapshot.admitted,
+    );
+    metric(
+        &mut out,
+        "scent_watch_evicted_total",
+        "counter",
+        "/48s evicted across every watch-list revision.",
+        snapshot.evicted,
+    );
+    metric(
+        &mut out,
+        "scent_windows_closed_total",
+        "counter",
+        "Probing windows closed.",
+        snapshot.windows.len() as u64,
+    );
+    let name = "scent_window_latency_virtual_seconds";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Window virtual-time latency (last send minus first send)."
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (bucket, count) in snapshot.window_latency.bucket_counts().iter().enumerate() {
+        cumulative += count;
+        match LATENCY_BOUNDS_SECS.get(bucket) {
+            Some(bound) => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", snapshot.window_latency.sum());
+    let _ = writeln!(out, "{name}_count {}", snapshot.window_latency.count());
+    out
+}
+
+/// Render the topology tier (per-shard / per-producer breakdowns) in
+/// Prometheus text exposition format. Deterministic in value, but keyed by
+/// the configured topology, so comparable only between runs of the same
+/// configuration.
+pub fn topology_text(snapshot: &TopologySnapshot) -> String {
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "scent_shards",
+        "gauge",
+        "Configured inference shard count.",
+        snapshot.shards as u64,
+    );
+    metric(
+        &mut out,
+        "scent_producers",
+        "gauge",
+        "Configured probe producer count.",
+        snapshot.producers as u64,
+    );
+    indexed_metric(
+        &mut out,
+        "scent_probes_total",
+        "counter",
+        "Probes pulled per producer (strided slicing).",
+        "producer",
+        &snapshot.probes_per_producer,
+    );
+    indexed_metric(
+        &mut out,
+        "scent_routed_total",
+        "counter",
+        "Observations routed to each shard.",
+        "shard",
+        &snapshot.routed_per_shard,
+    );
+    indexed_metric(
+        &mut out,
+        "scent_ingested_total",
+        "counter",
+        "Observations each shard worker ingested (final states).",
+        "shard",
+        &snapshot.ingested_per_shard,
+    );
+    out
+}
+
+/// Render the wall-clock tier in Prometheus text exposition format.
+/// Excluded from every determinism check.
+pub fn profile_text(snapshot: &ProfileSnapshot) -> String {
+    let mut out = String::new();
+    metric(
+        &mut out,
+        "scent_backpressure_stalls_total",
+        "counter",
+        "Times the router hit a full shard channel and blocked.",
+        snapshot.stalls,
+    );
+    metric(
+        &mut out,
+        "scent_channel_high_water",
+        "gauge",
+        "High-water mark of the routed-minus-ingested channel-depth proxy.",
+        snapshot.channel_high_water,
+    );
+    let name = "scent_wall_span_nanoseconds";
+    let _ = writeln!(out, "# HELP {name} OS-time span measurements.");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (label, nanos) in &snapshot.wall_spans {
+        let _ = writeln!(out, "{name}{{span=\"{label}\"}} {nanos}");
+    }
+    out
+}
+
+/// Render the whole snapshot — all three tiers — in Prometheus text
+/// exposition format, deterministic tier first.
+pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = deterministic_text(&snapshot.deterministic);
+    out.push_str(&topology_text(&snapshot.topology));
+    out.push_str(&profile_text(&snapshot.profile));
+    out
+}
+
+fn prefix_list(out: &mut String, prefixes: &[Ipv6Prefix]) {
+    out.push('[');
+    for (index, prefix) in prefixes.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{prefix}\"");
+    }
+    out.push(']');
+}
+
+/// Render the event journal as JSONL: one JSON object per line, in record
+/// order. Part of the deterministic tier.
+pub fn events_jsonl(events: &[TelemetryEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let _ = write!(
+            out,
+            "{{\"virtual_time\":{},\"window\":{},\"epoch\":{}",
+            event.virtual_time.as_secs(),
+            event.window,
+            event.epoch
+        );
+        match event.shard {
+            Some(shard) => {
+                let _ = write!(out, ",\"shard\":{shard}");
+            }
+            None => out.push_str(",\"shard\":null"),
+        }
+        match &event.kind {
+            EventKind::WindowClose {
+                observations,
+                responses,
+                first_send,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"window_close\",\"observations\":{observations},\
+                     \"responses\":{responses},\"first_send\":{}",
+                    first_send.as_secs()
+                );
+            }
+            EventKind::PhaseClose { phase, probes } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"phase_close\",\"phase\":\"{phase}\",\"probes\":{probes}"
+                );
+            }
+            EventKind::RateBackoff { from_pps, to_pps } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"rate_backoff\",\"from_pps\":{from_pps},\"to_pps\":{to_pps}"
+                );
+            }
+            EventKind::RateRecovery { from_pps, to_pps } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"rate_recovery\",\"from_pps\":{from_pps},\"to_pps\":{to_pps}"
+                );
+            }
+            EventKind::EpochClose {
+                admitted,
+                evicted,
+                watch_len,
+                expansion_probes,
+            } => {
+                out.push_str(",\"kind\":\"epoch_close\",\"admitted\":");
+                prefix_list(&mut out, admitted);
+                out.push_str(",\"evicted\":");
+                prefix_list(&mut out, evicted);
+                let _ = write!(
+                    out,
+                    ",\"watch_len\":{watch_len},\"expansion_probes\":{expansion_probes}"
+                );
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}

@@ -1,0 +1,105 @@
+//! The observer trait the streaming engine calls into.
+//!
+//! Every hook has an empty default body, and the engine holds the observer
+//! as `Option<&dyn StreamObserver>`: a disabled run pays one predictable
+//! `None` branch per hook site and nothing else. The
+//! [`Telemetry`](crate::Telemetry) registry is the canonical implementor;
+//! custom implementors (a live TUI, a log shipper) only override the hooks
+//! they care about.
+//!
+//! # Determinism contract
+//!
+//! Hooks split into two tiers, and implementors must keep them separate:
+//!
+//! * **Deterministic tier** — called from the merge side of the engine, in
+//!   deterministic clock order: [`StreamObserver::on_routed`],
+//!   [`StreamObserver::on_rate_change`], [`StreamObserver::on_queue_depth`],
+//!   [`StreamObserver::on_phase_close`], [`StreamObserver::on_epoch_close`],
+//!   [`StreamObserver::on_shard_final`]. The call sequence is a pure
+//!   function of (config, world seed).
+//! * **Wall-clock tier** — called from producer or shard-worker threads, or
+//!   reporting OS time: [`StreamObserver::on_probe_sent`],
+//!   [`StreamObserver::on_shard_progress`], [`StreamObserver::on_stall`],
+//!   [`StreamObserver::on_wall_span`]. Totals are deterministic, but the
+//!   interleaving is whatever the scheduler did.
+
+use scent_ipv6::Ipv6Prefix;
+use scent_simnet::SimTime;
+
+/// Everything the engine reports about one closed watch-list churn epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSummary<'a> {
+    /// The epoch's index (0-based, in revision order).
+    pub epoch: u64,
+    /// The epoch's boundary in virtual time (when the re-expansion ran).
+    pub at: SimTime,
+    /// The last window of the epoch.
+    pub window: u64,
+    /// /48s admitted to the watch list by the epoch's revision.
+    pub admitted: &'a [Ipv6Prefix],
+    /// /48s evicted from the watch list by the epoch's revision.
+    pub evicted: &'a [Ipv6Prefix],
+    /// Size of the revised watch list.
+    pub watch_len: usize,
+    /// Probes spent by the epoch's boundary re-expansion.
+    pub expansion_probes: u64,
+}
+
+/// Hook points the streaming engine calls while it runs.
+///
+/// See the [crate docs](crate) for the determinism contract. The `Sync`
+/// supertrait is what lets one observer be shared by reference across
+/// producer, router and shard-worker threads.
+pub trait StreamObserver: Sync {
+    /// A streamed run is starting with the given shard and producer counts.
+    fn on_run_start(&self, _shards: usize, _producers: usize) {}
+
+    /// A producer pulled one probe observation from its slice.
+    /// Producer-thread (wall-clock tier): per-producer totals are
+    /// deterministic, the interleaving is not.
+    fn on_probe_sent(&self, _producer: usize) {}
+
+    /// The router routed one observation, in merged deterministic clock
+    /// order (deterministic tier).
+    fn on_routed(&self, _shard: usize, _window: u64, _sent_at: SimTime, _responded: bool) {}
+
+    /// A shard worker ingested `ingested` more observations (one channel
+    /// message's worth). Worker-thread (wall-clock tier).
+    fn on_shard_progress(&self, _shard: usize, _ingested: u64) {}
+
+    /// A shard worker finished with `ingested` observations ingested in
+    /// total. Called from the merge side after the join, shard by shard in
+    /// index order (deterministic tier).
+    fn on_shard_final(&self, _shard: usize, _ingested: u64) {}
+
+    /// The router hit a full shard channel and fell back to a blocking
+    /// send (wall-clock tier — a scheduling fact, not engine state).
+    fn on_stall(&self, _shard: usize) {}
+
+    /// The AIMD rate feedback changed the probe rate at virtual time `at`
+    /// (deterministic tier; backed by the virtual-queue model, so the
+    /// trajectory is a pure function of config and target order).
+    fn on_rate_change(&self, _at: SimTime, _window: u64, _from_pps: u64, _to_pps: u64) {}
+
+    /// The virtual queue's modelled depth after pacing one observation
+    /// (deterministic tier).
+    fn on_queue_depth(&self, _depth: u64) {}
+
+    /// A discovery-pipeline phase finished having routed `probes`
+    /// observations (deterministic tier).
+    fn on_phase_close(&self, _phase: &'static str, _probes: u64) {}
+
+    /// A watch-list churn epoch closed (deterministic tier).
+    fn on_epoch_close(&self, _summary: &EpochSummary<'_>) {}
+
+    /// An OS-time span measurement, in nanoseconds (wall-clock tier;
+    /// explicitly excluded from determinism checks).
+    fn on_wall_span(&self, _label: &'static str, _nanos: u64) {}
+}
+
+/// An observer that ignores everything — useful as an explicit "observed
+/// but discarded" baseline (e.g. in overhead benches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl StreamObserver for NoopObserver {}

@@ -11,10 +11,17 @@
 //! same stream. Switching `.mode(..)` is all it takes to run the discovery
 //! pipeline (batch or sharded-streaming) over the same backend instead.
 //!
+//! The per-epoch narration comes from an attached [`Telemetry`] registry:
+//! the monitor journals every epoch revision as it happens (in virtual
+//! time), so the example reads the structured event journal instead of
+//! post-processing the final report — the same journal a deployment would
+//! ship as JSONL next to its Prometheus scrape.
+//!
 //! Run with: `cargo run --release --example rotation_monitor`
 
 use followscent::ipv6::Ipv6Prefix;
 use followscent::simnet::{scenarios, Engine, SimDuration, SimTime};
+use followscent::telemetry::{EventKind, Telemetry};
 use followscent::{Campaign, CampaignMode, ScentError};
 
 fn main() {
@@ -46,10 +53,12 @@ fn run() -> Result<(), ScentError> {
 
     // Four probe producers split every window's scan between them and are
     // recombined through the merged deterministic clock, so this report —
-    // revision history included — is bit-identical to a single-threaded
-    // run's.
+    // revision history and telemetry journal included — is bit-identical to
+    // a single-threaded run's.
+    let registry = Telemetry::new();
     let report = Campaign::builder()
         .world(&engine)
+        .telemetry(&registry)
         .seed(0x57ae)
         .rate_pps(10_000)
         .watch(watched.clone())
@@ -79,19 +88,40 @@ fn run() -> Result<(), ScentError> {
         report.rotating_48s.len()
     );
 
-    println!("\nwatch-list churn per epoch (revised after every window):");
-    for revision in &report.revisions {
-        print!("  epoch {:>2}: ", revision.epoch);
-        print!("+{} admitted", revision.admitted.len());
-        print!("  -{} evicted", revision.evicted.len());
-        if let Some(first) = revision.admitted.first() {
+    // Narrate the churn from the telemetry event journal: each epoch's
+    // revision was recorded the moment the monitor made it, stamped with
+    // the virtual time and window it happened in.
+    let snapshot = registry.snapshot();
+    println!("\nwatch-list churn per epoch (from the telemetry journal):");
+    for event in &snapshot.deterministic.events {
+        let EventKind::EpochClose {
+            admitted,
+            evicted,
+            watch_len,
+            expansion_probes,
+        } = &event.kind
+        else {
+            continue;
+        };
+        print!(
+            "  epoch {:>2} (window {:>2}, day {:>2} {:02}h): \
+             +{} admitted  -{} evicted  watching {watch_len}",
+            event.epoch,
+            event.window,
+            event.virtual_time.day(),
+            event.virtual_time.hour_of_day(),
+            admitted.len(),
+            evicted.len(),
+        );
+        if let Some(first) = admitted.first() {
             print!("   (now watching {first})");
         }
-        println!();
+        println!("   [{expansion_probes} re-expansion probes]");
     }
-    let (admitted, evicted) = report.churn_counts();
     println!(
-        "  total: {admitted} admissions, {evicted} evictions; final watch list: {:?}",
+        "  total: {} admissions, {} evictions; final watch list: {:?}",
+        snapshot.deterministic.admitted,
+        snapshot.deterministic.evicted,
         report
             .final_watch
             .iter()

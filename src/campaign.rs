@@ -135,6 +135,7 @@ use scent_simnet::{SimDuration, SimTime};
 use scent_stream::{
     MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
 };
+use scent_telemetry::StreamObserver;
 
 use crate::error::{CampaignError, ScentError};
 
@@ -208,7 +209,7 @@ pub struct Campaign;
 impl Campaign {
     /// Start configuring a campaign. Attach a backend with
     /// [`CampaignBuilder::world`] before calling `run`.
-    pub fn builder() -> CampaignBuilder<()> {
+    pub fn builder() -> CampaignBuilder<'static, ()> {
         CampaignBuilder {
             world: (),
             pipeline: PipelineConfig::default(),
@@ -224,6 +225,7 @@ impl Campaign {
             queue_model: QueueModel::default(),
             retention_windows: None,
             churn: None,
+            telemetry: None,
         }
     }
 }
@@ -232,9 +234,11 @@ impl Campaign {
 ///
 /// The type parameter tracks whether a backend is attached yet: `run()` only
 /// exists once [`CampaignBuilder::world`] has been called, so "forgot the
-/// backend" is a compile error, not a runtime one.
-#[derive(Debug, Clone)]
-pub struct CampaignBuilder<W> {
+/// backend" is a compile error, not a runtime one. The lifetime is the
+/// telemetry observer's ([`CampaignBuilder::telemetry`]); without one it is
+/// `'static`.
+#[derive(Clone)]
+pub struct CampaignBuilder<'t, W> {
     world: W,
     pipeline: PipelineConfig,
     mode: CampaignMode,
@@ -249,9 +253,32 @@ pub struct CampaignBuilder<W> {
     queue_model: QueueModel,
     retention_windows: Option<u64>,
     churn: Option<WatchChurn>,
+    telemetry: Option<&'t dyn StreamObserver>,
 }
 
-impl<W> CampaignBuilder<W> {
+impl<W: std::fmt::Debug> std::fmt::Debug for CampaignBuilder<'_, W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignBuilder")
+            .field("world", &self.world)
+            .field("pipeline", &self.pipeline)
+            .field("mode", &self.mode)
+            .field("channel_capacity", &self.channel_capacity)
+            .field("observation_batch", &self.observation_batch)
+            .field("watched", &self.watched)
+            .field("granularity", &self.granularity)
+            .field("window_interval", &self.window_interval)
+            .field("start", &self.start)
+            .field("max_tracked", &self.max_tracked)
+            .field("rate_feedback", &self.rate_feedback)
+            .field("queue_model", &self.queue_model)
+            .field("retention_windows", &self.retention_windows)
+            .field("churn", &self.churn)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
+}
+
+impl<'t, W> CampaignBuilder<'t, W> {
     /// The seed controlling target generation and scan order (the paper
     /// reuses one zmap seed across its daily scans).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -407,15 +434,49 @@ impl<W> CampaignBuilder<W> {
         self.churn = Some(churn);
         self
     }
+
+    /// Attach a telemetry observer — typically a
+    /// [`Telemetry`](scent_telemetry::Telemetry) registry — to the campaign.
+    /// Every streaming hook point reports through it: probe accounting,
+    /// deterministic routing order, per-shard ingest, merge-side rate
+    /// replay, phase/epoch closes and wall-clock spans. Without an observer
+    /// the hooks cost one `None` branch per observation.
+    ///
+    /// Only the streaming modes ([`CampaignMode::Streamed`] and
+    /// [`CampaignMode::Monitor`]) have hook points; a
+    /// [`CampaignMode::Batch`] campaign runs unobserved and leaves the
+    /// registry empty.
+    pub fn telemetry<'u>(self, telemetry: &'u dyn StreamObserver) -> CampaignBuilder<'u, W> {
+        CampaignBuilder {
+            world: self.world,
+            pipeline: self.pipeline,
+            mode: self.mode,
+            channel_capacity: self.channel_capacity,
+            observation_batch: self.observation_batch,
+            watched: self.watched,
+            granularity: self.granularity,
+            window_interval: self.window_interval,
+            start: self.start,
+            max_tracked: self.max_tracked,
+            rate_feedback: self.rate_feedback,
+            queue_model: self.queue_model,
+            retention_windows: self.retention_windows,
+            churn: self.churn,
+            telemetry: Some(telemetry),
+        }
+    }
 }
 
-impl CampaignBuilder<()> {
+impl<'t> CampaignBuilder<'t, ()> {
     /// Attach the measurement backend the campaign probes and reads routing
     /// state from. Any `ProbeTransport + WorldView` implementor works: the
     /// simulated [`Engine`](scent_simnet::Engine), a
     /// [`RecordedBackend`](scent_prober::RecordedBackend) replay, a
     /// `&dyn MeasurementBackend` trait object, or a third-party backend.
-    pub fn world<B: ProbeTransport + WorldView + ?Sized>(self, world: &B) -> CampaignBuilder<&B> {
+    pub fn world<B: ProbeTransport + WorldView + ?Sized>(
+        self,
+        world: &B,
+    ) -> CampaignBuilder<'t, &B> {
         CampaignBuilder {
             world,
             pipeline: self.pipeline,
@@ -431,11 +492,12 @@ impl CampaignBuilder<()> {
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
             churn: self.churn,
+            telemetry: self.telemetry,
         }
     }
 }
 
-impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
+impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
     /// Run the campaign against the attached backend.
     pub fn run(self) -> Result<CampaignReport, ScentError> {
         if self.channel_capacity == 0 {
@@ -482,7 +544,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     queue_model: self.queue_model,
                 };
                 Ok(CampaignReport::Pipeline(
-                    StreamPipeline::new(config).run(self.world),
+                    StreamPipeline::new(config).run_observed(self.world, self.telemetry),
                 ))
             }
             CampaignMode::Monitor {
@@ -522,7 +584,11 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<&B> {
                     churn: self.churn,
                 };
                 Ok(CampaignReport::Monitor(
-                    StreamMonitor::new(config).run(self.world, &self.watched),
+                    StreamMonitor::new(config).run_observed(
+                        self.world,
+                        &self.watched,
+                        self.telemetry,
+                    ),
                 ))
             }
         }

@@ -29,21 +29,6 @@ pub enum CampaignError {
     EmptyWatchList,
     /// A monitoring campaign was asked to observe zero windows.
     NoWindows,
-    /// A monitoring campaign combined AIMD rate feedback with more than one
-    /// probe producer.
-    ///
-    /// Historical: early feedback reacted to OS channel pressure, which only
-    /// one producer could observe consistently. Feedback now runs on the
-    /// deterministic virtual-queue model
-    /// ([`QueueModel`](scent_prober::QueueModel)) — a pure function of
-    /// config, target order and virtual time that every producer replays
-    /// locally — so the combination is valid at any producer count and this
-    /// variant is **no longer returned** by any entry point. It is kept
-    /// (deprecated) so exhaustive matches on [`CampaignError`] written
-    /// against earlier releases keep compiling.
-    #[deprecated(note = "rate feedback works with sharded producers since the \
-                deterministic virtual-queue model; this error is never returned")]
-    FeedbackWithShardedProducers,
     /// The virtual-queue feedback model was configured with inverted
     /// watermarks (the low watermark must be strictly below the high one).
     InvalidQueueModel,
@@ -80,14 +65,6 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::NoWindows => {
                 write!(f, "monitoring campaign must observe at least one window")
-            }
-            #[allow(deprecated)]
-            CampaignError::FeedbackWithShardedProducers => {
-                write!(
-                    f,
-                    "rate feedback requires a single producer (historical; the \
-                     virtual-queue model lifted this restriction)"
-                )
             }
             CampaignError::InvalidQueueModel => {
                 write!(

@@ -57,6 +57,44 @@
 //! campaign-configuration failures of the member crates, all implementing
 //! [`std::error::Error`].
 //!
+//! # Telemetry
+//!
+//! Attach a [`telemetry::Telemetry`] registry with
+//! [`CampaignBuilder::telemetry`](crate::campaign::CampaignBuilder::telemetry)
+//! and every streaming run journals what it did: typed counters, per-window
+//! virtual-time aggregates, rate back-off/recovery events and epoch
+//! revisions, exportable as Prometheus text or JSONL. The *deterministic*
+//! snapshot tier is — like the reports themselves — a pure function of
+//! `(config, world seed)`, byte-identical across shard counts, producer
+//! counts and live vs. recorded replay; wall-clock diagnostics live in a
+//! separate profile tier.
+//!
+//! ```
+//! use followscent::simnet::{scenarios, Engine, WorldScale};
+//! use followscent::telemetry::{self, Telemetry};
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     let engine = Engine::build(scenarios::paper_world(71, WorldScale::small()))?;
+//!     let registry = Telemetry::new();
+//!     Campaign::builder()
+//!         .world(&engine)
+//!         .max_48s_per_seed(128)
+//!         .mode(CampaignMode::Streamed { shards: 2, producers: 4 })
+//!         .telemetry(&registry)
+//!         .run()?;
+//!     let snapshot = registry.snapshot();
+//!     assert!(snapshot.deterministic.observations > 0);
+//!     assert_eq!(snapshot.topology.producers, 4);
+//!     // Prometheus text exposition and a JSONL event journal, ready to ship.
+//!     let text = telemetry::prometheus(&snapshot);
+//!     assert!(text.contains("scent_observations_total"));
+//!     let journal = telemetry::events_jsonl(&snapshot.deterministic.events);
+//!     assert!(journal.lines().all(|l| l.starts_with('{')));
+//!     Ok(())
+//! }
+//! ```
+//!
 //! # Workspace map
 //!
 //! * [`ipv6`] — addresses, prefixes, EUI-64/MAC arithmetic, ICMPv6 wire
@@ -71,6 +109,10 @@
 //!   incremental).
 //! * [`stream`] — the sharded streaming monitor built on the incremental
 //!   algorithms: continuous rotation detection with bounded memory.
+//! * [`telemetry`] — the deterministic observability layer: the
+//!   [`StreamObserver`](telemetry::StreamObserver) hook trait, the
+//!   [`Telemetry`](telemetry::Telemetry) registry and its
+//!   Prometheus/JSONL exporters.
 //! * [`experiments`] — the table/figure reproduction binaries' library code.
 //! * [`campaign`] — the [`Campaign`] facade unifying batch, streamed and
 //!   monitoring runs over any backend.
@@ -93,3 +135,4 @@ pub use scent_oui as oui;
 pub use scent_prober as prober;
 pub use scent_simnet as simnet;
 pub use scent_stream as stream;
+pub use scent_telemetry as telemetry;

@@ -457,13 +457,4 @@ fn every_campaign_error_variant_is_reachable_from_the_builder() {
         assert_chain(&err, 2);
         assert!(err.to_string().contains("campaign configuration"));
     }
-
-    // The historical feedback-with-producers variant is no longer returned
-    // by any entry point (the virtual-queue model lifted the restriction),
-    // but it still has a non-empty Display and source chain for code that
-    // matches on it.
-    #[allow(deprecated)]
-    let legacy: ScentError = CampaignError::FeedbackWithShardedProducers.into();
-    assert!(legacy.to_string().contains("historical"));
-    assert_chain(&legacy, 2);
 }
