@@ -7,10 +7,13 @@
 //! ingest rate.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scent_checkpoint::MemorySink;
 use scent_core::{Pipeline, PipelineConfig};
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::{scenarios, Engine, WorldScale};
-use scent_stream::{MonitorConfig, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn};
+use scent_stream::{
+    MonitorConfig, MonitorControl, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
+};
 use scent_telemetry::Telemetry;
 
 fn small_config() -> PipelineConfig {
@@ -61,7 +64,9 @@ fn bench_monitor_ingest(c: &mut Criterion) {
                     windows: 3,
                     ..MonitorConfig::default()
                 };
-                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+                b.iter(|| {
+                    StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&watched))
+                })
             },
         );
     }
@@ -95,7 +100,9 @@ fn bench_observation_batching(c: &mut Criterion) {
                     windows: 2,
                     ..MonitorConfig::default()
                 };
-                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+                b.iter(|| {
+                    StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&watched))
+                })
             },
         );
     }
@@ -110,7 +117,7 @@ fn bench_observation_batching(c: &mut Criterion) {
                     observation_batch,
                     ..StreamConfig::default()
                 };
-                b.iter(|| StreamPipeline::new(config).run(black_box(&engine)))
+                b.iter(|| StreamPipeline::new(config.clone()).run(black_box(&engine)))
             },
         );
     }
@@ -200,7 +207,7 @@ fn bench_producer_scaling(c: &mut Criterion) {
                     observation_batch: 64,
                     ..StreamConfig::default()
                 };
-                b.iter(|| StreamPipeline::new(config).run(black_box(&engine)))
+                b.iter(|| StreamPipeline::new(config.clone()).run(black_box(&engine)))
             },
         );
     }
@@ -220,7 +227,7 @@ fn bench_producer_scaling(c: &mut Criterion) {
                     observation_batch: 64,
                     ..StreamConfig::default()
                 };
-                b.iter(|| StreamPipeline::new(config).run(black_box(&costly)))
+                b.iter(|| StreamPipeline::new(config.clone()).run(black_box(&costly)))
             },
         );
     }
@@ -242,7 +249,9 @@ fn bench_producer_scaling(c: &mut Criterion) {
                     windows: 2,
                     ..MonitorConfig::default()
                 };
-                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+                b.iter(|| {
+                    StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&watched))
+                })
             },
         );
     }
@@ -289,7 +298,9 @@ fn bench_watch_churn(c: &mut Criterion) {
                     churn,
                     ..MonitorConfig::default()
                 };
-                b.iter(|| StreamMonitor::new(config).run(black_box(&engine), black_box(&watched)))
+                b.iter(|| {
+                    StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&watched))
+                })
             },
         );
     }
@@ -358,10 +369,78 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpoint overhead at `WorldScale::experiment()`: the same 2-window
+/// monitor run three ways — the plain `run()`, the controlled path with no
+/// sink attached, and with an in-memory sink snapshotting every window. The
+/// no-sink point must track `plain_run` at noise level — the checkpoint
+/// machinery's contract is that a run that never checkpoints pays nothing —
+/// while the per-window point bounds what serializing the complete monitor
+/// state (every shard's classifiers, detector, tracker and the watch state)
+/// costs.
+fn bench_checkpoint(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment())).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(8)
+        .collect();
+    let mut group = c.benchmark_group("streaming/checkpoint_experiment_scale");
+    group.sample_size(10);
+    let config = || MonitorConfig {
+        shards: 2,
+        producers: 2,
+        windows: 2,
+        ..MonitorConfig::default()
+    };
+    group.bench_function(BenchmarkId::new("monitor_2_windows", "plain_run"), |b| {
+        b.iter(|| StreamMonitor::new(config()).run(black_box(&engine), black_box(&watched)))
+    });
+    group.bench_function(
+        BenchmarkId::new("monitor_2_windows", "controlled_no_sink"),
+        |b| {
+            b.iter(|| {
+                StreamMonitor::new(config())
+                    .run_controlled(
+                        black_box(&engine),
+                        black_box(&watched),
+                        MonitorControl::default(),
+                    )
+                    .expect("no sink attached: checkpoint errors are impossible")
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("monitor_2_windows", "checkpoint_every_window"),
+        |b| {
+            b.iter(|| {
+                let mut sink = MemorySink::new();
+                let config = MonitorConfig {
+                    checkpoint_every: Some(1),
+                    ..config()
+                };
+                let report = StreamMonitor::new(config)
+                    .run_controlled(
+                        black_box(&engine),
+                        black_box(&watched),
+                        MonitorControl {
+                            sink: Some(&mut sink),
+                            ..MonitorControl::default()
+                        },
+                    )
+                    .expect("the in-memory sink never fails");
+                black_box((report.observations, sink.all().len()))
+            })
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
-        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead
+        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead, bench_checkpoint
 }
 criterion_main!(streaming);

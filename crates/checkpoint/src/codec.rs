@@ -1,0 +1,551 @@
+//! The hand-rolled byte codec checkpoints are built on.
+//!
+//! No serde: the vendored `serde` is an API stub whose derives expand to
+//! nothing, so snapshots are encoded by hand against a [`Writer`] and decoded
+//! from a [`Reader`]. The format is deliberately boring — little-endian fixed
+//! widths, `u64` length prefixes, no padding — so that a snapshot's bytes are
+//! a pure function of the encoded state (hash-stable across runs and
+//! platforms) and every decode failure maps onto a typed
+//! [`CheckpointError`].
+//!
+//! [`Checkpointable`] is the per-type contract: `encode` must write exactly
+//! what `decode` reads. Unordered collections (`HashMap`, `HashSet`) are
+//! encoded in sorted key order, which is what keeps snapshot bytes
+//! deterministic — two runs holding equal state produce identical files.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::error::CheckpointError;
+
+/// FNV-1a 64-bit over a byte slice: the checksum and fingerprint hash of the
+/// snapshot format. Chosen for having a one-line, dependency-free,
+/// platform-stable definition — corruption detection, not cryptography.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// An append-only encode buffer. All integers are little-endian; variable
+/// length payloads carry a `u64` length prefix.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, value: u16) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a little-endian `u128`.
+    pub fn put_u128(&mut self, value: u128) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a `bool` as one byte (0 or 1).
+    pub fn put_bool(&mut self, value: bool) {
+        self.put_u8(u8::from(value));
+    }
+
+    /// Append a `usize` widened to `u64` (sizes are 64-bit on the wire
+    /// regardless of platform).
+    pub fn put_usize(&mut self, value: usize) {
+        self.put_u64(value as u64);
+    }
+
+    /// Append raw bytes with a `u64` length prefix.
+    pub fn put_bytes(&mut self, value: &[u8]) {
+        self.put_usize(value.len());
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Append a UTF-8 string with a `u64` length prefix.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+
+    /// Append raw bytes with no length prefix (framing internals only).
+    pub(crate) fn put_raw(&mut self, value: &[u8]) {
+        self.buf.extend_from_slice(value);
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning its bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// The FNV-1a-64 hash of everything written so far — how configuration
+    /// and world fingerprints are derived from hand-encoded state.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(&self.buf)
+    }
+}
+
+/// A cursor over encoded bytes. Every read that runs past the end returns
+/// [`CheckpointError::Truncated`]; nothing panics on corrupt input.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, CheckpointError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    /// Read a `bool` (one byte; anything but 0 or 1 is invalid).
+    pub fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CheckpointError::InvalidValue("bool")),
+        }
+    }
+
+    /// Read a `usize` (encoded as `u64`; values beyond this platform's
+    /// `usize` are invalid).
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| CheckpointError::InvalidValue("usize"))
+    }
+
+    /// Read a `u64`-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Read a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CheckpointError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| CheckpointError::InvalidValue("utf-8 string"))
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// A type that can round-trip through the checkpoint codec.
+///
+/// The contract: `decode(encode(x)) == x`, and `encode` writes a canonical
+/// byte sequence (equal values encode identically — unordered containers are
+/// serialized in sorted order). Decoding arbitrary bytes must return a
+/// [`CheckpointError`], never panic.
+pub trait Checkpointable: Sized {
+    /// Append this value's canonical encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decode one value from `r`, consuming exactly the bytes `encode`
+    /// wrote.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError>;
+}
+
+/// Encode a single value into a standalone byte vector.
+pub fn encode_value<T: Checkpointable>(value: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decode a single value from a standalone byte vector, requiring that every
+/// byte is consumed.
+pub fn decode_value<T: Checkpointable>(bytes: &[u8]) -> Result<T, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    let value = T::decode(&mut r)?;
+    if !r.is_empty() {
+        return Err(CheckpointError::InvalidValue("trailing bytes"));
+    }
+    Ok(value)
+}
+
+macro_rules! impl_checkpointable_int {
+    ($($ty:ty => $put:ident / $get:ident),* $(,)?) => {
+        $(
+            impl Checkpointable for $ty {
+                fn encode(&self, w: &mut Writer) {
+                    w.$put(*self);
+                }
+
+                fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+                    r.$get()
+                }
+            }
+        )*
+    };
+}
+
+impl_checkpointable_int! {
+    u8 => put_u8 / u8,
+    u16 => put_u16 / u16,
+    u32 => put_u32 / u32,
+    u64 => put_u64 / u64,
+    u128 => put_u128 / u128,
+    usize => put_usize / usize,
+    bool => put_bool / bool,
+}
+
+impl Checkpointable for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(r.str()?.to_string())
+    }
+}
+
+impl<T: Checkpointable> Checkpointable for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_bool(false),
+            Some(value) => {
+                w.put_bool(true);
+                value.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(if r.bool()? { Some(T::decode(r)?) } else { None })
+    }
+}
+
+impl<T: Checkpointable> Checkpointable for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.usize()?;
+        // Corrupt lengths must not trigger huge up-front allocations; cap the
+        // preallocation and let growth follow actual decoded content.
+        let mut items = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Checkpointable, B: Checkpointable> Checkpointable for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Checkpointable, B: Checkpointable, C: Checkpointable> Checkpointable for (A, B, C) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: Checkpointable + Default + Copy, const N: usize> Checkpointable for [T; N] {
+    fn encode(&self, w: &mut Writer) {
+        for item in self {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let mut items = [T::default(); N];
+        for item in &mut items {
+            *item = T::decode(r)?;
+        }
+        Ok(items)
+    }
+}
+
+impl<K: Checkpointable + Ord, V: Checkpointable> Checkpointable for BTreeMap<K, V> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for (key, value) in self {
+            key.encode(w);
+            value.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.usize()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::decode(r)?;
+            let value = V::decode(r)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Checkpointable + Ord> Checkpointable for BTreeSet<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.usize()?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(T::decode(r)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<K: Checkpointable + Ord + std::hash::Hash, V: Checkpointable> Checkpointable
+    for HashMap<K, V>
+{
+    fn encode(&self, w: &mut Writer) {
+        // Canonical bytes require a canonical order; sort by key.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        w.put_usize(entries.len());
+        for (key, value) in entries {
+            key.encode(w);
+            value.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.usize()?;
+        let mut map = HashMap::with_capacity(len.min(4096));
+        for _ in 0..len {
+            let key = K::decode(r)?;
+            let value = V::decode(r)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Checkpointable + Ord + std::hash::Hash> Checkpointable for HashSet<T> {
+    fn encode(&self, w: &mut Writer) {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        w.put_usize(items.len());
+        for item in items {
+            item.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let len = r.usize()?;
+        let mut set = HashSet::with_capacity(len.min(4096));
+        for _ in 0..len {
+            set.insert(T::decode(r)?);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Checkpointable + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_value(&value);
+        let back: T = decode_value(&bytes).expect("roundtrip decodes");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(0xbeefu16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX - 1);
+        roundtrip(u128::MAX / 3);
+        roundtrip(usize::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("scent"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip((1u64, String::from("x")));
+        roundtrip((1u64, 2u8, 3u32));
+        roundtrip([5u64, 6, 7]);
+        roundtrip(BTreeMap::from([(1u64, 2u64), (3, 4)]));
+        roundtrip(BTreeSet::from([9u64, 1, 4]));
+        roundtrip(HashMap::from([(1u64, 2u64), (3, 4)]));
+        roundtrip(HashSet::from([9u64, 1, 4]));
+    }
+
+    #[test]
+    fn hash_containers_encode_canonically() {
+        // Two maps built in different insertion orders hold equal state and
+        // must produce identical bytes.
+        let mut a = HashMap::new();
+        a.insert(3u64, 30u64);
+        a.insert(1, 10);
+        a.insert(2, 20);
+        let mut b = HashMap::new();
+        b.insert(1u64, 10u64);
+        b.insert(2, 20);
+        b.insert(3, 30);
+        assert_eq!(encode_value(&a), encode_value(&b));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = encode_value(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let result: Result<Vec<u64>, _> = decode_value(&bytes[..cut]);
+            assert_eq!(result, Err(CheckpointError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_typed_errors() {
+        assert_eq!(
+            decode_value::<bool>(&[7]),
+            Err(CheckpointError::InvalidValue("bool"))
+        );
+        let mut bad_utf8 = encode_value(&4u64);
+        bad_utf8.extend_from_slice(&[0xff, 0xfe, 0xfd, 0xfc]);
+        assert_eq!(
+            decode_value::<String>(&bad_utf8),
+            Err(CheckpointError::InvalidValue("utf-8 string"))
+        );
+        let mut trailing = encode_value(&1u64);
+        trailing.push(0);
+        assert_eq!(
+            decode_value::<u64>(&trailing),
+            Err(CheckpointError::InvalidValue("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_do_not_allocate_the_moon() {
+        // A length prefix of u64::MAX must fail with Truncated once the
+        // items run out, not abort on allocation.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let result: Result<Vec<u64>, _> = decode_value(&w.into_bytes());
+        assert!(matches!(
+            result,
+            Err(CheckpointError::Truncated) | Err(CheckpointError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,842 @@
+//! [`Checkpointable`] implementations for the workspace's incremental
+//! monitor state: addresses and prefixes, probe records, pacers and virtual
+//! queues, target streams, density/rotation/tracking state, watch revisions
+//! and the telemetry deterministic tier.
+//!
+//! Everything here encodes through public accessors (or `checkpoint_parts`
+//! pairs added for this purpose), so the owning crates keep their fields
+//! private and the codec stays in one place. Enum variants are encoded as
+//! explicit `u8` tags — never discriminant casts — so reordering a Rust enum
+//! can't silently change the wire format.
+
+use std::net::Ipv6Addr;
+
+use scent_core::rotation_detect::{ChangeKind, ChangedTarget};
+use scent_core::tracker::Sighting;
+use scent_core::{
+    DensityAccumulator, Eui64, IncrementalTracker, Ipv6Prefix, RotationEvent, WatchRevision,
+    WindowedRotationDetector,
+};
+use scent_ipv6::wire::DestUnreachableCode;
+use scent_ipv6::{addr_from_u128, addr_to_u128};
+use scent_prober::{
+    FeedbackPacer, QueueModel, QueuePacer, ResponseRecord, TargetStream, VirtualQueue,
+};
+use scent_simnet::{ReplyKind, SimDuration, SimTime};
+use scent_telemetry::{
+    DeterministicSnapshot, EventKind, Histogram, TelemetryEvent, WindowStats, LATENCY_BOUNDS_SECS,
+};
+
+use crate::codec::{Checkpointable, Reader, Writer};
+use crate::error::CheckpointError;
+
+impl Checkpointable for Ipv6Addr {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u128(addr_to_u128(*self));
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(addr_from_u128(r.u128()?))
+    }
+}
+
+impl Checkpointable for Ipv6Prefix {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u128(self.network_bits());
+        w.put_u8(self.len());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let bits = r.u128()?;
+        let len = r.u8()?;
+        Ipv6Prefix::from_bits(bits, len).map_err(|_| CheckpointError::InvalidValue("prefix length"))
+    }
+}
+
+impl Checkpointable for Eui64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Eui64(r.u64()?))
+    }
+}
+
+impl Checkpointable for SimTime {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(SimTime(r.u64()?))
+    }
+}
+
+impl Checkpointable for SimDuration {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(SimDuration(r.u64()?))
+    }
+}
+
+impl Checkpointable for ReplyKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ReplyKind::EchoReply => w.put_u8(0),
+            ReplyKind::DestinationUnreachable(code) => {
+                w.put_u8(1);
+                w.put_u8(code.value());
+            }
+            ReplyKind::TimeExceeded => w.put_u8(2),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.u8()? {
+            0 => ReplyKind::EchoReply,
+            1 => ReplyKind::DestinationUnreachable(
+                DestUnreachableCode::from_value(r.u8()?)
+                    .map_err(|_| CheckpointError::InvalidValue("dest-unreachable code"))?,
+            ),
+            2 => ReplyKind::TimeExceeded,
+            _ => return Err(CheckpointError::InvalidValue("reply kind")),
+        })
+    }
+}
+
+impl Checkpointable for ResponseRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.source.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(ResponseRecord {
+            source: Ipv6Addr::decode(r)?,
+            kind: ReplyKind::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for Sighting {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.seq);
+        self.address.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(Sighting {
+            seq: r.u64()?,
+            address: Ipv6Addr::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for DensityAccumulator {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.probes);
+        self.uniques.encode(w);
+        w.put_bool(self.responded);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(DensityAccumulator {
+            probes: r.u64()?,
+            uniques: Checkpointable::decode(r)?,
+            responded: r.bool()?,
+        })
+    }
+}
+
+impl Checkpointable for ChangeKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ChangeKind::EuiToDifferentEui => 0,
+            ChangeKind::EuiToNothing => 1,
+            ChangeKind::NothingToEui => 2,
+            ChangeKind::EuiToOtherKind => 3,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.u8()? {
+            0 => ChangeKind::EuiToDifferentEui,
+            1 => ChangeKind::EuiToNothing,
+            2 => ChangeKind::NothingToEui,
+            3 => ChangeKind::EuiToOtherKind,
+            _ => return Err(CheckpointError::InvalidValue("change kind")),
+        })
+    }
+}
+
+impl Checkpointable for ChangedTarget {
+    fn encode(&self, w: &mut Writer) {
+        self.target.encode(w);
+        self.first.encode(w);
+        self.second.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(ChangedTarget {
+            target: Ipv6Addr::decode(r)?,
+            first: Checkpointable::decode(r)?,
+            second: Checkpointable::decode(r)?,
+            kind: ChangeKind::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for RotationEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.window);
+        w.put_u64(self.seq);
+        self.change.encode(w);
+        self.prefix_48.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(RotationEvent {
+            window: r.u64()?,
+            seq: r.u64()?,
+            change: ChangedTarget::decode(r)?,
+            prefix_48: Ipv6Prefix::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for WatchRevision {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.admitted.encode(w);
+        self.evicted.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(WatchRevision {
+            epoch: r.u64()?,
+            admitted: Checkpointable::decode(r)?,
+            evicted: Checkpointable::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for WindowedRotationDetector {
+    fn encode(&self, w: &mut Writer) {
+        self.last_observations().encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(WindowedRotationDetector::from_last_observations(
+            Checkpointable::decode(r)?,
+        ))
+    }
+}
+
+impl Checkpointable for IncrementalTracker {
+    fn encode(&self, w: &mut Writer) {
+        let (sightings, probes, moves) = self.checkpoint_parts();
+        sightings.encode(w);
+        probes.encode(w);
+        moves.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(IncrementalTracker::from_checkpoint_parts(
+            Checkpointable::decode(r)?,
+            Checkpointable::decode(r)?,
+            Checkpointable::decode(r)?,
+        ))
+    }
+}
+
+impl Checkpointable for QueueModel {
+    fn encode(&self, w: &mut Writer) {
+        self.drain_rate.encode(w);
+        w.put_u64(self.high_watermark);
+        w.put_u64(self.low_watermark);
+        self.per_shard_drain.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let model = QueueModel {
+            drain_rate: Checkpointable::decode(r)?,
+            high_watermark: r.u64()?,
+            low_watermark: r.u64()?,
+            per_shard_drain: Checkpointable::decode(r)?,
+        };
+        if !model.is_valid() {
+            return Err(CheckpointError::InvalidValue("queue watermarks"));
+        }
+        Ok(model)
+    }
+}
+
+impl Checkpointable for FeedbackPacer {
+    fn encode(&self, w: &mut Writer) {
+        let (base_pps, current_pps, min_pps, cursor, sent_in_second) = self.checkpoint_parts();
+        w.put_u64(base_pps);
+        w.put_u64(current_pps);
+        w.put_u64(min_pps);
+        cursor.encode(w);
+        w.put_u64(sent_in_second);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let base_pps = r.u64()?;
+        let current_pps = r.u64()?;
+        let min_pps = r.u64()?;
+        let cursor = SimTime::decode(r)?;
+        let sent_in_second = r.u64()?;
+        if base_pps == 0 || current_pps == 0 || min_pps == 0 {
+            return Err(CheckpointError::InvalidValue("pacer rate"));
+        }
+        Ok(FeedbackPacer::from_checkpoint_parts((
+            base_pps,
+            current_pps,
+            min_pps,
+            cursor,
+            sent_in_second,
+        )))
+    }
+}
+
+impl Checkpointable for VirtualQueue {
+    fn encode(&self, w: &mut Writer) {
+        let (enqueued, epoch) = self.checkpoint_parts();
+        w.put_u64(enqueued);
+        epoch.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let enqueued = r.u64()?;
+        let epoch = SimTime::decode(r)?;
+        Ok(VirtualQueue::from_checkpoint_parts((enqueued, epoch)))
+    }
+}
+
+impl Checkpointable for QueuePacer {
+    fn encode(&self, w: &mut Writer) {
+        let (pacer, model, queues) = self.checkpoint_parts();
+        pacer.encode(w);
+        model.encode(w);
+        w.put_usize(queues.len());
+        for queue in queues {
+            queue.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let pacer = FeedbackPacer::decode(r)?;
+        let model = QueueModel::decode(r)?;
+        let queues: Vec<VirtualQueue> = Checkpointable::decode(r)?;
+        if queues.is_empty() {
+            return Err(CheckpointError::InvalidValue("queue pacer shard count"));
+        }
+        Ok(QueuePacer::from_checkpoint_parts(pacer, model, queues))
+    }
+}
+
+impl Checkpointable for TargetStream {
+    fn encode(&self, w: &mut Writer) {
+        let (targets, order, window, base_window, pos, offset, step) = self.checkpoint_parts();
+        w.put_usize(targets.len());
+        for target in targets {
+            target.encode(w);
+        }
+        w.put_usize(order.len());
+        for index in order {
+            w.put_u64(*index);
+        }
+        w.put_u64(window);
+        w.put_u64(base_window);
+        w.put_usize(pos);
+        w.put_usize(offset);
+        w.put_usize(step);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let targets: Vec<Ipv6Addr> = Checkpointable::decode(r)?;
+        let order: Vec<u64> = Checkpointable::decode(r)?;
+        if order.len() != targets.len() || order.iter().any(|&i| i as usize >= targets.len().max(1))
+        {
+            return Err(CheckpointError::InvalidValue("target stream order"));
+        }
+        let window = r.u64()?;
+        let base_window = r.u64()?;
+        let pos = r.usize()?;
+        let offset = r.usize()?;
+        let step = r.usize()?;
+        if step == 0 {
+            return Err(CheckpointError::InvalidValue("target stream stride"));
+        }
+        Ok(TargetStream::from_checkpoint_parts(
+            targets,
+            order,
+            window,
+            base_window,
+            pos,
+            offset,
+            step,
+        ))
+    }
+}
+
+impl Checkpointable for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        for count in self.bucket_counts() {
+            w.put_u64(*count);
+        }
+        w.put_u64(self.sum());
+        w.put_u64(self.count());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let counts: [u64; LATENCY_BOUNDS_SECS.len() + 1] = Checkpointable::decode(r)?;
+        let sum = r.u64()?;
+        let count = r.u64()?;
+        Ok(Histogram::from_parts(counts, sum, count))
+    }
+}
+
+impl Checkpointable for WindowStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.window);
+        w.put_u64(self.observations);
+        w.put_u64(self.responses);
+        self.first_send.encode(w);
+        self.last_send.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(WindowStats {
+            window: r.u64()?,
+            observations: r.u64()?,
+            responses: r.u64()?,
+            first_send: SimTime::decode(r)?,
+            last_send: SimTime::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for EventKind {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            EventKind::WindowClose {
+                observations,
+                responses,
+                first_send,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*observations);
+                w.put_u64(*responses);
+                first_send.encode(w);
+            }
+            EventKind::PhaseClose { phase, probes } => {
+                w.put_u8(1);
+                w.put_str(phase);
+                w.put_u64(*probes);
+            }
+            EventKind::RateBackoff { from_pps, to_pps } => {
+                w.put_u8(2);
+                w.put_u64(*from_pps);
+                w.put_u64(*to_pps);
+            }
+            EventKind::RateRecovery { from_pps, to_pps } => {
+                w.put_u8(3);
+                w.put_u64(*from_pps);
+                w.put_u64(*to_pps);
+            }
+            EventKind::EpochClose {
+                admitted,
+                evicted,
+                watch_len,
+                expansion_probes,
+            } => {
+                w.put_u8(4);
+                admitted.encode(w);
+                evicted.encode(w);
+                w.put_usize(*watch_len);
+                w.put_u64(*expansion_probes);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.u8()? {
+            0 => EventKind::WindowClose {
+                observations: r.u64()?,
+                responses: r.u64()?,
+                first_send: SimTime::decode(r)?,
+            },
+            1 => {
+                // `phase` is a `&'static str` in the event journal; decode by
+                // interning against the pipeline's known phase names.
+                let phase = match r.str()? {
+                    "expansion" => "expansion",
+                    "density" => "density",
+                    "detection" => "detection",
+                    _ => return Err(CheckpointError::InvalidValue("phase name")),
+                };
+                EventKind::PhaseClose {
+                    phase,
+                    probes: r.u64()?,
+                }
+            }
+            2 => EventKind::RateBackoff {
+                from_pps: r.u64()?,
+                to_pps: r.u64()?,
+            },
+            3 => EventKind::RateRecovery {
+                from_pps: r.u64()?,
+                to_pps: r.u64()?,
+            },
+            4 => EventKind::EpochClose {
+                admitted: Checkpointable::decode(r)?,
+                evicted: Checkpointable::decode(r)?,
+                watch_len: r.usize()?,
+                expansion_probes: r.u64()?,
+            },
+            _ => return Err(CheckpointError::InvalidValue("event kind")),
+        })
+    }
+}
+
+impl Checkpointable for TelemetryEvent {
+    fn encode(&self, w: &mut Writer) {
+        self.virtual_time.encode(w);
+        w.put_u64(self.window);
+        w.put_u64(self.epoch);
+        self.shard.encode(w);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(TelemetryEvent {
+            virtual_time: SimTime::decode(r)?,
+            window: r.u64()?,
+            epoch: r.u64()?,
+            shard: Checkpointable::decode(r)?,
+            kind: EventKind::decode(r)?,
+        })
+    }
+}
+
+impl Checkpointable for DeterministicSnapshot {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.observations);
+        w.put_u64(self.responses);
+        w.put_u64(self.expansion_probes);
+        w.put_u64(self.rate_backoffs);
+        w.put_u64(self.rate_recoveries);
+        w.put_u64(self.queue_high_water);
+        w.put_u64(self.epochs);
+        w.put_u64(self.admitted);
+        w.put_u64(self.evicted);
+        self.windows.encode(w);
+        self.window_latency.encode(w);
+        self.events.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(DeterministicSnapshot {
+            observations: r.u64()?,
+            responses: r.u64()?,
+            expansion_probes: r.u64()?,
+            rate_backoffs: r.u64()?,
+            rate_recoveries: r.u64()?,
+            queue_high_water: r.u64()?,
+            epochs: r.u64()?,
+            admitted: r.u64()?,
+            evicted: r.u64()?,
+            windows: Checkpointable::decode(r)?,
+            window_latency: Histogram::decode(r)?,
+            events: Checkpointable::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_value, encode_value};
+
+    fn roundtrip<T: Checkpointable + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = encode_value(&value);
+        let back: T = decode_value(&bytes).expect("roundtrip decodes");
+        assert_eq!(back, value);
+    }
+
+    fn addr(s: &str) -> Ipv6Addr {
+        s.parse().unwrap()
+    }
+
+    fn prefix(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn address_types_roundtrip() {
+        roundtrip(addr("2001:db8::1"));
+        roundtrip(prefix("2001:db8:40::/48"));
+        roundtrip(Ipv6Prefix::ALL);
+        roundtrip(Eui64(0x0250_56ff_fe00_1234));
+        roundtrip(SimTime::at(3, 7));
+        roundtrip(SimDuration::from_days(2));
+    }
+
+    #[test]
+    fn reply_kinds_roundtrip() {
+        roundtrip(ReplyKind::EchoReply);
+        roundtrip(ReplyKind::TimeExceeded);
+        roundtrip(ReplyKind::DestinationUnreachable(
+            DestUnreachableCode::AddressUnreachable,
+        ));
+        roundtrip(ResponseRecord {
+            source: addr("2001:db8::2"),
+            kind: ReplyKind::EchoReply,
+        });
+    }
+
+    #[test]
+    fn invalid_enum_tags_are_typed_errors() {
+        assert_eq!(
+            decode_value::<ReplyKind>(&[9]),
+            Err(CheckpointError::InvalidValue("reply kind"))
+        );
+        assert_eq!(
+            decode_value::<ChangeKind>(&[9]),
+            Err(CheckpointError::InvalidValue("change kind"))
+        );
+        assert_eq!(
+            decode_value::<ReplyKind>(&[1, 200]),
+            Err(CheckpointError::InvalidValue("dest-unreachable code"))
+        );
+        // A prefix length over 128 can't be represented.
+        let mut w = Writer::new();
+        w.put_u128(0);
+        w.put_u8(200);
+        assert_eq!(
+            decode_value::<Ipv6Prefix>(&w.into_bytes()),
+            Err(CheckpointError::InvalidValue("prefix length"))
+        );
+    }
+
+    #[test]
+    fn density_accumulator_roundtrips() {
+        let mut acc = DensityAccumulator::new();
+        acc.probes = 17;
+        acc.responded = true;
+        acc.uniques.insert(Eui64(5));
+        acc.uniques.insert(Eui64(9));
+        roundtrip(acc);
+    }
+
+    #[test]
+    fn rotation_state_roundtrips() {
+        let change = ChangedTarget {
+            target: addr("2001:db8:40::1"),
+            first: Some(addr("2001:db8:40::aa")),
+            second: None,
+            kind: ChangeKind::EuiToNothing,
+        };
+        roundtrip(change);
+        roundtrip(RotationEvent {
+            window: 3,
+            seq: 99,
+            change,
+            prefix_48: prefix("2001:db8:40::/48"),
+        });
+
+        let mut detector = WindowedRotationDetector::new();
+        detector.observe(0, 0, addr("2001:db8:40::1"), Some(addr("2001:db8:40::aa")));
+        detector.observe(1, 4, addr("2001:db8:40::1"), None);
+        let bytes = encode_value(&detector);
+        let back: WindowedRotationDetector = decode_value(&bytes).unwrap();
+        assert_eq!(back.last_observations(), detector.last_observations());
+    }
+
+    #[test]
+    fn tracker_roundtrips_including_continued_behaviour() {
+        let mut tracker = IncrementalTracker::new();
+        tracker.observe(0, 1, addr("2001:db8:40::1"), Some(addr("2001:db8:40::aa")));
+        tracker.observe(
+            1,
+            2,
+            addr("2001:db8:40::1"),
+            Some(addr("2001:db8:40:0:0250:56ff:fe00:1234")),
+        );
+        let bytes = encode_value(&tracker);
+        let mut back: IncrementalTracker = decode_value(&bytes).unwrap();
+        assert_eq!(back.checkpoint_parts().0, tracker.checkpoint_parts().0);
+        assert_eq!(back.checkpoint_parts().1, tracker.checkpoint_parts().1);
+        // The restored tracker keeps accumulating identically.
+        back.observe(2, 3, addr("2001:db8:40::2"), None);
+        tracker.observe(2, 3, addr("2001:db8:40::2"), None);
+        assert_eq!(back.checkpoint_parts().1, tracker.checkpoint_parts().1);
+    }
+
+    #[test]
+    fn watch_revision_roundtrips() {
+        roundtrip(WatchRevision {
+            epoch: 4,
+            admitted: vec![prefix("2001:db8:41::/48")],
+            evicted: vec![prefix("2001:db8:42::/48"), prefix("2001:db8:43::/48")],
+        });
+    }
+
+    #[test]
+    fn pacing_state_roundtrips() {
+        roundtrip(QueueModel::unbounded());
+        roundtrip(QueueModel {
+            high_watermark: 9,
+            low_watermark: 3,
+            ..QueueModel::per_shard_drain([4, 5])
+        });
+
+        let mut pacer = FeedbackPacer::new(SimTime::at(1, 1), 64);
+        for _ in 0..100 {
+            pacer.next_send_time();
+        }
+        pacer.on_backpressure();
+        roundtrip(pacer);
+
+        let mut queue = VirtualQueue::new(SimTime::at(1, 1));
+        queue.enqueue();
+        roundtrip(queue);
+
+        let mut queued = QueuePacer::new(SimTime::at(1, 1), 64, 3, QueueModel::with_drain_rate(2));
+        for i in 0..500u64 {
+            queued.pace((i % 3) as usize);
+        }
+        roundtrip(queued);
+    }
+
+    #[test]
+    fn invalid_pacing_state_is_a_typed_error() {
+        let mut w = Writer::new();
+        // drain_rate: None, high == low watermarks, no per-shard overrides.
+        Option::<u64>::None.encode(&mut w);
+        w.put_u64(4);
+        w.put_u64(4);
+        Vec::<u64>::new().encode(&mut w);
+        assert_eq!(
+            decode_value::<QueueModel>(&w.into_bytes()),
+            Err(CheckpointError::InvalidValue("queue watermarks"))
+        );
+    }
+
+    #[test]
+    fn target_stream_roundtrips_mid_window() {
+        let generator = scent_prober::TargetGenerator::new(5);
+        let candidates = [prefix("2001:db8:1::/48")];
+        let mut stream = scent_prober::TargetStream::new(&generator, &candidates, 56, 77, true)
+            .starting_at_window(4)
+            .slice(1, 3);
+        for _ in 0..50 {
+            stream.next_target().unwrap();
+        }
+        let bytes = encode_value(&stream);
+        let mut back: TargetStream = decode_value(&bytes).unwrap();
+        for i in 0..200 {
+            assert_eq!(back.next_target(), stream.next_target(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn telemetry_tier_roundtrips() {
+        let mut histogram = Histogram::new();
+        histogram.observe(2);
+        histogram.observe(100_000);
+        roundtrip(histogram.clone());
+
+        let window = WindowStats {
+            window: 6,
+            observations: 128,
+            responses: 40,
+            first_send: SimTime::at(6, 0),
+            last_send: SimTime::at(6, 13),
+        };
+        roundtrip(window.clone());
+
+        let events = vec![
+            TelemetryEvent {
+                virtual_time: SimTime::at(6, 13),
+                window: 6,
+                epoch: 1,
+                shard: None,
+                kind: EventKind::WindowClose {
+                    observations: 128,
+                    responses: 40,
+                    first_send: SimTime::at(6, 0),
+                },
+            },
+            TelemetryEvent {
+                virtual_time: SimTime::at(6, 14),
+                window: 6,
+                epoch: 1,
+                shard: Some(2),
+                kind: EventKind::PhaseClose {
+                    phase: "density",
+                    probes: 12,
+                },
+            },
+            TelemetryEvent {
+                virtual_time: SimTime::at(6, 15),
+                window: 6,
+                epoch: 1,
+                shard: None,
+                kind: EventKind::RateBackoff {
+                    from_pps: 64,
+                    to_pps: 32,
+                },
+            },
+            TelemetryEvent {
+                virtual_time: SimTime::at(7, 0),
+                window: 7,
+                epoch: 1,
+                shard: None,
+                kind: EventKind::EpochClose {
+                    admitted: vec![prefix("2001:db8:44::/48")],
+                    evicted: vec![],
+                    watch_len: 5,
+                    expansion_probes: 99,
+                },
+            },
+        ];
+        for event in &events {
+            roundtrip(event.clone());
+        }
+
+        roundtrip(DeterministicSnapshot {
+            observations: 1_000,
+            responses: 300,
+            expansion_probes: 99,
+            rate_backoffs: 1,
+            rate_recoveries: 2,
+            queue_high_water: 17,
+            epochs: 2,
+            admitted: 1,
+            evicted: 0,
+            windows: vec![window],
+            window_latency: histogram,
+            events,
+        });
+    }
+
+    #[test]
+    fn unknown_phase_name_is_a_typed_error() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_str("warmup");
+        w.put_u64(3);
+        assert_eq!(
+            decode_value::<EventKind>(&w.into_bytes()),
+            Err(CheckpointError::InvalidValue("phase name"))
+        );
+    }
+}

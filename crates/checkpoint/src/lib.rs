@@ -1,0 +1,76 @@
+//! Crash-safe checkpoint/restore for the streaming rotation monitor.
+//!
+//! A long-running monitoring campaign — weeks of virtual time, millions of
+//! probes — should survive being killed. This crate provides the pieces:
+//!
+//! * [`Checkpointable`] — a hand-rolled binary codec trait (`encode` into a
+//!   [`Writer`], `decode` from a [`Reader`]) implemented here for every kind
+//!   of incremental monitor state: classifiers, density accumulators, the
+//!   incremental tracker, rotation detectors, pacer and virtual-queue
+//!   trajectories, target-stream cursors, watch-list revisions and the
+//!   telemetry deterministic tier.
+//! * [`encode_snapshot`] / [`decode_snapshot`] — the versioned container
+//!   format: magic, format version, config/world fingerprints, tagged
+//!   length-prefixed sections, and a trailing FNV-1a checksum. Corrupt or
+//!   mismatched input decodes to a typed [`CheckpointError`], never a panic.
+//! * [`CheckpointSink`] — where snapshots go: [`FileCheckpointStore`] writes
+//!   atomically (write to a temp file, fsync, rename) so a crash mid-write
+//!   leaves the previous checkpoint intact; [`MemorySink`] keeps every
+//!   snapshot for tests.
+//!
+//! The streaming engine (`scent-stream`) calls into this crate at epoch
+//! boundaries and resumes from a decoded snapshot; the contract — enforced
+//! by that crate's test suite — is that suspend + restore + continue is
+//! **byte-identical** to the uninterrupted run.
+//!
+//! # Encoding a value
+//!
+//! ```
+//! use scent_checkpoint::{decode_value, encode_value, Checkpointable};
+//! use scent_ipv6::Ipv6Prefix;
+//!
+//! let prefix: Ipv6Prefix = "2001:db8:40::/48".parse().unwrap();
+//! let bytes = encode_value(&prefix);
+//! let back: Ipv6Prefix = decode_value(&bytes).unwrap();
+//! assert_eq!(back, prefix);
+//! ```
+//!
+//! # Snapshot container round trip
+//!
+//! ```
+//! use scent_checkpoint::{
+//!     decode_snapshot, encode_snapshot, CheckpointError, FORMAT_VERSION,
+//! };
+//!
+//! let sections: &[(u16, &[u8])] = &[(1, b"alpha"), (2, b"beta")];
+//! let bytes = encode_snapshot(0xc0ffee, 0xf00d, sections);
+//! let (header, decoded) = decode_snapshot(&bytes).unwrap();
+//! assert_eq!(header.version, FORMAT_VERSION);
+//! assert_eq!(header.config_fingerprint, 0xc0ffee);
+//! assert_eq!(decoded.len(), 2);
+//!
+//! // A flipped bit is caught by the trailing checksum.
+//! let mut corrupt = bytes.clone();
+//! let mid = corrupt.len() / 2;
+//! corrupt[mid] ^= 0x10;
+//! assert!(matches!(
+//!     decode_snapshot(&corrupt),
+//!     Err(CheckpointError::ChecksumMismatch { .. })
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+mod impls;
+mod snapshot;
+mod store;
+
+pub use codec::{decode_value, encode_value, fnv1a64, Checkpointable, Reader, Writer};
+pub use error::CheckpointError;
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, SnapshotHeader, SnapshotSections, FORMAT_VERSION, MAGIC,
+};
+pub use store::{CheckpointSink, FileCheckpointStore, MemorySink};

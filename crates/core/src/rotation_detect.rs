@@ -129,6 +129,25 @@ impl WindowedRotationDetector {
         self.last.len()
     }
 
+    /// Union another detector's per-target state into this one. On a target
+    /// both sides have seen, the later-window entry wins (sharded runs route
+    /// each target to exactly one shard, so in practice the maps are
+    /// disjoint).
+    pub fn merge(&mut self, other: Self) {
+        for (target, entry) in other.last {
+            match self.last.entry(target) {
+                std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                    if entry.0 >= occupied.get().0 {
+                        occupied.insert(entry);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(vacant) => {
+                    vacant.insert(entry);
+                }
+            }
+        }
+    }
+
     /// Observe one probe of `target` during `window` (windows must be fed in
     /// non-decreasing order per target; `seq` is the probing-order index of
     /// this observation within its window). Returns a [`RotationEvent`] if
@@ -154,6 +173,17 @@ impl WindowedRotationDetector {
             change,
             prefix_48: Ipv6Prefix::new(target, 48).expect("48 is valid"),
         })
+    }
+
+    /// The detector's complete internal state — what a checkpoint encodes:
+    /// per target, the window and response source of its last observation.
+    pub fn last_observations(&self) -> &HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)> {
+        &self.last
+    }
+
+    /// Rebuild a detector from [`WindowedRotationDetector::last_observations`].
+    pub fn from_last_observations(last: HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>) -> Self {
+        WindowedRotationDetector { last }
     }
 
     /// Fold a batch of rotation events into a [`RotationDetection`]. Events

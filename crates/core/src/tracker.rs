@@ -460,6 +460,32 @@ impl IncrementalTracker {
         self.moves.retain(|eui, _| live.contains(eui));
     }
 
+    /// The tracker's complete internal state, in declaration order — what a
+    /// checkpoint encodes: `(sightings, probes, moves)`.
+    #[allow(clippy::type_complexity)]
+    pub fn checkpoint_parts(
+        &self,
+    ) -> (
+        &BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
+        &HashMap<(u64, Ipv6Prefix), u64>,
+        &BTreeMap<Eui64, u64>,
+    ) {
+        (&self.sightings, &self.probes, &self.moves)
+    }
+
+    /// Rebuild a tracker from [`IncrementalTracker::checkpoint_parts`].
+    pub fn from_checkpoint_parts(
+        sightings: BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
+        probes: HashMap<(u64, Ipv6Prefix), u64>,
+        moves: BTreeMap<Eui64, u64>,
+    ) -> Self {
+        IncrementalTracker {
+            sightings,
+            probes,
+            moves,
+        }
+    }
+
     /// Merge another tracker's state (shards hold disjoint identifier sets,
     /// but the merge is written to be correct even when they overlap).
     pub fn merge(&mut self, other: IncrementalTracker) {

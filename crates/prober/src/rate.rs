@@ -142,6 +142,31 @@ impl FeedbackPacer {
     pub fn now(&self) -> SimTime {
         self.cursor
     }
+
+    /// The pacer's complete internal state, in declaration order — what a
+    /// checkpoint encodes: `(base_pps, current_pps, min_pps, cursor,
+    /// sent_in_second)`.
+    pub fn checkpoint_parts(&self) -> (u64, u64, u64, SimTime, u64) {
+        (
+            self.base_pps,
+            self.current_pps,
+            self.min_pps,
+            self.cursor,
+            self.sent_in_second,
+        )
+    }
+
+    /// Rebuild a pacer from [`FeedbackPacer::checkpoint_parts`].
+    pub fn from_checkpoint_parts(parts: (u64, u64, u64, SimTime, u64)) -> Self {
+        let (base_pps, current_pps, min_pps, cursor, sent_in_second) = parts;
+        FeedbackPacer {
+            base_pps,
+            current_pps,
+            min_pps,
+            cursor,
+            sent_in_second,
+        }
+    }
 }
 
 /// Configuration of the deterministic virtual-queue feedback model.
@@ -154,7 +179,7 @@ impl FeedbackPacer {
 /// channel state — which is what lets every producer of a sharded scan
 /// replay the same global rate trajectory locally and keep the merged stream
 /// bit-identical to the single-producer run with feedback **on**.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueModel {
     /// Observations each shard retires per virtual second. `None` models an
     /// infinitely fast consumer: depths are always zero and the pacer
@@ -166,6 +191,12 @@ pub struct QueueModel {
     /// Depth at or below which a feedback instant recovers (additive). Must
     /// be strictly below [`QueueModel::high_watermark`].
     pub low_watermark: u64,
+    /// Per-shard drain-rate overrides (e.g. calibrated from the
+    /// `shard_ingest` measurements): shard `i` drains at
+    /// `per_shard_drain[i]` observations per virtual second; shards past the
+    /// end of the vector fall back to [`QueueModel::drain_rate`]. Empty
+    /// means every shard drains uniformly.
+    pub per_shard_drain: Vec<u64>,
 }
 
 impl QueueModel {
@@ -176,6 +207,7 @@ impl QueueModel {
             drain_rate: None,
             high_watermark: 1024,
             low_watermark: 128,
+            per_shard_drain: Vec::new(),
         }
     }
 
@@ -186,6 +218,24 @@ impl QueueModel {
             drain_rate: Some(drain_rate),
             ..Self::unbounded()
         }
+    }
+
+    /// A consumer whose shards drain at individually measured rates (e.g.
+    /// loaded from the `shard_ingest` calibration artifact), with the
+    /// default watermarks. Shard `i` drains at the `i`th rate; shards beyond
+    /// the list fall back to an infinitely fast drain (no rate configured),
+    /// so pass one rate per shard.
+    pub fn per_shard_drain<I: IntoIterator<Item = u64>>(rates: I) -> Self {
+        QueueModel {
+            per_shard_drain: rates.into_iter().collect(),
+            ..Self::unbounded()
+        }
+    }
+
+    /// The drain rate in force for `shard`: its per-shard override if one is
+    /// configured, otherwise the uniform [`QueueModel::drain_rate`].
+    pub fn drain_for(&self, shard: usize) -> Option<u64> {
+        self.per_shard_drain.get(shard).copied().or(self.drain_rate)
     }
 
     /// Whether the watermarks are ordered sensibly (`low < high`).
@@ -237,6 +287,18 @@ impl VirtualQueue {
         let Some(rate) = drain_rate else { return 0 };
         let retired = now.since(self.epoch).as_secs().saturating_mul(rate);
         self.enqueued.saturating_sub(retired)
+    }
+
+    /// The queue's complete internal state — what a checkpoint encodes:
+    /// `(enqueued, epoch)`.
+    pub fn checkpoint_parts(&self) -> (u64, SimTime) {
+        (self.enqueued, self.epoch)
+    }
+
+    /// Rebuild a queue from [`VirtualQueue::checkpoint_parts`].
+    pub fn from_checkpoint_parts(parts: (u64, SimTime)) -> Self {
+        let (enqueued, epoch) = parts;
+        VirtualQueue { enqueued, epoch }
     }
 }
 
@@ -324,19 +386,22 @@ impl QueuePacer {
         }
     }
 
-    /// The maximum shard depth at the pacer's current virtual instant.
+    /// The maximum shard depth at the pacer's current virtual instant. Each
+    /// shard drains at [`QueueModel::drain_for`] its index, so asymmetric
+    /// per-shard calibrations feed back through the slowest shard.
     pub fn depth(&self) -> u64 {
         let now = self.pacer.cursor;
         self.queues
             .iter()
-            .map(|q| q.depth_at(now, self.model.drain_rate))
+            .enumerate()
+            .map(|(i, q)| q.depth_at(now, self.model.drain_for(i)))
             .max()
             .unwrap_or(0)
     }
 
     /// The depth of one shard's queue at the current virtual instant.
     pub fn shard_depth(&self, shard: usize) -> u64 {
-        self.queues[shard].depth_at(self.pacer.cursor, self.model.drain_rate)
+        self.queues[shard].depth_at(self.pacer.cursor, self.model.drain_for(shard))
     }
 
     /// Number of virtual queues (shards).
@@ -371,6 +436,28 @@ impl QueuePacer {
     /// The virtual time the pacer has reached.
     pub fn now(&self) -> SimTime {
         self.pacer.now()
+    }
+
+    /// The pacer's complete internal state — what a checkpoint encodes:
+    /// the inner [`FeedbackPacer`], the [`QueueModel`] and the per-shard
+    /// [`VirtualQueue`]s.
+    pub fn checkpoint_parts(&self) -> (&FeedbackPacer, &QueueModel, &[VirtualQueue]) {
+        (&self.pacer, &self.model, &self.queues)
+    }
+
+    /// Rebuild a pacer from [`QueuePacer::checkpoint_parts`].
+    pub fn from_checkpoint_parts(
+        pacer: FeedbackPacer,
+        model: QueueModel,
+        queues: Vec<VirtualQueue>,
+    ) -> Self {
+        assert!(!queues.is_empty(), "at least one shard");
+        assert!(model.is_valid(), "low watermark must be below high");
+        QueuePacer {
+            pacer,
+            model,
+            queues,
+        }
     }
 }
 
@@ -562,8 +649,9 @@ mod tests {
             drain_rate: Some(3),
             high_watermark: 10,
             low_watermark: 2,
+            ..QueueModel::unbounded()
         };
-        let mut paced = QueuePacer::new(SimTime::at(0, 0), 8, 2, model);
+        let mut paced = QueuePacer::new(SimTime::at(0, 0), 8, 2, model.clone());
         let mut skipped = QueuePacer::new(SimTime::at(0, 0), 8, 2, model);
         for i in 0..500u64 {
             let shard = (i % 2) as usize;
@@ -595,6 +683,7 @@ mod tests {
                 drain_rate: drain,
                 high_watermark: 16,
                 low_watermark: 4,
+                ..QueueModel::unbounded()
             };
             let mut pacer = QueuePacer::new(SimTime::EPOCH, 1024, 3, model);
             let floor = 1024 / 64;
@@ -621,9 +710,10 @@ mod tests {
             drain_rate: Some(10),
             high_watermark: 50,
             low_watermark: 5,
+            ..QueueModel::unbounded()
         };
         let run = || {
-            let mut pacer = QueuePacer::new(SimTime::EPOCH, 100, 1, model);
+            let mut pacer = QueuePacer::new(SimTime::EPOCH, 100, 1, model.clone());
             let mut last = SimTime::EPOCH;
             for _ in 0..1_000u64 {
                 last = pacer.pace(0);
@@ -695,8 +785,88 @@ mod tests {
                 drain_rate: Some(1),
                 high_watermark: 4,
                 low_watermark: 4,
+                ..QueueModel::unbounded()
             },
         );
+    }
+
+    /// Satellite: per-shard drain overrides apply per index and fall back to
+    /// the uniform rate past the end of the list.
+    #[test]
+    fn per_shard_drain_overrides_apply_per_index() {
+        let mut model = QueueModel::per_shard_drain([5, 50]);
+        assert_eq!(model.drain_for(0), Some(5));
+        assert_eq!(model.drain_for(1), Some(50));
+        assert_eq!(model.drain_for(2), None, "no uniform fallback configured");
+        model.drain_rate = Some(7);
+        assert_eq!(model.drain_for(2), Some(7), "uniform fallback");
+        assert_eq!(model.drain_for(0), Some(5), "override still wins");
+        assert!(model.is_valid());
+    }
+
+    /// Satellite: asymmetric per-shard drain rates keep the pace/skip
+    /// equivalence — a producer owning a strided slice replays the identical
+    /// rate trajectory, so feedback over an asymmetric consumer fleet stays
+    /// producer-invariant.
+    #[test]
+    fn asymmetric_per_shard_drain_is_producer_invariant() {
+        let model = QueueModel {
+            high_watermark: 12,
+            low_watermark: 2,
+            ..QueueModel::per_shard_drain([2, 40, 9])
+        };
+        let mut solo = QueuePacer::new(SimTime::at(1, 3), 16, 3, model.clone());
+        // Three "producers", each pacing its own stride and skipping foreign
+        // positions — the multi-producer discipline.
+        let mut fleet: Vec<QueuePacer> = (0..3)
+            .map(|_| QueuePacer::new(SimTime::at(1, 3), 16, 3, model.clone()))
+            .collect();
+        let mut throttled = false;
+        for i in 0..2_000u64 {
+            let shard = (i % 3) as usize;
+            let t = solo.pace(shard);
+            throttled |= solo.rate() < 16;
+            for (producer, pacer) in fleet.iter_mut().enumerate() {
+                if i as usize % 3 == producer {
+                    assert_eq!(pacer.pace(shard), t, "position {i} producer {producer}");
+                } else {
+                    pacer.skip(shard);
+                }
+            }
+            for pacer in &fleet {
+                assert_eq!(pacer, &solo, "position {i}");
+            }
+        }
+        assert!(throttled, "the slow shard must throttle the fleet");
+        // The slowest shard dominates the depth signal.
+        assert!(solo.shard_depth(0) >= solo.shard_depth(1));
+    }
+
+    #[test]
+    fn pacer_checkpoint_parts_roundtrip() {
+        let mut pacer = FeedbackPacer::new(SimTime::at(2, 5), 100);
+        for _ in 0..317 {
+            pacer.next_send_time();
+        }
+        pacer.on_backpressure();
+        let restored = FeedbackPacer::from_checkpoint_parts(pacer.checkpoint_parts());
+        assert_eq!(restored, pacer);
+
+        let mut queue = VirtualQueue::new(SimTime::at(2, 5));
+        queue.enqueue();
+        queue.enqueue();
+        assert_eq!(
+            VirtualQueue::from_checkpoint_parts(queue.checkpoint_parts()),
+            queue
+        );
+
+        let mut paced = QueuePacer::new(SimTime::at(2, 5), 64, 2, QueueModel::with_drain_rate(3));
+        for i in 0..500u64 {
+            paced.pace((i % 2) as usize);
+        }
+        let (fp, model, queues) = paced.checkpoint_parts();
+        let rebuilt = QueuePacer::from_checkpoint_parts(*fp, model.clone(), queues.to_vec());
+        assert_eq!(rebuilt, paced);
     }
 
     #[test]

@@ -260,6 +260,46 @@ impl TargetStream {
             target,
         })
     }
+
+    /// The stream's complete internal state, in declaration order — what a
+    /// checkpoint encodes: `(targets, order, window, base_window, pos,
+    /// offset, step)`.
+    #[allow(clippy::type_complexity)]
+    pub fn checkpoint_parts(&self) -> (&[Ipv6Addr], &[u64], u64, u64, usize, usize, usize) {
+        (
+            &self.targets,
+            &self.order,
+            self.window,
+            self.base_window,
+            self.pos,
+            self.offset,
+            self.step,
+        )
+    }
+
+    /// Rebuild a stream (possibly mid-window) from
+    /// [`TargetStream::checkpoint_parts`].
+    pub fn from_checkpoint_parts(
+        targets: Vec<Ipv6Addr>,
+        order: Vec<u64>,
+        window: u64,
+        base_window: u64,
+        pos: usize,
+        offset: usize,
+        step: usize,
+    ) -> Self {
+        assert_eq!(targets.len(), order.len(), "order permutes the targets");
+        assert!(step > 0, "stride must be non-zero");
+        TargetStream {
+            targets,
+            order,
+            window,
+            base_window,
+            pos,
+            offset,
+            step,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -456,6 +496,29 @@ mod tests {
                 }
                 assert_eq!(next, n);
             }
+        }
+    }
+
+    #[test]
+    fn checkpoint_parts_resume_a_drawn_stream_mid_window() {
+        let generator = TargetGenerator::new(5);
+        let candidates = [p("2001:db8:1::/48")];
+        let mut stream = TargetStream::new(&generator, &candidates, 56, 77, true).slice(1, 3);
+        for _ in 0..100 {
+            stream.next_target().unwrap();
+        }
+        let (targets, order, window, base_window, pos, offset, step) = stream.checkpoint_parts();
+        let mut restored = TargetStream::from_checkpoint_parts(
+            targets.to_vec(),
+            order.to_vec(),
+            window,
+            base_window,
+            pos,
+            offset,
+            step,
+        );
+        for i in 0..300 {
+            assert_eq!(restored.next_target(), stream.next_target(), "draw {i}");
         }
     }
 

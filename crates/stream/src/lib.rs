@@ -17,6 +17,7 @@
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
 //! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking, and an optionally *live* watch list ([`WatchChurn`]) revised from the monitor's own density state |
 //! | Telemetry mirrors | [`observe`] | [`RateReplica`]: merge-side replay of the producers' AIMD pacer, feeding [`StreamObserver`](scent_telemetry::StreamObserver) hooks in deterministic order |
+//! | Checkpoint/restore | [`checkpoint`] | [`MonitorSnapshot`]: every piece of incremental monitor state captured at an epoch boundary, restored by [`StreamMonitor::run_controlled`] for byte-identical resume; [`StopSignal`] for graceful drain |
 //!
 //! Six properties hold by construction and are enforced by tests:
 //!
@@ -56,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod clock;
 pub mod monitor;
 pub mod observation;
@@ -65,11 +67,14 @@ pub mod router;
 pub mod shard;
 pub mod source;
 
+pub use checkpoint::{config_fingerprint, world_fingerprint, MonitorSnapshot, StopSignal};
 pub use clock::{spawn_producers, ChannelSource, CountedSource, LimitedSource, MergedClock};
-pub use monitor::{MonitorConfig, MonitorReport, StreamMonitor, WatchChurn};
+pub use monitor::{MonitorConfig, MonitorControl, MonitorReport, StreamMonitor, WatchChurn};
 pub use observation::{Observation, ObservationSource, Phase};
 pub use observe::RateReplica;
 pub use pipeline::{StreamConfig, StreamPipeline};
 pub use router::{ShardMap, ShardRouter};
-pub use shard::{spawn_shards, spawn_shards_observed, ShardInference, ShardMsg};
+pub use shard::{
+    spawn_shards, spawn_shards_observed, spawn_shards_seeded, ShardInference, ShardMsg,
+};
 pub use source::{ContinuousStream, ContinuousStreamBuilder, ScanStream, ScanStreamBuilder};

@@ -18,9 +18,11 @@
 //! across producer counts and across live vs. recorded-replay backends.
 
 use std::collections::HashMap;
+use std::net::Ipv6Addr;
 
 use serde::{Deserialize, Serialize};
 
+use scent_checkpoint::{CheckpointError, CheckpointSink};
 use scent_core::density::DensityAccumulator;
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::{RotationDetection, SeedExpansion, TrackingReport, WatchRevision};
@@ -30,11 +32,12 @@ use scent_simnet::{SimDuration, SimTime};
 
 use scent_telemetry::{EpochSummary, StreamObserver};
 
+use crate::checkpoint::{config_fingerprint, world_fingerprint, MonitorSnapshot, StopSignal};
 use crate::clock::{spawn_producers, CountedSource, LimitedSource};
 use crate::observation::ObservationSource;
 use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
-use crate::shard::{spawn_shards_observed, ShardInference};
+use crate::shard::{spawn_shards_seeded, ShardInference};
 use crate::source::ContinuousStream;
 
 /// Live watch-list churn configuration: how a continuous monitor revises its
@@ -98,7 +101,7 @@ impl Default for WatchChurn {
 }
 
 /// Continuous monitor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MonitorConfig {
     /// Number of inference shards.
     pub shards: usize,
@@ -162,6 +165,19 @@ pub struct MonitorConfig {
     /// state plus a boundary re-expansion probe. `None` (the default) keeps
     /// the watch list fixed for the whole run.
     pub churn: Option<WatchChurn>,
+    /// Checkpoint cadence, in windows: when a
+    /// [`CheckpointSink`] is attached (via
+    /// [`MonitorControl::sink`]), a snapshot is written at every epoch
+    /// boundary whose completed-window count is a multiple of this. `None`
+    /// writes at every epoch boundary the run has anyway.
+    ///
+    /// This knob shapes the run's *epoch layout* when churn is off: the run
+    /// is split into `checkpoint_every`-window epochs so a boundary exists
+    /// to checkpoint at. With [`MonitorConfig::rate_feedback`] on that is
+    /// behavior-relevant (the AIMD trajectory restarts each epoch), which is
+    /// why this field participates in the snapshot's config fingerprint.
+    /// With churn on, must be a multiple of [`WatchChurn::refresh_every`].
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for MonitorConfig {
@@ -182,6 +198,7 @@ impl Default for MonitorConfig {
             queue_model: QueueModel::default(),
             retention_windows: None,
             churn: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -243,7 +260,7 @@ impl MonitorReport {
 }
 
 /// The continuous monitor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamMonitor {
     /// Configuration.
     pub config: MonitorConfig,
@@ -298,6 +315,56 @@ impl StreamMonitor {
         watched_48s: &[Ipv6Prefix],
         observer: Option<&dyn StreamObserver>,
     ) -> MonitorReport {
+        self.run_controlled(
+            world,
+            watched_48s,
+            MonitorControl {
+                observer,
+                ..MonitorControl::default()
+            },
+        )
+        .expect("no sink and no resume state: checkpoint errors are impossible")
+    }
+
+    /// [`StreamMonitor::run_observed`] plus crash-safe checkpointing,
+    /// restore, and graceful stop — the full control surface.
+    ///
+    /// * With [`MonitorControl::sink`] set, a [`MonitorSnapshot`] is written
+    ///   at every epoch boundary on the [`MonitorConfig::checkpoint_every`]
+    ///   cadence, plus unconditionally at the run's final boundary and at a
+    ///   stop boundary. Snapshots are captured from flushed shard state on
+    ///   the merge side, so they are pure functions of `(config, world
+    ///   seed)` like every other deterministic output.
+    /// * With [`MonitorControl::resume`] set, the run continues from the
+    ///   snapshot's epoch boundary instead of starting fresh. The
+    ///   continuation is **byte-identical** to the uninterrupted run —
+    ///   reports and deterministic telemetry alike. A snapshot captured
+    ///   under a different configuration or world is refused with
+    ///   [`CheckpointError::ConfigMismatch`] /
+    ///   [`CheckpointError::WorldMismatch`].
+    /// * With [`MonitorControl::stop`] set, raising the signal makes the run
+    ///   finish its current epoch — draining every in-flight observation
+    ///   through the shards — apply that boundary's watch-list revision,
+    ///   write a final checkpoint (if a sink is attached) and return a
+    ///   report covering the completed windows. Stop granularity is the
+    ///   epoch: size epochs via [`MonitorConfig::checkpoint_every`] (or
+    ///   [`WatchChurn::refresh_every`]) down to one window when prompt stops
+    ///   matter.
+    ///
+    /// The only errors are checkpoint errors; a run with neither sink nor
+    /// resume state cannot fail.
+    pub fn run_controlled<B: ProbeTransport + WorldView + ?Sized>(
+        &self,
+        world: &B,
+        watched_48s: &[Ipv6Prefix],
+        control: MonitorControl<'_>,
+    ) -> Result<MonitorReport, CheckpointError> {
+        let MonitorControl {
+            observer,
+            mut sink,
+            resume,
+            stop,
+        } = control;
         let started = observer.is_some().then(std::time::Instant::now);
         if let Some(telemetry) = observer {
             telemetry.on_run_start(self.config.shards, self.config.producers);
@@ -316,6 +383,24 @@ impl StreamMonitor {
                 "re-expansion candidate budget must be non-zero"
             );
         }
+        if let Some(every) = cfg.checkpoint_every {
+            assert!(every > 0, "checkpoint cadence must be non-zero");
+            if let Some(churn) = &cfg.churn {
+                assert_eq!(
+                    every % churn.refresh_every,
+                    0,
+                    "checkpoint cadence must be a multiple of the churn cadence"
+                );
+            }
+        }
+        // Fingerprints tie snapshots to this exact run; only worth computing
+        // when checkpointing is in play.
+        let fingerprints = (sink.is_some() || resume.is_some()).then(|| {
+            (
+                config_fingerprint(cfg, watched_48s),
+                world_fingerprint(world),
+            )
+        });
         let generator = TargetGenerator::new(cfg.seed);
         // One ShardMap instance serves both the router and (when feedback is
         // on) every producer's virtual-queue pacer, so the two agree on
@@ -333,14 +418,21 @@ impl StreamMonitor {
                     .window_interval(cfg.window_interval)
                     .slice(producer, producers);
                 if let Some(map) = &feedback_map {
-                    builder = builder.feedback(cfg.queue_model, map.clone());
+                    builder = builder.feedback(cfg.queue_model.clone(), map.clone());
                 }
                 builder.build()
             };
 
-        // Epoch layout: one segment covering every window while the watch
-        // list is fixed, `refresh_every`-window segments when it churns.
-        let epoch_windows = cfg.churn.map_or(cfg.windows.max(1), |c| c.refresh_every);
+        // Epoch layout: `refresh_every`-window segments when the watch list
+        // churns, `checkpoint_every`-window segments when checkpointing
+        // alone asks for boundaries (boundaries are where snapshots can be
+        // taken: streams and pacers are rebuilt fresh on each one), and a
+        // single segment covering every window otherwise.
+        let epoch_windows = match (&cfg.churn, cfg.checkpoint_every) {
+            (Some(churn), _) => churn.refresh_every,
+            (None, Some(every)) => every,
+            (None, None) => cfg.windows.max(1),
+        };
         let epochs: Vec<(u64, u64)> = (0..cfg.windows)
             .step_by(epoch_windows as usize)
             .map(|start| (start, epoch_windows.min(cfg.windows - start)))
@@ -349,28 +441,94 @@ impl StreamMonitor {
         let mut watched: Vec<Ipv6Prefix> = watched_48s.to_vec();
         let mut revisions: Vec<WatchRevision> = Vec::new();
         let mut expansion_probes = 0u64;
+        let mut start_epoch = 0usize;
+        let mut resume_window = 0u64;
+        let mut resume_rate = None;
+        let mut restored_events = 0usize;
+        let mut initial_states: Option<Vec<ShardInference>> = None;
+
+        if let Some(snapshot) = resume {
+            let (config_fp, world_fp) = fingerprints.expect("resume implies fingerprints");
+            if snapshot.config_fingerprint != config_fp {
+                return Err(CheckpointError::ConfigMismatch {
+                    found: snapshot.config_fingerprint,
+                    expected: config_fp,
+                });
+            }
+            if snapshot.world_fingerprint != world_fp {
+                return Err(CheckpointError::WorldMismatch {
+                    found: snapshot.world_fingerprint,
+                    expected: world_fp,
+                });
+            }
+            if snapshot.next_epoch as usize > epochs.len() {
+                return Err(CheckpointError::InvalidValue(
+                    "snapshot epoch beyond the configured run",
+                ));
+            }
+            restored_events = snapshot.event_count();
+            start_epoch = snapshot.next_epoch as usize;
+            resume_window = snapshot.current_window;
+            resume_rate = Some(snapshot.final_rate);
+            watched = snapshot.watched;
+            revisions = snapshot.revisions;
+            expansion_probes = snapshot.expansion_probes;
+            if let (Some(telemetry), Some(det)) = (observer, &snapshot.telemetry) {
+                telemetry.restore_deterministic(det);
+            }
+            // Re-split the restored inference state for this run's shard
+            // map: the rotation detector's per-target entries must live in
+            // the shard that will receive that target's future observations
+            // (the detector reads its previous entry on every ingest), while
+            // all the union-merged state — density, tracker, events,
+            // address sets, counters — can ride along in shard 0 because the
+            // end-of-run merge recombines it identically either way. This
+            // also makes snapshots portable across shard counts.
+            let restored = ShardInference::merge_all(snapshot.shards);
+            let mut detectors: Vec<HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>> =
+                vec![HashMap::new(); cfg.shards];
+            for (target, entry) in restored.detector.last_observations() {
+                detectors[shard_map.shard_for(*target)].insert(*target, *entry);
+            }
+            let mut states: Vec<ShardInference> = detectors
+                .into_iter()
+                .map(|last| ShardInference {
+                    detector: WindowedRotationDetector::from_last_observations(last),
+                    ..ShardInference::new()
+                })
+                .collect();
+            let detector = std::mem::take(&mut states[0].detector);
+            states[0] = ShardInference {
+                detector,
+                ..restored
+            };
+            initial_states = Some(states);
+        }
 
         let (live_tx, live_rx) = std::sync::mpsc::channel();
-        let (merged, stalls, final_rate) = std::thread::scope(|scope| {
-            let (senders, handles) = spawn_shards_observed(
+        let run = std::thread::scope(|scope| -> Result<_, CheckpointError> {
+            let (senders, handles) = spawn_shards_seeded(
                 scope,
                 cfg.shards,
                 cfg.channel_capacity,
                 Some(live_tx),
                 observer,
+                initial_states,
             );
             let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
             if let Some(telemetry) = observer {
                 router = router.with_observer(telemetry);
             }
-            let mut current_window = 0u64;
-            let mut final_rate = cfg.packets_per_second;
+            let mut current_window = resume_window;
+            let mut final_rate = resume_rate.unwrap_or(cfg.packets_per_second);
+            let mut completed_windows: u64 =
+                epochs[..start_epoch].iter().map(|&(_, len)| len).sum();
             // Per-epoch density state feeding the next revision, keyed by
             // watched /48. Folded on the merge side — the deterministic
             // observation order — so revisions never depend on scheduling.
             let mut epoch_density: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
 
-            for (epoch, &(start_window, len)) in epochs.iter().enumerate() {
+            for (epoch, &(start_window, len)) in epochs.iter().enumerate().skip(start_epoch) {
                 epoch_density.clear();
                 // A fresh merge-side rate replica per epoch, mirroring the
                 // epoch's fresh producer pacers (each epoch's revised target
@@ -380,7 +538,7 @@ impl StreamMonitor {
                     (Some(map), Some(_)) => Some(RateReplica::continuous(
                         cfg.start,
                         cfg.packets_per_second,
-                        cfg.queue_model,
+                        cfg.queue_model.clone(),
                         map.clone(),
                         cfg.window_interval,
                     )),
@@ -410,6 +568,7 @@ impl StreamMonitor {
                         router.route(obs);
                     };
 
+                let stopping;
                 final_rate = if cfg.producers == 1 {
                     let mut stream =
                         CountedSource::new(build_stream(&watched, start_window, 0, 1), 0, observer);
@@ -420,6 +579,7 @@ impl StreamMonitor {
                         };
                         ingest(&mut router, &mut epoch_density, obs);
                     }
+                    stopping = stop.as_ref().is_some_and(StopSignal::is_stopped);
                     stream.inner().rate()
                 } else {
                     let sources: Vec<_> = (0..cfg.producers)
@@ -433,14 +593,16 @@ impl StreamMonitor {
                     while let Some(obs) = clock.next_observation() {
                         ingest(&mut router, &mut epoch_density, obs);
                     }
+                    stopping = stop.as_ref().is_some_and(StopSignal::is_stopped);
                     // The producers' pacers ended on their own threads;
                     // replay the (deterministic) trajectory probe-free to
                     // report the same end-of-epoch rate the single-producer
                     // run holds. Only the final epoch's rate is ever
                     // reported (the pacer restarts each epoch), and without
                     // feedback the rate never moves, so skip the replay
-                    // everywhere else.
-                    if cfg.rate_feedback && epoch + 1 == epochs.len() {
+                    // everywhere else — unless a stop makes this boundary
+                    // the effective end of the run.
+                    if cfg.rate_feedback && (epoch + 1 == epochs.len() || stopping) {
                         let mut replay = build_stream(&watched, start_window, 0, 1);
                         replay.replay_windows(len);
                         replay.rate()
@@ -498,6 +660,38 @@ impl StreamMonitor {
                         revisions.push(revision);
                     }
                 }
+                completed_windows = start_window + len;
+
+                // Checkpoint at the boundary: on the configured cadence,
+                // plus unconditionally at the run's final boundary and at a
+                // stop boundary (the resume points someone will actually
+                // want). Shard state is captured via a FIFO flush, so the
+                // snapshot reflects exactly the observations routed so far.
+                if let Some(sink) = sink.as_deref_mut() {
+                    let on_cadence = cfg
+                        .checkpoint_every
+                        .map_or(true, |every| completed_windows % every == 0);
+                    if on_cadence || stopping || epoch + 1 == epochs.len() {
+                        let (config_fp, world_fp) =
+                            fingerprints.expect("sink implies fingerprints");
+                        let snapshot = MonitorSnapshot {
+                            config_fingerprint: config_fp,
+                            world_fingerprint: world_fp,
+                            next_epoch: (epoch + 1) as u64,
+                            current_window,
+                            expansion_probes,
+                            final_rate,
+                            watched: watched.clone(),
+                            revisions: revisions.clone(),
+                            shards: router.flush(),
+                            telemetry: observer.and_then(|o| o.checkpoint_deterministic()),
+                        };
+                        sink.store((epoch + 1) as u64, &snapshot.to_bytes())?;
+                    }
+                }
+                if stopping {
+                    break;
+                }
             }
 
             let stalls = router.stalls();
@@ -511,18 +705,20 @@ impl StreamMonitor {
                 states.push(state);
             }
             let merged = ShardInference::merge_all(states);
-            (merged, stalls, final_rate)
+            Ok((merged, stalls, final_rate, completed_windows))
         });
+        let (merged, stalls, final_rate, completed_windows) = run?;
         if let (Some(telemetry), Some(started)) = (observer, started) {
             telemetry.on_wall_span("monitor_run", started.elapsed().as_nanos() as u64);
         }
 
         // The live channel has seen every event already; the merged state is
         // the authoritative record (compaction may have pruned events the
-        // live channel delivered at the time). Drain the channel so nothing
-        // is silently left behind, and order events the deterministic way.
+        // live channel delivered at the time; restored events predate the
+        // channel entirely). Drain the channel so nothing is silently left
+        // behind, and order events the deterministic way.
         let live_count = live_rx.into_iter().count();
-        debug_assert!(live_count >= merged.events.len());
+        debug_assert!(live_count + restored_events >= merged.events.len());
 
         let detection = WindowedRotationDetector::collect(merged.events.clone());
         let mut events = merged.events.clone();
@@ -530,12 +726,12 @@ impl StreamMonitor {
         let tracking = merged.tracker.finish(
             world.rib(),
             world.as_registry(),
-            cfg.windows,
+            completed_windows,
             cfg.max_tracked,
         );
 
-        MonitorReport {
-            windows: cfg.windows,
+        Ok(MonitorReport {
+            windows: completed_windows,
             observations: merged.observations,
             rotating_48s: detection.rotating_48s.clone(),
             detection,
@@ -546,8 +742,27 @@ impl StreamMonitor {
             revisions,
             final_watch: watched,
             expansion_probes,
-        }
+        })
     }
+}
+
+/// Control surface for [`StreamMonitor::run_controlled`]: observer,
+/// checkpoint sink, resume state and stop signal, all optional. The default
+/// value reproduces [`StreamMonitor::run`] exactly.
+#[derive(Default)]
+pub struct MonitorControl<'a> {
+    /// Telemetry observer, as in [`StreamMonitor::run_observed`].
+    pub observer: Option<&'a dyn StreamObserver>,
+    /// Where epoch-boundary snapshots are written. `None` disables
+    /// checkpointing entirely (no fingerprinting, no flushes).
+    pub sink: Option<&'a mut dyn CheckpointSink>,
+    /// Resume from this snapshot's epoch boundary instead of starting
+    /// fresh. Must have been captured under the same configuration, initial
+    /// watch list and world.
+    pub resume: Option<MonitorSnapshot>,
+    /// Cooperative stop flag, polled at epoch boundaries after the epoch has
+    /// fully drained.
+    pub stop: Option<StopSignal>,
 }
 
 #[cfg(test)]
@@ -661,6 +876,7 @@ mod tests {
                 drain_rate: Some(16),
                 high_watermark: 64,
                 low_watermark: 8,
+                ..QueueModel::unbounded()
             },
             ..MonitorConfig::default()
         });
@@ -695,6 +911,7 @@ mod tests {
                 drain_rate: Some(16),
                 high_watermark: 64,
                 low_watermark: 8,
+                ..QueueModel::unbounded()
             },
             ..MonitorConfig::default()
         };

@@ -131,6 +131,7 @@ mod tests {
             drain_rate: Some(16),
             high_watermark: 64,
             low_watermark: 8,
+            ..QueueModel::unbounded()
         };
         let map = ShardMap::new(&engine.rib().entries(), 2);
         let generator = TargetGenerator::new(0x57ae);
@@ -141,7 +142,7 @@ mod tests {
             .rate_pps(128)
             .start(start)
             .window_interval(interval)
-            .feedback(model, map.clone())
+            .feedback(model.clone(), map.clone())
             .build();
 
         let telemetry = Telemetry::new();

@@ -37,7 +37,7 @@ use crate::shard::{spawn_shards_observed, ShardInference};
 use crate::source::ScanStream;
 
 /// Streaming engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamConfig {
     /// The methodology parameters (shared with the batch pipeline).
     pub pipeline: PipelineConfig,
@@ -139,7 +139,7 @@ where
 }
 
 /// The streamed discovery pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamPipeline {
     /// Configuration.
     pub config: StreamConfig,
@@ -215,13 +215,18 @@ impl StreamPipeline {
         // routing by construction.
         let shard_map = ShardMap::new(&world.rib().entries(), self.config.shards);
         let feedback_map = self.config.rate_feedback.then(|| shard_map.clone());
-        let queue_model = self.config.queue_model;
-        let with_feedback = |builder| attach_feedback(builder, &feedback_map, queue_model);
+        let queue_model = &self.config.queue_model;
+        let with_feedback = |builder| attach_feedback(builder, &feedback_map, queue_model.clone());
         // A fresh merge-side rate replica per scan phase, mirroring each
         // phase's fresh producer pacers — only worth building when both
         // feedback and an observer are on.
         let replica_for = |start, rate| match (&feedback_map, observer) {
-            (Some(map), Some(_)) => Some(RateReplica::scan(start, rate, queue_model, map.clone())),
+            (Some(map), Some(_)) => Some(RateReplica::scan(
+                start,
+                rate,
+                queue_model.clone(),
+                map.clone(),
+            )),
             _ => None,
         };
 
@@ -460,6 +465,7 @@ mod tests {
                 drain_rate: Some(2_000),
                 high_watermark: 4_096,
                 low_watermark: 512,
+                ..QueueModel::unbounded()
             },
             ..StreamConfig::default()
         };

@@ -139,8 +139,10 @@ impl ShardInference {
         self.eui_addresses.extend(other.eui_addresses);
         self.iids.extend(other.iids);
         self.observations += other.observations;
-        // The detectors' per-target maps are disjoint; nothing downstream
-        // reads the merged detector, so its state is left as-is.
+        // The detectors' per-target maps are disjoint across shards, so the
+        // union is exact — and checkpoint resume depends on it: restored
+        // shard states are merged and then re-split for the new shard map.
+        self.detector.merge(other.detector);
     }
 
     /// Fold a list of shard states into one.
@@ -177,8 +179,9 @@ fn worker(
     receiver: Receiver<ShardMsg>,
     live_events: Option<Sender<RotationEvent>>,
     observer: Option<&dyn StreamObserver>,
+    initial: ShardInference,
 ) -> ShardInference {
-    let mut state = ShardInference::new();
+    let mut state = initial;
     let observe = |state: &mut ShardInference, obs: &Observation| {
         let event = state.ingest(obs);
         if let (Some(event), Some(live)) = (event, live_events.as_ref()) {
@@ -245,15 +248,40 @@ pub fn spawn_shards_observed<'scope, 'env>(
     Vec<SyncSender<ShardMsg>>,
     Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
 ) {
+    spawn_shards_seeded(scope, shards, channel_capacity, live_events, observer, None)
+}
+
+/// [`spawn_shards_observed`] with seeded initial states — how a
+/// checkpoint-resumed monitor hands each worker the inference state it held
+/// when the snapshot was captured. `initial`, when given, must hold exactly
+/// one state per shard (index-aligned); `None` starts every shard empty.
+pub fn spawn_shards_seeded<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    shards: usize,
+    channel_capacity: usize,
+    live_events: Option<Sender<RotationEvent>>,
+    observer: Option<&'scope dyn StreamObserver>,
+    initial: Option<Vec<ShardInference>>,
+) -> (
+    Vec<SyncSender<ShardMsg>>,
+    Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
+) {
     assert!(shards > 0, "at least one shard");
     assert!(channel_capacity > 0, "bounded channels need capacity");
+    let initial = match initial {
+        Some(states) => {
+            assert_eq!(states.len(), shards, "one seeded state per shard");
+            states
+        }
+        None => vec![ShardInference::new(); shards],
+    };
     let mut senders = Vec::with_capacity(shards);
     let mut handles = Vec::with_capacity(shards);
-    for shard in 0..shards {
+    for (shard, seed) in initial.into_iter().enumerate() {
         let (tx, rx) = std::sync::mpsc::sync_channel(channel_capacity);
         let live = live_events.clone();
         senders.push(tx);
-        handles.push(scope.spawn(move || worker(shard, rx, live, observer)));
+        handles.push(scope.spawn(move || worker(shard, rx, live, observer, seed)));
     }
     (senders, handles)
 }

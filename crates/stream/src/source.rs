@@ -678,6 +678,7 @@ mod tests {
             drain_rate: Some(16),
             high_watermark: 48,
             low_watermark: 8,
+            ..QueueModel::unbounded()
         };
         let drain = |mut s: ScanStream<'_, Engine>| {
             let mut all = Vec::new();
@@ -692,7 +693,7 @@ mod tests {
                 .rate_pps(64) // low budget => many virtual seconds => rate events
                 .start(SimTime::at(1, 9))
                 .slice(k, of)
-                .feedback(model, map.clone())
+                .feedback(model.clone(), map.clone())
                 .build()
         };
         let single = drain(build(0, 1));
@@ -840,6 +841,7 @@ mod tests {
             drain_rate: Some(8),
             high_watermark: 32,
             low_watermark: 4,
+            ..QueueModel::unbounded()
         };
         let windows = 3u64;
         let make = |k: usize, producers: usize| {
@@ -849,7 +851,7 @@ mod tests {
                 .start(start)
                 .window_interval(SimDuration::from_secs(4))
                 .slice(k, producers)
-                .feedback(model, map.clone())
+                .feedback(model.clone(), map.clone())
                 .build()
         };
         let drain = |producers: usize| {

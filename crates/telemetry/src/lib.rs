@@ -349,6 +349,38 @@ impl StreamObserver for Telemetry {
     fn on_wall_span(&self, label: &'static str, nanos: u64) {
         lock(&self.wall_spans).push((label, nanos));
     }
+
+    fn checkpoint_deterministic(&self) -> Option<DeterministicSnapshot> {
+        Some(self.snapshot().deterministic)
+    }
+
+    /// Restore the deterministic tier from a checkpoint. Only that tier
+    /// round-trips: topology breakdowns and wall-clock profiling restart
+    /// from zero on resume (they are keyed to a process, not a run, and are
+    /// excluded from the byte-identical comparisons).
+    fn restore_deterministic(&self, det: &DeterministicSnapshot) {
+        let mut inner = lock(&self.inner);
+        inner.observations = det.observations;
+        inner.responses = det.responses;
+        inner.expansion_probes = det.expansion_probes;
+        inner.rate_backoffs = det.rate_backoffs;
+        inner.rate_recoveries = det.rate_recoveries;
+        inner.queue_high_water = det.queue_high_water;
+        inner.epochs_closed = det.epochs;
+        inner.admitted = det.admitted;
+        inner.evicted = det.evicted;
+        // New events stamp the next epoch to close; every checkpointed epoch
+        // already closed.
+        inner.epoch = det.epochs;
+        inner.last_send = det.windows.last().map(|w| w.last_send);
+        // The capture closed any open window, so the restored registry
+        // starts with none; the resumed run's first routed observation opens
+        // the next window exactly as the uninterrupted run would.
+        inner.open = None;
+        inner.windows = det.windows.clone();
+        inner.latency = det.window_latency.clone();
+        inner.events = det.events.clone();
+    }
 }
 
 #[cfg(test)]
@@ -456,6 +488,56 @@ mod tests {
         assert!(!det.contains("shard=\""));
         assert!(!det.contains("producer=\""));
         assert!(!det.contains("wall_span"));
+    }
+
+    #[test]
+    fn restore_deterministic_roundtrips_into_a_fresh_registry() {
+        let telemetry = Telemetry::new();
+        telemetry.on_run_start(2, 2);
+        telemetry.on_routed(0, 0, t(10), true);
+        telemetry.on_routed(1, 0, t(11), false);
+        telemetry.on_rate_change(t(12), 0, 128, 64);
+        telemetry.on_epoch_close(&EpochSummary {
+            epoch: 0,
+            at: t(86_400),
+            window: 0,
+            admitted: &[],
+            evicted: &[],
+            watch_len: 1,
+            expansion_probes: 3,
+        });
+
+        let det = telemetry
+            .checkpoint_deterministic()
+            .expect("telemetry checkpoints its deterministic tier");
+        let restored = Telemetry::new();
+        restored.on_run_start(2, 2);
+        restored.restore_deterministic(&det);
+        assert_eq!(restored.snapshot().deterministic, det);
+
+        // Continuing both registries identically keeps them identical.
+        for registry in [&telemetry, &restored] {
+            registry.on_routed(0, 1, t(86_500), true);
+            registry.on_rate_change(t(86_510), 1, 64, 72);
+        }
+        assert_eq!(
+            restored.snapshot().deterministic,
+            telemetry.snapshot().deterministic
+        );
+        // Epoch stamps on post-restore events continue the sequence.
+        let continued = restored.snapshot().deterministic;
+        assert_eq!(continued.events.last().map(|e| e.epoch), Some(1));
+    }
+
+    #[test]
+    fn histogram_from_parts_roundtrips() {
+        let mut histogram = Histogram::new();
+        histogram.observe(3);
+        histogram.observe(70_000);
+        let mut counts = [0u64; LATENCY_BOUNDS_SECS.len() + 1];
+        counts.copy_from_slice(histogram.bucket_counts());
+        let rebuilt = Histogram::from_parts(counts, histogram.sum(), histogram.count());
+        assert_eq!(rebuilt, histogram);
     }
 
     #[test]

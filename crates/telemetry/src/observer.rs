@@ -26,6 +26,8 @@
 use scent_ipv6::Ipv6Prefix;
 use scent_simnet::SimTime;
 
+use crate::snapshot::DeterministicSnapshot;
+
 /// Everything the engine reports about one closed watch-list churn epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpochSummary<'a> {
@@ -95,6 +97,20 @@ pub trait StreamObserver: Sync {
     /// An OS-time span measurement, in nanoseconds (wall-clock tier;
     /// explicitly excluded from determinism checks).
     fn on_wall_span(&self, _label: &'static str, _nanos: u64) {}
+
+    /// The observer's deterministic-tier state, for inclusion in a monitor
+    /// checkpoint — or `None` (the default) for observers that carry no
+    /// checkpointable state. Called from the merge side at epoch boundaries
+    /// (deterministic tier).
+    fn checkpoint_deterministic(&self) -> Option<DeterministicSnapshot> {
+        None
+    }
+
+    /// Restore the observer's deterministic-tier state from a monitor
+    /// checkpoint, before a resumed run replays its remaining epochs. The
+    /// default does nothing. Only the deterministic tier round-trips:
+    /// topology and wall-clock tiers restart from zero on resume.
+    fn restore_deterministic(&self, _det: &DeterministicSnapshot) {}
 }
 
 /// An observer that ignores everything — useful as an explicit "observed

@@ -60,6 +60,14 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Rebuild a histogram from previously exported parts (the counterpart
+    /// of [`Histogram::bucket_counts`] / [`Histogram::sum`] /
+    /// [`Histogram::count`]) — how a checkpoint restores the latency
+    /// histogram.
+    pub fn from_parts(counts: [u64; LATENCY_BOUNDS_SECS.len() + 1], sum: u64, count: u64) -> Self {
+        Histogram { counts, sum, count }
+    }
 }
 
 /// Aggregates of one closed probing window.

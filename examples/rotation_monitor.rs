@@ -21,6 +21,7 @@
 
 use followscent::ipv6::Ipv6Prefix;
 use followscent::simnet::{scenarios, Engine, SimDuration, SimTime};
+use followscent::stream::StopSignal;
 use followscent::telemetry::{EventKind, Telemetry};
 use followscent::{Campaign, CampaignMode, ScentError};
 
@@ -164,6 +165,64 @@ fn run() -> Result<(), ScentError> {
     println!(
         "\nre-identification accuracy across the run: {:.0}%",
         report.tracking.overall_accuracy() * 100.0
+    );
+
+    // A real deployment can't promise 14 uninterrupted days of uptime, so
+    // the monitor is crash-safe: re-run the same campaign but suspend it
+    // gracefully partway through (the stop signal is raised up front, so it
+    // drains and snapshots at the first epoch boundary), then restore from
+    // the on-disk snapshot and let it finish. The resumed report — churn
+    // history, rotation events and device tracks included — is
+    // byte-identical to the uninterrupted run above.
+    let path = std::env::temp_dir().join(format!("rotation-monitor-{}.ckpt", std::process::id()));
+    let interrupted = |stop: Option<StopSignal>| -> Result<_, ScentError> {
+        let mut builder = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .rate_pps(10_000)
+            .watch(watched.clone())
+            .refresh_every(1)
+            .watch_capacity(3)
+            .checkpoint_every(7)
+            .monitor_granularity(56)
+            .window_interval(SimDuration::from_days(1))
+            .start(start)
+            .max_tracked(5)
+            .observation_batch(64)
+            .mode(CampaignMode::Monitor {
+                windows: 14,
+                shards: 2,
+                producers: 4,
+            });
+        builder = if let Some(stop) = stop {
+            builder.stop_signal(stop).checkpoint_to(&path)
+        } else {
+            builder.resume_from(&path)
+        };
+        builder.run()
+    };
+    let stop = StopSignal::new();
+    stop.request_stop();
+    let half = interrupted(Some(stop))?;
+    let resumed = interrupted(None)?;
+    std::fs::remove_file(&path).ok();
+    let half = half.monitor().expect("monitor report");
+    let mut resumed = resumed.monitor().expect("monitor report").clone();
+    let mut reference = report.clone();
+    // The stall counter is a wall-clock diagnostic, not monitor state.
+    resumed.backpressure_stalls = 0;
+    reference.backpressure_stalls = 0;
+    println!(
+        "\ncrash-safe resume: suspended after {} of {} windows, restored from \
+         the on-disk snapshot and finished; resumed report matches the \
+         uninterrupted run: {}",
+        half.windows,
+        resumed.windows,
+        resumed == reference
+    );
+    assert_eq!(
+        resumed, reference,
+        "resumed run must be byte-identical to the uninterrupted run"
     );
     Ok(())
 }

@@ -11,7 +11,7 @@
 
 use followscent::prober::QueueModel;
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
-use followscent::stream::WatchChurn;
+use followscent::stream::{StopSignal, WatchChurn};
 use followscent::{Campaign, CampaignMode, ScentError};
 
 fn main() -> Result<(), ScentError> {
@@ -29,6 +29,7 @@ fn main() -> Result<(), ScentError> {
                 drain_rate: Some(2_000),
                 high_watermark: 4_096,
                 low_watermark: 512,
+                ..QueueModel::unbounded()
             })
             .mode(CampaignMode::Streamed {
                 shards: 2,
@@ -60,6 +61,7 @@ fn main() -> Result<(), ScentError> {
                 drain_rate: Some(16),
                 high_watermark: 64,
                 low_watermark: 8,
+                ..QueueModel::unbounded()
             })
             .watch(watched.clone())
             .monitor_granularity(56)
@@ -97,6 +99,7 @@ fn main() -> Result<(), ScentError> {
                 drain_rate: Some(16),
                 high_watermark: 64,
                 low_watermark: 8,
+                ..QueueModel::unbounded()
             })
             .watch(watched.clone())
             .watch_churn(WatchChurn {
@@ -117,5 +120,74 @@ fn main() -> Result<(), ScentError> {
         println!("== monitor churn-on feedback-on, producers={producers} ==");
         println!("{report:#?}");
     }
+
+    // Checkpoint/resume on the churning feedback-on monitor: run it
+    // uninterrupted, run it again suspended at the first epoch boundary (the
+    // stop signal is raised up front, so the halt point is deterministic)
+    // with a snapshot written to disk, then resume from the snapshot. The
+    // resumed report must be byte-identical to the uninterrupted one — both
+    // are printed, so a mismatch shows up in-process *and* any scheduling
+    // dependence shows up as a cross-run diff.
+    let campaign = |stop: Option<StopSignal>,
+                    checkpoint: Option<&std::path::Path>,
+                    resume: Option<&std::path::Path>| {
+        let mut builder = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .rate_pps(128)
+            .rate_feedback(true)
+            .queue_model(QueueModel {
+                drain_rate: Some(16),
+                high_watermark: 64,
+                low_watermark: 8,
+                ..QueueModel::unbounded()
+            })
+            .watch(watched.clone())
+            .watch_churn(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 3,
+                ..WatchChurn::default()
+            })
+            .checkpoint_every(2)
+            .monitor_granularity(56)
+            .start(start)
+            .mode(CampaignMode::Monitor {
+                windows: 4,
+                shards: 2,
+                producers: 2,
+            });
+        if let Some(stop) = stop {
+            builder = builder.stop_signal(stop);
+        }
+        if let Some(path) = checkpoint {
+            builder = builder.checkpoint_to(path);
+        }
+        if let Some(path) = resume {
+            builder = builder.resume_from(path);
+        }
+        builder.run()
+    };
+    let path = std::env::temp_dir().join(format!("scent-determinism-{}.ckpt", std::process::id()));
+    let full = campaign(None, None, None)?;
+    let stop = StopSignal::new();
+    stop.request_stop();
+    let half = campaign(Some(stop), Some(&path), None)?;
+    let resumed = campaign(None, None, Some(&path))?;
+    std::fs::remove_file(&path).ok();
+    let full = full.monitor().expect("monitor report");
+    let mut resumed = resumed.monitor().expect("monitor report").clone();
+    resumed.backpressure_stalls = full.backpressure_stalls;
+    assert_eq!(
+        &resumed, full,
+        "resumed run must be byte-identical to the uninterrupted run"
+    );
+    let mut resumed = resumed.clone();
+    resumed.backpressure_stalls = 0;
+    println!(
+        "== monitor checkpoint-resume: suspended after {} of {} windows, resumed ==",
+        half.monitor().expect("monitor report").windows,
+        resumed.windows
+    );
+    println!("{resumed:#?}");
     Ok(())
 }

@@ -74,6 +74,7 @@ fn main() -> Result<(), ScentError> {
                 drain_rate: Some(2_000),
                 high_watermark: 4_096,
                 low_watermark: 512,
+                ..QueueModel::unbounded()
             })
             .mode(CampaignMode::Streamed {
                 shards: 2,
@@ -107,6 +108,7 @@ fn main() -> Result<(), ScentError> {
                 drain_rate: Some(16),
                 high_watermark: 64,
                 low_watermark: 8,
+                ..QueueModel::unbounded()
             })
             .watch(watched.clone())
             .watch_churn(WatchChurn {

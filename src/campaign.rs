@@ -62,6 +62,7 @@
 //!                 drain_rate: Some(16), // ...16 obs/s per shard...
 //!                 high_watermark: 64,   // ...backing off at 64 queued...
 //!                 low_watermark: 8,     // ...recovering below 8
+//!                 ..QueueModel::unbounded()
 //!             })
 //!             .watch(watched.clone())
 //!             .mode(CampaignMode::Monitor {
@@ -128,12 +129,16 @@
 //! }
 //! ```
 
+use std::path::PathBuf;
+
+use scent_checkpoint::{CheckpointSink, FileCheckpointStore};
 use scent_core::{Pipeline, PipelineConfig, PipelineReport};
 use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, QueueModel, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 use scent_stream::{
-    MonitorConfig, MonitorReport, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
+    MonitorConfig, MonitorControl, MonitorReport, MonitorSnapshot, StopSignal, StreamConfig,
+    StreamMonitor, StreamPipeline, WatchChurn,
 };
 use scent_telemetry::StreamObserver;
 
@@ -225,6 +230,10 @@ impl Campaign {
             queue_model: QueueModel::default(),
             retention_windows: None,
             churn: None,
+            checkpoint_every: None,
+            checkpoint_to: None,
+            resume_from: None,
+            stop: None,
             telemetry: None,
         }
     }
@@ -253,6 +262,10 @@ pub struct CampaignBuilder<'t, W> {
     queue_model: QueueModel,
     retention_windows: Option<u64>,
     churn: Option<WatchChurn>,
+    checkpoint_every: Option<u64>,
+    checkpoint_to: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
+    stop: Option<StopSignal>,
     telemetry: Option<&'t dyn StreamObserver>,
 }
 
@@ -273,6 +286,10 @@ impl<W: std::fmt::Debug> std::fmt::Debug for CampaignBuilder<'_, W> {
             .field("queue_model", &self.queue_model)
             .field("retention_windows", &self.retention_windows)
             .field("churn", &self.churn)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("checkpoint_to", &self.checkpoint_to)
+            .field("resume_from", &self.resume_from)
+            .field("stop", &self.stop.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -435,6 +452,50 @@ impl<'t, W> CampaignBuilder<'t, W> {
         self
     }
 
+    /// Write a crash-safe snapshot every `checkpoint_every` windows (and
+    /// always at the final epoch and at a graceful stop). Requires a
+    /// destination ([`CampaignBuilder::checkpoint_to`]) and monitor mode.
+    /// Zero is a typed error ([`CampaignError::ZeroCheckpointCadence`]);
+    /// with churn on, the cadence must be a whole multiple of
+    /// [`CampaignBuilder::refresh_every`]
+    /// ([`CampaignError::MisalignedCheckpointCadence`]). The cadence shapes
+    /// the run's epoch layout, so it is part of the snapshot's configuration
+    /// fingerprint.
+    pub fn checkpoint_every(mut self, checkpoint_every: u64) -> Self {
+        self.checkpoint_every = Some(checkpoint_every);
+        self
+    }
+
+    /// Persist epoch-boundary snapshots to this file, written atomically
+    /// (write to a `.tmp` sibling, then rename) so a crash mid-write never
+    /// leaves a torn snapshot. Without
+    /// [`CampaignBuilder::checkpoint_every`], a snapshot is written at every
+    /// epoch boundary.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Resume the monitor from a snapshot file previously written via
+    /// [`CampaignBuilder::checkpoint_to`] instead of starting fresh. The
+    /// run's configuration, initial watch list and world must match the ones
+    /// the snapshot was captured under (enforced by fingerprints); the
+    /// resumed run's report and deterministic telemetry are byte-identical
+    /// to an uninterrupted run.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Attach a cooperative stop signal, polled at epoch boundaries: raising
+    /// it drains the epoch in flight, applies any pending watch-list
+    /// revision, writes a final checkpoint if a sink is attached, and
+    /// returns a report covering the completed windows.
+    pub fn stop_signal(mut self, stop: StopSignal) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
     /// Attach a telemetry observer — typically a
     /// [`Telemetry`](scent_telemetry::Telemetry) registry — to the campaign.
     /// Every streaming hook point reports through it: probe accounting,
@@ -462,6 +523,10 @@ impl<'t, W> CampaignBuilder<'t, W> {
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
             churn: self.churn,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_to: self.checkpoint_to,
+            resume_from: self.resume_from,
+            stop: self.stop,
             telemetry: Some(telemetry),
         }
     }
@@ -492,6 +557,10 @@ impl<'t> CampaignBuilder<'t, ()> {
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
             churn: self.churn,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_to: self.checkpoint_to,
+            resume_from: self.resume_from,
+            stop: self.stop,
             telemetry: self.telemetry,
         }
     }
@@ -522,6 +591,21 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
             if churn.max_48s_per_seed == 0 {
                 return Err(CampaignError::ZeroExpansionBudget.into());
             }
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(CampaignError::ZeroCheckpointCadence.into());
+        }
+        if let (Some(churn), Some(every)) = (&self.churn, self.checkpoint_every) {
+            if every % churn.refresh_every != 0 {
+                return Err(CampaignError::MisalignedCheckpointCadence.into());
+            }
+        }
+        let wants_checkpoint = self.checkpoint_every.is_some()
+            || self.checkpoint_to.is_some()
+            || self.resume_from.is_some()
+            || self.stop.is_some();
+        if wants_checkpoint && !matches!(self.mode, CampaignMode::Monitor { .. }) {
+            return Err(CampaignError::CheckpointRequiresMonitor.into());
         }
         match self.mode {
             CampaignMode::Batch => Ok(CampaignReport::Pipeline(
@@ -582,14 +666,30 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
                     queue_model: self.queue_model,
                     retention_windows: self.retention_windows,
                     churn: self.churn,
+                    checkpoint_every: self.checkpoint_every,
                 };
-                Ok(CampaignReport::Monitor(
-                    StreamMonitor::new(config).run_observed(
-                        self.world,
-                        &self.watched,
-                        self.telemetry,
-                    ),
-                ))
+                let resume = match &self.resume_from {
+                    Some(path) => {
+                        let bytes = FileCheckpointStore::new(path).load()?;
+                        Some(MonitorSnapshot::from_bytes(&bytes)?)
+                    }
+                    None => None,
+                };
+                let mut file_sink = self.checkpoint_to.map(FileCheckpointStore::new);
+                let control = MonitorControl {
+                    observer: self.telemetry,
+                    sink: file_sink
+                        .as_mut()
+                        .map(|store| store as &mut dyn CheckpointSink),
+                    resume,
+                    stop: self.stop,
+                };
+                let report = StreamMonitor::new(config).run_controlled(
+                    self.world,
+                    &self.watched,
+                    control,
+                )?;
+                Ok(CampaignReport::Monitor(report))
             }
         }
     }
@@ -630,6 +730,7 @@ mod tests {
                 drain_rate: Some(16),
                 high_watermark: 8,
                 low_watermark: 8, // inverted: low must be strictly below high
+                ..scent_prober::QueueModel::unbounded()
             })
             .run()
             .unwrap_err();

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use scent_bgp::RibParseError;
+use scent_checkpoint::CheckpointError;
 use scent_simnet::WorldError;
 
 /// A campaign was configured inconsistently.
@@ -45,6 +46,20 @@ pub enum CampaignError {
     /// (`max_48s_per_seed`): the boundary re-expansion could never probe a
     /// candidate, so the watch list could only ever shrink.
     ZeroExpansionBudget,
+    /// Checkpointing was configured with a zero cadence (a snapshot would
+    /// never be written; leave checkpointing off instead).
+    ZeroCheckpointCadence,
+    /// Checkpointing and watch-list churn were configured with misaligned
+    /// cadences: the checkpoint cadence must be a whole multiple of the
+    /// churn refresh cadence, because snapshots are taken at epoch
+    /// boundaries and epochs are cut by the churn cadence.
+    MisalignedCheckpointCadence,
+    /// Checkpointing, resume or a stop signal were configured on a
+    /// non-monitor campaign; only [`CampaignMode::Monitor`] runs long enough
+    /// to suspend and resume.
+    ///
+    /// [`CampaignMode::Monitor`]: crate::CampaignMode::Monitor
+    CheckpointRequiresMonitor,
 }
 
 impl fmt::Display for CampaignError {
@@ -97,6 +112,25 @@ impl fmt::Display for CampaignError {
                      (max_48s_per_seed)"
                 )
             }
+            CampaignError::ZeroCheckpointCadence => {
+                write!(
+                    f,
+                    "checkpointing needs a non-zero cadence (checkpoint_every)"
+                )
+            }
+            CampaignError::MisalignedCheckpointCadence => {
+                write!(
+                    f,
+                    "checkpoint cadence must be a whole multiple of the churn \
+                     refresh cadence (checkpoint_every % refresh_every == 0)"
+                )
+            }
+            CampaignError::CheckpointRequiresMonitor => {
+                write!(
+                    f,
+                    "checkpoint, resume and stop signals require CampaignMode::Monitor"
+                )
+            }
         }
     }
 }
@@ -112,6 +146,8 @@ pub enum ScentError {
     RibParse(RibParseError),
     /// A campaign was configured inconsistently.
     Campaign(CampaignError),
+    /// A checkpoint could not be written, read back or resumed from.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for ScentError {
@@ -120,6 +156,7 @@ impl fmt::Display for ScentError {
             ScentError::World(e) => write!(f, "world configuration: {e}"),
             ScentError::RibParse(e) => write!(f, "RIB table parse: {e}"),
             ScentError::Campaign(e) => write!(f, "campaign configuration: {e}"),
+            ScentError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
         }
     }
 }
@@ -130,6 +167,7 @@ impl std::error::Error for ScentError {
             ScentError::World(e) => Some(e),
             ScentError::RibParse(e) => Some(e),
             ScentError::Campaign(e) => Some(e),
+            ScentError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -149,6 +187,12 @@ impl From<RibParseError> for ScentError {
 impl From<CampaignError> for ScentError {
     fn from(e: CampaignError) -> Self {
         ScentError::Campaign(e)
+    }
+}
+
+impl From<CheckpointError> for ScentError {
+    fn from(e: CheckpointError) -> Self {
+        ScentError::Checkpoint(e)
     }
 }
 

@@ -57,6 +57,51 @@
 //! campaign-configuration failures of the member crates, all implementing
 //! [`std::error::Error`].
 //!
+//! # Checkpoint & resume
+//!
+//! Long monitoring runs can suspend and resume without losing determinism:
+//! `.checkpoint_to(path)` writes a crash-safe snapshot of every piece of
+//! incremental monitor state at epoch boundaries (atomic write-then-rename,
+//! versioned self-validating format), `.checkpoint_every(k)` sets the
+//! cadence, a [`StopSignal`](stream::StopSignal) drains the epoch in flight
+//! and halts gracefully, and `.resume_from(path)` continues where the
+//! snapshot left off. The resumed run's report — and its deterministic
+//! telemetry — is **byte-identical** to the uninterrupted run, at any shard
+//! or producer count:
+//!
+//! ```
+//! use followscent::simnet::{scenarios, Engine};
+//! use followscent::stream::StopSignal;
+//! use followscent::{Campaign, CampaignMode, ScentError};
+//!
+//! fn main() -> Result<(), ScentError> {
+//!     let engine = Engine::build(scenarios::continuous_world(13))?;
+//!     let watched = vec!["2001:16b8:100::/48".parse().unwrap()];
+//!     let path = std::env::temp_dir().join(format!("scent-qs-{}.ckpt", std::process::id()));
+//!     let mode = CampaignMode::Monitor { windows: 4, shards: 2, producers: 2 };
+//!     let base = || {
+//!         Campaign::builder()
+//!             .world(&engine)
+//!             .watch(watched.clone())
+//!             .checkpoint_every(2)
+//!             .mode(mode)
+//!     };
+//!     // The uninterrupted run is the reference.
+//!     let full = base().run()?;
+//!     // Raise the stop signal up front: the run halts at the first epoch
+//!     // boundary (two windows in), leaving a snapshot behind.
+//!     let stop = StopSignal::new();
+//!     stop.request_stop();
+//!     let half = base().checkpoint_to(&path).stop_signal(stop).run()?;
+//!     assert_eq!(half.monitor().unwrap().windows, 2);
+//!     // Resuming finishes the remaining windows: same report, byte for byte.
+//!     let resumed = base().resume_from(&path).run()?;
+//!     std::fs::remove_file(&path).ok();
+//!     assert_eq!(resumed.monitor().unwrap(), full.monitor().unwrap());
+//!     Ok(())
+//! }
+//! ```
+//!
 //! # Telemetry
 //!
 //! Attach a [`telemetry::Telemetry`] registry with
@@ -109,6 +154,11 @@
 //!   incremental).
 //! * [`stream`] — the sharded streaming monitor built on the incremental
 //!   algorithms: continuous rotation detection with bounded memory.
+//! * [`checkpoint`] — the versioned snapshot codec: the
+//!   [`Checkpointable`](checkpoint::Checkpointable) trait, the framed
+//!   container format with fingerprints and checksum, typed
+//!   [`CheckpointError`](checkpoint::CheckpointError)s, and the crash-safe
+//!   [`FileCheckpointStore`](checkpoint::FileCheckpointStore).
 //! * [`telemetry`] — the deterministic observability layer: the
 //!   [`StreamObserver`](telemetry::StreamObserver) hook trait, the
 //!   [`Telemetry`](telemetry::Telemetry) registry and its
@@ -128,6 +178,7 @@ pub use campaign::{Campaign, CampaignBuilder, CampaignMode, CampaignReport};
 pub use error::{CampaignError, ScentError};
 
 pub use scent_bgp as bgp;
+pub use scent_checkpoint as checkpoint;
 pub use scent_core as core;
 pub use scent_experiments as experiments;
 pub use scent_ipv6 as ipv6;

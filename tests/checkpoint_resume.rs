@@ -1,0 +1,450 @@
+//! The checkpoint/restore acceptance contract: a monitoring run suspended at
+//! any epoch boundary and resumed from its snapshot produces a report — and
+//! deterministic telemetry — byte-identical to the uninterrupted run, across
+//! shard counts, producer counts, churn on/off, feedback on/off, and on both
+//! the live simnet backend and the recorded replay backend. Graceful stop is
+//! covered too: a raised [`StopSignal`] drains the epoch in flight without
+//! deadlock at any `shards × producers` topology.
+
+use followscent::checkpoint::MemorySink;
+use followscent::ipv6::Ipv6Prefix;
+use followscent::prober::{
+    ProbeTransport, QueueModel, RecordedBackend, RecordingBackend, WorldView,
+};
+use followscent::simnet::{scenarios, Engine, SimTime};
+use followscent::stream::{
+    MonitorConfig, MonitorControl, MonitorReport, MonitorSnapshot, StopSignal, StreamMonitor,
+    WatchChurn,
+};
+use followscent::telemetry::{self, Telemetry};
+use followscent::{Campaign, CampaignMode};
+use proptest::prelude::*;
+
+/// A queue model that genuinely throttles the 128 pps feedback runs below.
+fn throttling_model() -> QueueModel {
+    QueueModel {
+        drain_rate: Some(16),
+        high_watermark: 64,
+        low_watermark: 8,
+        ..QueueModel::unbounded()
+    }
+}
+
+/// The churn world and its watch list: one dense /48 plus a pool prefix.
+fn churn_setup() -> (Engine, SimTime, Vec<Ipv6Prefix>) {
+    let engine = Engine::build(scenarios::churn_world(17)).expect("world builds");
+    let start = SimTime::at(10, 9);
+    let watched = vec![
+        scenarios::churn_world_dense_48(&engine, start),
+        engine.pools()[1].config.prefix,
+    ];
+    (engine, start, watched)
+}
+
+/// One monitor campaign over any backend, parameterized over every dimension
+/// the checkpoint contract quantifies over. `stop`/`checkpoint`/`resume`
+/// select the suspend/resume role of the run.
+#[allow(clippy::too_many_arguments)]
+fn run_monitor<B: ProbeTransport + WorldView + ?Sized>(
+    world: &B,
+    watched: &[Ipv6Prefix],
+    start: SimTime,
+    churn: bool,
+    feedback: bool,
+    shards: usize,
+    producers: usize,
+    stop: Option<StopSignal>,
+    checkpoint: Option<&std::path::Path>,
+    resume: Option<&std::path::Path>,
+) -> MonitorReport {
+    let mut builder = Campaign::builder()
+        .world(world)
+        .seed(0x57ae)
+        .rate_pps(128)
+        .watch(watched.to_vec())
+        .checkpoint_every(2)
+        .monitor_granularity(56)
+        .start(start)
+        .mode(CampaignMode::Monitor {
+            windows: 4,
+            shards,
+            producers,
+        });
+    if churn {
+        builder = builder.watch_churn(WatchChurn {
+            refresh_every: 1,
+            watch_capacity: 3,
+            ..WatchChurn::default()
+        });
+    }
+    if feedback {
+        builder = builder.rate_feedback(true).queue_model(throttling_model());
+    }
+    if let Some(stop) = stop {
+        builder = builder.stop_signal(stop);
+    }
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint_to(path);
+    }
+    if let Some(path) = resume {
+        builder = builder.resume_from(path);
+    }
+    let mut report = builder
+        .run()
+        .expect("valid monitor configuration")
+        .monitor()
+        .expect("monitor mode yields a monitor report")
+        .clone();
+    // Stall counts are wall-clock scheduling, not inference state.
+    report.backpressure_stalls = 0;
+    report
+}
+
+/// A temp checkpoint path unique to this test and process.
+fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("scent-test-{tag}-{}.ckpt", std::process::id()))
+}
+
+/// The headline matrix: suspend at the first epoch boundary, resume, and the
+/// report is byte-identical to the uninterrupted run — for churn on/off,
+/// feedback on/off, and producers {1, 2, 4, 8}. The uninterrupted reference
+/// is the single-producer run, so the assertion folds producer invariance
+/// and resume fidelity into one equality.
+#[test]
+fn suspended_and_resumed_runs_are_byte_identical_across_the_matrix() {
+    let (engine, start, watched) = churn_setup();
+    for (churn, feedback) in [(false, false), (false, true), (true, false), (true, true)] {
+        let reference = run_monitor(
+            &engine, &watched, start, churn, feedback, 2, 1, None, None, None,
+        );
+        assert!(
+            !reference.events.is_empty(),
+            "rotation must emit events, or the equalities below are vacuous"
+        );
+        for producers in [1usize, 2, 4, 8] {
+            let path = temp_ckpt(&format!("matrix-{churn}-{feedback}-{producers}"));
+            let stop = StopSignal::new();
+            stop.request_stop();
+            let half = run_monitor(
+                &engine,
+                &watched,
+                start,
+                churn,
+                feedback,
+                2,
+                producers,
+                Some(stop),
+                Some(&path),
+                None,
+            );
+            assert!(
+                half.windows < reference.windows,
+                "the stop must actually suspend the run mid-way"
+            );
+            let resumed = run_monitor(
+                &engine,
+                &watched,
+                start,
+                churn,
+                feedback,
+                2,
+                producers,
+                None,
+                None,
+                Some(&path),
+            );
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                resumed, reference,
+                "churn={churn} feedback={feedback} producers={producers}"
+            );
+        }
+    }
+}
+
+/// Resume fidelity on the recorded backend: a replayed run can be suspended
+/// and resumed too, and a snapshot captured against the *live* simnet resumes
+/// against the replay (the world fingerprint covers the RIB, which the
+/// recorder replays faithfully).
+#[test]
+fn resume_works_on_and_across_the_recorded_backend() {
+    let (engine, start, watched) = churn_setup();
+    let recorder = RecordingBackend::new(&engine);
+    let reference = run_monitor(
+        &recorder, &watched, start, true, false, 2, 2, None, None, None,
+    );
+    let replay = RecordedBackend::from_log(recorder.finish());
+    assert!(!reference.events.is_empty(), "rotation must emit events");
+
+    // Suspend + resume entirely on the replay backend.
+    let path = temp_ckpt("replay");
+    let stop = StopSignal::new();
+    stop.request_stop();
+    run_monitor(
+        &replay,
+        &watched,
+        start,
+        true,
+        false,
+        2,
+        2,
+        Some(stop),
+        Some(&path),
+        None,
+    );
+    let resumed = run_monitor(
+        &replay,
+        &watched,
+        start,
+        true,
+        false,
+        2,
+        2,
+        None,
+        None,
+        Some(&path),
+    );
+    assert_eq!(resumed, reference, "replayed suspend/resume");
+
+    // Suspend live, resume against the replay of the full run.
+    let stop = StopSignal::new();
+    stop.request_stop();
+    run_monitor(
+        &engine,
+        &watched,
+        start,
+        true,
+        false,
+        2,
+        2,
+        Some(stop),
+        Some(&path),
+        None,
+    );
+    let resumed = run_monitor(
+        &replay,
+        &watched,
+        start,
+        true,
+        false,
+        2,
+        2,
+        None,
+        None,
+        Some(&path),
+    );
+    std::fs::remove_file(&path).ok();
+    assert_eq!(resumed, reference, "live snapshot, replayed resume");
+}
+
+/// The stream-layer contract, quantified over *every* epoch boundary: a full
+/// run checkpointing every window leaves one snapshot per boundary; resuming
+/// from each of them reproduces the full run's report *and* its
+/// deterministic telemetry (counters, per-window aggregates, event journal)
+/// byte for byte.
+#[test]
+fn resume_from_every_epoch_boundary_matches_report_and_telemetry() {
+    let engine = Engine::build(scenarios::continuous_world(13)).expect("world builds");
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(2)
+        .collect();
+    let config = MonitorConfig {
+        shards: 2,
+        producers: 2,
+        seed: 0x57ae,
+        granularity: 56,
+        windows: 4,
+        start: SimTime::at(10, 9),
+        checkpoint_every: Some(1),
+        ..MonitorConfig::default()
+    };
+
+    let full_registry = Telemetry::new();
+    let mut sink = MemorySink::new();
+    let mut full = StreamMonitor::new(config.clone())
+        .run_controlled(
+            &engine,
+            &watched,
+            MonitorControl {
+                observer: Some(&full_registry),
+                sink: Some(&mut sink),
+                ..MonitorControl::default()
+            },
+        )
+        .expect("sink writes cannot fail in memory");
+    full.backpressure_stalls = 0;
+    assert!(!full.events.is_empty(), "rotation must emit events");
+    let full_snapshot = full_registry.snapshot();
+    let full_text = telemetry::deterministic_text(&full_snapshot.deterministic);
+    let full_journal = telemetry::events_jsonl(&full_snapshot.deterministic.events);
+    assert_eq!(
+        sink.all().len(),
+        4,
+        "one snapshot per epoch boundary at cadence 1"
+    );
+
+    for (boundary, bytes) in sink.all() {
+        let snapshot = MonitorSnapshot::from_bytes(bytes).expect("snapshot parses");
+        let registry = Telemetry::new();
+        let mut resumed = StreamMonitor::new(config.clone())
+            .run_controlled(
+                &engine,
+                &watched,
+                MonitorControl {
+                    observer: Some(&registry),
+                    resume: Some(snapshot),
+                    ..MonitorControl::default()
+                },
+            )
+            .expect("a fingerprint-matched snapshot resumes");
+        resumed.backpressure_stalls = 0;
+        assert_eq!(resumed, full, "resumed from boundary {boundary}");
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            telemetry::deterministic_text(&snapshot.deterministic),
+            full_text,
+            "deterministic telemetry resumed from boundary {boundary}"
+        );
+        assert_eq!(
+            telemetry::events_jsonl(&snapshot.deterministic.events),
+            full_journal,
+            "telemetry event journal resumed from boundary {boundary}"
+        );
+    }
+}
+
+/// Graceful stop without a checkpoint in sight: a stop raised up front halts
+/// at the first epoch boundary (draining every in-flight observation, no
+/// deadlock) for every `shards × producers` in {1, 2, 4}².
+#[test]
+fn graceful_stop_drains_at_any_topology() {
+    let (engine, start, watched) = churn_setup();
+    for shards in [1usize, 2, 4] {
+        for producers in [1usize, 2, 4] {
+            let stop = StopSignal::new();
+            stop.request_stop();
+            let report = run_monitor(
+                &engine,
+                &watched,
+                start,
+                false,
+                false,
+                shards,
+                producers,
+                Some(stop),
+                None,
+                None,
+            );
+            assert_eq!(
+                report.windows, 2,
+                "stop lands on the first boundary, shards={shards} producers={producers}"
+            );
+            assert!(report.observations > 0, "the suspended epoch drained");
+        }
+    }
+}
+
+/// A stop raised *mid-run* from another thread, with a sink attached: the
+/// monitor halts at whatever boundary comes next, force-writes a snapshot
+/// there, and resuming from it still reproduces the uninterrupted report —
+/// whatever the race decided the halt point was.
+#[test]
+fn asynchronous_stop_leaves_a_resumable_snapshot() {
+    let (engine, start, watched) = churn_setup();
+    let reference = run_monitor(
+        &engine, &watched, start, false, false, 2, 2, None, None, None,
+    );
+    let path = temp_ckpt("async-stop");
+    let stop = StopSignal::new();
+    let raiser = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            stop.request_stop();
+        })
+    };
+    let half = run_monitor(
+        &engine,
+        &watched,
+        start,
+        false,
+        false,
+        2,
+        2,
+        Some(stop),
+        Some(&path),
+        None,
+    );
+    raiser.join().expect("stop raiser joins");
+    assert!(half.windows <= reference.windows);
+    let resumed = run_monitor(
+        &engine,
+        &watched,
+        start,
+        false,
+        false,
+        2,
+        2,
+        None,
+        None,
+        Some(&path),
+    );
+    std::fs::remove_file(&path).ok();
+    assert_eq!(resumed, reference, "halted after {} windows", half.windows);
+}
+
+proptest! {
+    // The randomized kill: over random worlds, topologies and kill points,
+    // resuming the snapshot a killed run left at a random epoch boundary
+    // always reproduces the uninterrupted report. The full run's sink keeps
+    // every boundary snapshot, so "killed after `kill` epochs" is exactly
+    // "resume from the sink's `kill`-th snapshot".
+    #[test]
+    fn killed_at_a_random_epoch_and_resumed_equals_uninterrupted(
+        world_seed in 1u64..100_000,
+        kill in 1u64..4,
+        shards in 1usize..=3,
+        producers in 1usize..=4,
+    ) {
+        let engine = Engine::build(scenarios::continuous_world(world_seed)).unwrap();
+        let watched: Vec<Ipv6Prefix> = engine
+            .pools()
+            .iter()
+            .filter(|p| p.config.prefix.len() <= 48)
+            .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+            .take(2)
+            .collect();
+        let config = MonitorConfig {
+            shards,
+            producers,
+            seed: 0x57ae,
+            granularity: 56,
+            windows: 4,
+            start: SimTime::at(10, 9),
+            checkpoint_every: Some(1),
+            ..MonitorConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        let mut full = StreamMonitor::new(config.clone())
+            .run_controlled(&engine, &watched, MonitorControl {
+                sink: Some(&mut sink),
+                ..MonitorControl::default()
+            })
+            .unwrap();
+        full.backpressure_stalls = 0;
+        let bytes = sink.at_epoch(kill).expect("a snapshot at every boundary");
+        let snapshot = MonitorSnapshot::from_bytes(bytes).unwrap();
+        let mut resumed = StreamMonitor::new(config)
+            .run_controlled(&engine, &watched, MonitorControl {
+                resume: Some(snapshot),
+                ..MonitorControl::default()
+            })
+            .unwrap();
+        resumed.backpressure_stalls = 0;
+        prop_assert_eq!(resumed, full);
+    }
+}

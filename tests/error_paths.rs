@@ -8,11 +8,13 @@
 use std::error::Error;
 
 use followscent::bgp::{Rib, RibParseError, RibParseErrorKind};
+use followscent::checkpoint::{encode_snapshot, CheckpointError};
 use followscent::ipv6::Ipv6Prefix;
 use followscent::simnet::{
     scenarios, Engine, PlantedCpe, PoolError, ProviderConfig, RotationPoolConfig, SlotLayout,
     WorldConfig, WorldError,
 };
+use followscent::stream::{MonitorSnapshot, StopSignal};
 use followscent::{Campaign, CampaignError, CampaignMode, ScentError};
 
 fn p(s: &str) -> Ipv6Prefix {
@@ -440,6 +442,7 @@ fn every_campaign_error_variant_is_reachable_from_the_builder() {
                     drain_rate: Some(8),
                     high_watermark: 4,
                     low_watermark: 4,
+                    ..followscent::prober::QueueModel::unbounded()
                 })
                 .mode(CampaignMode::Monitor {
                     windows: 2,
@@ -452,6 +455,224 @@ fn every_campaign_error_variant_is_reachable_from_the_builder() {
         ),
     ];
 
+    for (err, expected) in cases {
+        assert_eq!(err, ScentError::Campaign(expected));
+        assert_chain(&err, 2);
+        assert!(err.to_string().contains("campaign configuration"));
+    }
+}
+
+/// A monitor campaign builder over `engine`, shaped like the checkpoint
+/// tests use it: one watched /48, two windows, checkpointing every window.
+fn checkpoint_campaign(
+    engine: &Engine,
+    producers: usize,
+) -> followscent::CampaignBuilder<'_, &Engine> {
+    Campaign::builder()
+        .world(engine)
+        .seed(0x57ae)
+        .watch(vec![p("2001:16b8:100::/48")])
+        .checkpoint_every(1)
+        .monitor_granularity(56)
+        .mode(CampaignMode::Monitor {
+            windows: 2,
+            shards: 1,
+            producers,
+        })
+}
+
+/// Write a genuine snapshot file by suspending a monitor run at its first
+/// epoch boundary.
+fn write_snapshot(engine: &Engine, path: &std::path::Path) {
+    let stop = StopSignal::new();
+    stop.request_stop();
+    checkpoint_campaign(engine, 1)
+        .checkpoint_to(path)
+        .stop_signal(stop)
+        .run()
+        .expect("the suspended run itself succeeds");
+}
+
+/// Corrupt snapshots yield the matching typed [`CheckpointError`] — never a
+/// panic: truncation, junk magic, a bumped version byte, single bit flips at
+/// every offset, and structurally hostile but well-framed containers.
+#[test]
+fn corrupt_snapshots_fail_typed_and_never_panic() {
+    let engine = Engine::build(scenarios::versatel_like(1)).unwrap();
+    let path = std::env::temp_dir().join(format!("scent-corrupt-{}.ckpt", std::process::id()));
+    write_snapshot(&engine, &path);
+    let valid = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(MonitorSnapshot::from_bytes(&valid).is_ok());
+
+    // Truncation below the magic is Truncated; non-magic bytes are BadMagic.
+    assert_eq!(
+        MonitorSnapshot::from_bytes(b"SCENT").err(),
+        Some(CheckpointError::Truncated)
+    );
+    assert_eq!(
+        MonitorSnapshot::from_bytes(b"not a checkpoint").err(),
+        Some(CheckpointError::BadMagic)
+    );
+
+    // A bumped version byte reports VersionMismatch — *before* the now-stale
+    // checksum gets a chance to mislead.
+    let mut bumped = valid.clone();
+    bumped[8] = bumped[8].wrapping_add(1);
+    assert!(matches!(
+        MonitorSnapshot::from_bytes(&bumped),
+        Err(CheckpointError::VersionMismatch {
+            found: 2,
+            expected: 1
+        })
+    ));
+
+    // Any single bit flip past the version field trips the checksum (or, in
+    // the trailer itself, a checksum mismatch from the other side).
+    for offset in [12, valid.len() / 2, valid.len() - 1] {
+        let mut flipped = valid.clone();
+        flipped[offset] ^= 0x40;
+        assert!(
+            matches!(
+                MonitorSnapshot::from_bytes(&flipped),
+                Err(CheckpointError::ChecksumMismatch { .. })
+            ),
+            "bit flip at {offset}"
+        );
+    }
+
+    // Chopping the tail shifts the trailer: still a typed error, never a
+    // panic — and an empty tail is plain truncation.
+    assert_eq!(
+        MonitorSnapshot::from_bytes(&valid[..valid.len() - 3]).err(),
+        Some(CheckpointError::ChecksumMismatch {
+            found: followscent::checkpoint::fnv1a64(&valid[..valid.len() - 11]),
+            expected: u64::from_le_bytes(
+                valid[valid.len() - 11..valid.len() - 3].try_into().unwrap()
+            )
+        })
+    );
+
+    // Well-framed containers with hostile structure: unknown and missing
+    // sections are InvalidValue / Truncated.
+    let unknown = encode_snapshot(0, 0, &[(9999, b"?")]);
+    assert_eq!(
+        MonitorSnapshot::from_bytes(&unknown).err(),
+        Some(CheckpointError::InvalidValue("unknown snapshot section"))
+    );
+    let empty = encode_snapshot(0, 0, &[]);
+    assert_eq!(
+        MonitorSnapshot::from_bytes(&empty).err(),
+        Some(CheckpointError::Truncated)
+    );
+}
+
+/// The campaign surface wraps checkpoint failures as
+/// [`ScentError::Checkpoint`] with the right variant: missing files, damaged
+/// files, fingerprint mismatches against the wrong run or wrong world — plus
+/// the three builder validations guarding the checkpoint options themselves.
+#[test]
+fn campaign_checkpoint_errors_are_typed_end_to_end() {
+    let engine = Engine::build(scenarios::versatel_like(1)).unwrap();
+    let path = std::env::temp_dir().join(format!("scent-ckpt-err-{}.ckpt", std::process::id()));
+
+    // Resuming from a file that does not exist.
+    let missing = checkpoint_campaign(&engine, 1)
+        .resume_from(&path)
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        missing,
+        ScentError::Checkpoint(CheckpointError::Io {
+            kind: std::io::ErrorKind::NotFound,
+            path: path.display().to_string(),
+        })
+    );
+    assert_chain(&missing, 2);
+    assert!(missing.to_string().contains("checkpoint"));
+
+    write_snapshot(&engine, &path);
+
+    // Resuming under a different configuration (producer count changed).
+    let config = checkpoint_campaign(&engine, 2)
+        .resume_from(&path)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(
+            config,
+            ScentError::Checkpoint(CheckpointError::ConfigMismatch { .. })
+        ),
+        "{config:?}"
+    );
+    assert_chain(&config, 2);
+
+    // Resuming against a different world — different *routing table*, since
+    // the world fingerprint covers the RIB (a reseeded world with identical
+    // announcements resumes fine by design).
+    let other = Engine::build(WorldConfig::new(vec![provider(64500)], 1)).unwrap();
+    let world = checkpoint_campaign(&other, 1)
+        .resume_from(&path)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(
+            world,
+            ScentError::Checkpoint(CheckpointError::WorldMismatch { .. })
+        ),
+        "{world:?}"
+    );
+    assert_chain(&world, 2);
+
+    // Resuming from a damaged file.
+    let mut damaged = std::fs::read(&path).unwrap();
+    let mid = damaged.len() / 2;
+    damaged[mid] ^= 0x01;
+    std::fs::write(&path, &damaged).unwrap();
+    let corrupt = checkpoint_campaign(&engine, 1)
+        .resume_from(&path)
+        .run()
+        .unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        matches!(
+            corrupt,
+            ScentError::Checkpoint(CheckpointError::ChecksumMismatch { .. })
+        ),
+        "{corrupt:?}"
+    );
+    assert_chain(&corrupt, 2);
+
+    // The builder validations guarding the checkpoint options.
+    let cases: Vec<(ScentError, CampaignError)> = vec![
+        (
+            checkpoint_campaign(&engine, 1)
+                .checkpoint_every(0)
+                .run()
+                .unwrap_err(),
+            CampaignError::ZeroCheckpointCadence,
+        ),
+        (
+            checkpoint_campaign(&engine, 1)
+                .refresh_every(2)
+                .checkpoint_every(3)
+                .run()
+                .unwrap_err(),
+            CampaignError::MisalignedCheckpointCadence,
+        ),
+        (
+            Campaign::builder()
+                .world(&engine)
+                .checkpoint_every(1)
+                .mode(CampaignMode::Streamed {
+                    shards: 2,
+                    producers: 1,
+                })
+                .run()
+                .unwrap_err(),
+            CampaignError::CheckpointRequiresMonitor,
+        ),
+    ];
     for (err, expected) in cases {
         assert_eq!(err, ScentError::Campaign(expected));
         assert_chain(&err, 2);

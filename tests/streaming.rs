@@ -258,6 +258,7 @@ fn throttling_model() -> QueueModel {
         drain_rate: Some(16),
         high_watermark: 64,
         low_watermark: 8,
+        ..QueueModel::unbounded()
     }
 }
 
@@ -305,6 +306,7 @@ fn feedback_on_pipeline_is_producer_invariant_on_live_and_recorded_backends() {
                     drain_rate: Some(2_000),
                     high_watermark: 4_096,
                     low_watermark: 512,
+                    ..QueueModel::unbounded()
                 })
                 .mode(CampaignMode::Streamed { shards, producers })
                 .run()
@@ -518,12 +520,13 @@ proptest! {
             drain_rate: Some(drain_rate),
             high_watermark: 64,
             low_watermark: 8,
+            ..QueueModel::unbounded()
         };
         let world = scenarios::continuous_world(world_seed);
         let engine = Engine::build(world.clone()).unwrap();
         let mut watched = pool_48s(&engine);
         watched.truncate(watch_count);
-        let single = monitor_feedback(&engine, &watched, shards, 1, model);
+        let single = monitor_feedback(&engine, &watched, shards, 1, model.clone());
         let engine = Engine::build(world).unwrap();
         let sharded = monitor_feedback(&engine, &watched, shards, producers, model);
         prop_assert_eq!(single, sharded);

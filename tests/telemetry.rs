@@ -35,6 +35,7 @@ fn throttling_model() -> QueueModel {
         drain_rate: Some(16),
         high_watermark: 64,
         low_watermark: 8,
+        ..QueueModel::unbounded()
     }
 }
 
