@@ -10,6 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use scent_checkpoint::MemorySink;
 use scent_core::{Pipeline, PipelineConfig};
 use scent_ipv6::Ipv6Prefix;
+use scent_sched::{Campaign as SchedCampaign, Scheduler};
 use scent_simnet::{scenarios, Engine, WorldScale};
 use scent_stream::{
     MonitorConfig, MonitorControl, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
@@ -344,11 +345,9 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("monitor_2_windows", "enabled"), |b| {
         b.iter(|| {
             let registry = Telemetry::new();
-            StreamMonitor::new(monitor(false)).run_observed(
-                black_box(&engine),
-                black_box(&watched),
-                Some(&registry),
-            );
+            StreamMonitor::new(monitor(false))
+                .run_observed(black_box(&engine), black_box(&watched), Some(&registry))
+                .expect("no panic injected");
             black_box(registry.snapshot().deterministic.observations)
         })
     });
@@ -357,11 +356,9 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         |b| {
             b.iter(|| {
                 let registry = Telemetry::new();
-                StreamMonitor::new(monitor(true)).run_observed(
-                    black_box(&engine),
-                    black_box(&watched),
-                    Some(&registry),
-                );
+                StreamMonitor::new(monitor(true))
+                    .run_observed(black_box(&engine), black_box(&watched), Some(&registry))
+                    .expect("no panic injected");
                 black_box(registry.snapshot().deterministic.observations)
             })
         },
@@ -437,10 +434,57 @@ fn bench_checkpoint(c: &mut Criterion) {
     group.finish();
 }
 
+/// Multi-campaign scheduler scaling: the same 2-window campaign multiplexed
+/// as 1, 10 and 100 equal-weight tenants over one probe budget, with the
+/// per-tenant share held constant (the global budget scales with the tenant
+/// count). Total probing work grows linearly with N, so the curve's
+/// *super*-linear component is the scheduler's own cost — fair-share
+/// re-allocation at every step, boundary selection over the active set and
+/// the per-epoch session spin-up/drain — the overhead the perf gate guards.
+fn bench_scheduler(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::continuous_world(7)).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(2)
+        .collect();
+    let config = MonitorConfig {
+        shards: 2,
+        windows: 2,
+        checkpoint_every: Some(1), // one-window epochs: tenants interleave
+        ..MonitorConfig::default()
+    };
+    let mut group = c.benchmark_group("streaming/scheduler_experiment_scale");
+    group.sample_size(10);
+    for tenants in [1usize, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("monitor_2_windows", tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    let mut builder = Scheduler::builder().global_pps(500 * tenants as u64);
+                    for _ in 0..tenants {
+                        builder = builder.add(
+                            SchedCampaign::new(black_box(&engine), config.clone(), watched.clone()),
+                            1,
+                        );
+                    }
+                    let report = builder.run().expect("valid scheduler configuration");
+                    black_box(report.allocations.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
-        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead, bench_checkpoint
+        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead, bench_checkpoint,
+        bench_scheduler
 }
 criterion_main!(streaming);

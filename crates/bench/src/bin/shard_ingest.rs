@@ -46,7 +46,9 @@ fn observed_run(engine: &Engine, watched: &[Ipv6Prefix]) -> (u128, TelemetrySnap
     };
     let registry = Telemetry::new();
     let started = Instant::now();
-    StreamMonitor::new(config).run_observed(engine, watched, Some(&registry));
+    StreamMonitor::new(config)
+        .run_observed(engine, watched, Some(&registry))
+        .expect("no panic injected");
     (started.elapsed().as_nanos(), registry.snapshot())
 }
 

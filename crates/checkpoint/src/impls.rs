@@ -463,6 +463,9 @@ impl Checkpointable for EventKind {
                 w.put_usize(*watch_len);
                 w.put_u64(*expansion_probes);
             }
+            EventKind::WatchExhausted => {
+                w.put_u8(5);
+            }
         }
     }
 
@@ -501,6 +504,7 @@ impl Checkpointable for EventKind {
                 watch_len: r.usize()?,
                 expansion_probes: r.u64()?,
             },
+            5 => EventKind::WatchExhausted,
             _ => return Err(CheckpointError::InvalidValue("event kind")),
         })
     }
@@ -806,6 +810,13 @@ mod tests {
                     watch_len: 5,
                     expansion_probes: 99,
                 },
+            },
+            TelemetryEvent {
+                virtual_time: SimTime::at(7, 1),
+                window: 7,
+                epoch: 1,
+                shard: None,
+                kind: EventKind::WatchExhausted,
             },
         ];
         for event in &events {

@@ -232,6 +232,26 @@ impl QueueModel {
         }
     }
 
+    /// [`QueueModel::per_shard_drain`] built straight from a calibration
+    /// measurement: `ns_per_obs[i]` is shard `i`'s measured ingest cost in
+    /// nanoseconds per observation (the `shard_ingest` bench artifact), and
+    /// the drain rate becomes the observations that shard retires per
+    /// virtual second (`1e9 / ns`, floored, clamped to at least 1 so a
+    /// pathological measurement can never model a stuck consumer; a zero
+    /// measurement is treated as 1 ns). Default watermarks.
+    ///
+    /// The mapping itself is pure arithmetic, so feeding wall-clock
+    /// calibration numbers in keeps the resulting AIMD trajectory a
+    /// deterministic function of the *model* — runs stay byte-identical
+    /// across producer counts for any calibration input.
+    pub fn calibrated<I: IntoIterator<Item = u64>>(ns_per_obs: I) -> Self {
+        Self::per_shard_drain(
+            ns_per_obs
+                .into_iter()
+                .map(|ns| (1_000_000_000 / ns.max(1)).max(1)),
+        )
+    }
+
     /// The drain rate in force for `shard`: its per-shard override if one is
     /// configured, otherwise the uniform [`QueueModel::drain_rate`].
     pub fn drain_for(&self, shard: usize) -> Option<u64> {
@@ -802,6 +822,26 @@ mod tests {
         assert_eq!(model.drain_for(2), Some(7), "uniform fallback");
         assert_eq!(model.drain_for(0), Some(5), "override still wins");
         assert!(model.is_valid());
+    }
+
+    /// Satellite: `calibrated` maps measured ns-per-observation straight to
+    /// per-shard drain rates — `1e9 / ns`, floored, never zero — so the
+    /// `shard_ingest` calibration artifact can feed the model directly.
+    #[test]
+    fn calibrated_maps_ns_per_observation_to_drain_rates() {
+        // 1487 ns/obs and 1283 ns/obs: the seeded baseline.json magnitudes.
+        let model = QueueModel::calibrated([1_487, 1_283]);
+        assert_eq!(model.drain_for(0), Some(672_494), "1e9 / 1487, floored");
+        assert_eq!(model.drain_for(1), Some(779_423), "1e9 / 1283, floored");
+        assert_eq!(model.drain_for(2), None, "one rate per measured shard");
+        assert!(model.is_valid(), "default watermarks ride along");
+        // Degenerate measurements clamp instead of modelling a stuck or
+        // infinitely fast consumer.
+        let edge = QueueModel::calibrated([0, u64::MAX, 1_000_000_000, 2_000_000_000]);
+        assert_eq!(edge.drain_for(0), Some(1_000_000_000), "0 ns reads as 1 ns");
+        assert_eq!(edge.drain_for(1), Some(1), "slower than 1/s clamps to 1");
+        assert_eq!(edge.drain_for(2), Some(1));
+        assert_eq!(edge.drain_for(3), Some(1), "floor would be 0; clamps to 1");
     }
 
     /// Satellite: asymmetric per-shard drain rates keep the pace/skip

@@ -224,6 +224,13 @@ pub fn config_fingerprint(cfg: &MonitorConfig, watched_48s: &[Ipv6Prefix]) -> u6
         }
     }
     cfg.checkpoint_every.encode(&mut w);
+    match cfg.inject_shard_panic {
+        None => w.put_bool(false),
+        Some(shard) => {
+            w.put_bool(true);
+            w.put_usize(shard);
+        }
+    }
     for prefix in watched_48s {
         prefix.encode(&mut w);
     }
@@ -280,6 +287,7 @@ mod tests {
     fn obs(phase: Phase, window: u64, seq: u64, target: &str, source: Option<&str>) -> Observation {
         Observation {
             phase,
+            tenant: 0,
             window,
             seq,
             target: target.parse().unwrap(),
@@ -415,6 +423,9 @@ mod tests {
         assert_ne!(base, config_fingerprint(&other, &watched));
         let mut other = cfg.clone();
         other.checkpoint_every = Some(2);
+        assert_ne!(base, config_fingerprint(&other, &watched));
+        let mut other = cfg.clone();
+        other.inject_shard_panic = Some(0);
         assert_ne!(base, config_fingerprint(&other, &watched));
         assert_ne!(base, config_fingerprint(&cfg, &[]));
     }

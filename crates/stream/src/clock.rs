@@ -8,7 +8,7 @@
 //! and stamps its observations with the sequence numbers and virtual send
 //! times the single-producer stream would assign. [`MergedClock`] then
 //! recombines the slices with a binary-heap k-way merge keyed on
-//! `(virtual send time, window, sequence number, producer index)`:
+//! `(virtual send time, tenant, window, sequence number, producer index)`:
 //!
 //! * send times and `(window, seq)` are non-decreasing along every
 //!   producer's own stream, so one pending head per producer is enough;
@@ -43,13 +43,17 @@ use scent_telemetry::StreamObserver;
 
 use crate::observation::{Observation, ObservationSource};
 
-/// The heap key observations merge on: virtual send time, then window, then
-/// sequence number, then producer index. See the module docs for why this
-/// reconstructs the global probing order exactly.
-type ClockKey = (SimTime, u64, u64, usize);
+/// The heap key observations merge on: virtual send time, then tenant, then
+/// window, then sequence number, then producer index. See the module docs
+/// for why this reconstructs the global probing order exactly. The tenant
+/// component is what makes the key multi-campaign-safe: two campaigns'
+/// streams can collide on `(window, seq)` at the same virtual instant, and
+/// the tenant index keeps their merge order deterministic instead of
+/// falling through to the producer tie-break.
+type ClockKey = (SimTime, u32, u64, u64, usize);
 
 fn key_of(obs: &Observation, producer: usize) -> ClockKey {
-    (obs.sent_at, obs.window, obs.seq, producer)
+    (obs.sent_at, obs.tenant, obs.window, obs.seq, producer)
 }
 
 /// A deterministic k-way merge over per-producer observation streams.
@@ -93,7 +97,7 @@ impl<S: ObservationSource> MergedClock<S> {
 
 impl<S: ObservationSource> ObservationSource for MergedClock<S> {
     fn next_observation(&mut self) -> Option<Observation> {
-        let Reverse((_, _, _, producer)) = self.heap.pop()?;
+        let Reverse((_, _, _, _, producer)) = self.heap.pop()?;
         let obs = self.heads[producer]
             .take()
             .expect("a heap key always has a pending head");
@@ -265,8 +269,13 @@ mod tests {
     use scent_simnet::{scenarios, Engine};
 
     fn obs(sent_at: u64, window: u64, seq: u64) -> Observation {
+        obs_for(0, sent_at, window, seq)
+    }
+
+    fn obs_for(tenant: u32, sent_at: u64, window: u64, seq: u64) -> Observation {
         Observation {
             phase: Phase::Detection,
+            tenant,
             window,
             seq,
             target: "2001:db8::1".parse().unwrap(),
@@ -295,6 +304,22 @@ mod tests {
             .map(|o| (o.window, o.seq))
             .collect();
         assert_eq!(merged, vec![(0, 7), (0, 8), (1, 0), (1, 1)]);
+    }
+
+    /// Two tenants' streams can collide on `(window, seq)` at the same
+    /// virtual instant; the tenant component of the clock key must break the
+    /// tie deterministically — tenant order, not producer order.
+    #[test]
+    fn merge_orders_tenants_before_windows_and_producers() {
+        // Producer 0 carries tenant 1, producer 1 carries tenant 0; both
+        // streams share every (sent_at, window, seq) coordinate.
+        let a = VecSource(vec![obs_for(1, 5, 0, 0), obs_for(1, 5, 0, 1)].into_iter());
+        let b = VecSource(vec![obs_for(0, 5, 0, 0), obs_for(0, 5, 0, 1)].into_iter());
+        let mut clock = MergedClock::new(vec![a, b]);
+        let merged: Vec<(u32, u64)> = std::iter::from_fn(|| clock.next_observation())
+            .map(|o| (o.tenant, o.seq))
+            .collect();
+        assert_eq!(merged, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! The typed error surface of the streaming runs.
+//!
+//! Streaming runs can fail for two reasons: checkpoint plumbing (corrupt or
+//! mismatched snapshots, sink I/O) and shard-worker death. Before this type
+//! existed a shard panic re-raised on the control thread
+//! (`handle.join().expect(..)`) — fatal for a standalone run and
+//! catastrophic for a multi-campaign scheduler, where one poisoned tenant
+//! must not abort its neighbors. Runs now catch the join error, drain the
+//! surviving workers, and return [`StreamError::ShardPanicked`].
+
+use scent_checkpoint::CheckpointError;
+
+/// Why a streaming run ([`StreamMonitor`](crate::monitor::StreamMonitor) or
+/// [`StreamPipeline`](crate::pipeline::StreamPipeline)) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Checkpoint capture, storage or resume failed.
+    Checkpoint(CheckpointError),
+    /// A shard worker thread panicked mid-run. The run was aborted cleanly:
+    /// the ingest loop stopped, every surviving worker was drained and
+    /// joined, and no partial report was produced.
+    ShardPanicked {
+        /// The index of the shard whose worker died.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Checkpoint(err) => write!(f, "checkpoint error: {err}"),
+            StreamError::ShardPanicked { shard } => {
+                write!(f, "shard {shard} worker panicked; run aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Checkpoint(err) => Some(err),
+            StreamError::ShardPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for StreamError {
+    fn from(err: CheckpointError) -> Self {
+        StreamError::Checkpoint(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = StreamError::ShardPanicked { shard: 3 };
+        assert_eq!(err.to_string(), "shard 3 worker panicked; run aborted");
+        assert!(std::error::Error::source(&err).is_none());
+
+        let err: StreamError = CheckpointError::Truncated.into();
+        assert!(err.to_string().contains("checkpoint error"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

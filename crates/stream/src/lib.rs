@@ -15,7 +15,8 @@
 //! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels; [`ShardMap`] exposes the pure target → shard mapping the feedback model shares |
 //! | Per-shard inference | [`shard`] | Worker threads folding observations into the incremental classifiers of `scent-core` |
 //! | Batch equivalence | [`pipeline`] | [`StreamPipeline`]: the full discovery pipeline, streamed — produces an identical [`PipelineReport`](scent_core::PipelineReport) |
-//! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking, and an optionally *live* watch list ([`WatchChurn`]) revised from the monitor's own density state |
+//! | Continuous monitor | [`monitor`] | [`StreamMonitor`]: endless windows, live [`RotationEvent`](scent_core::RotationEvent)s, passive tracking, and an optionally *live* watch list ([`WatchChurn`]) revised from the monitor's own density state; [`MonitorSession`] exposes the same run one epoch at a time for external scheduling |
+//! | Typed failures | [`error`] | [`StreamError`]: checkpoint failures and shard-worker panics surface as values, never as control-thread panics |
 //! | Telemetry mirrors | [`observe`] | [`RateReplica`]: merge-side replay of the producers' AIMD pacer, feeding [`StreamObserver`](scent_telemetry::StreamObserver) hooks in deterministic order |
 //! | Checkpoint/restore | [`checkpoint`] | [`MonitorSnapshot`]: every piece of incremental monitor state captured at an epoch boundary, restored by [`StreamMonitor::run_controlled`] for byte-identical resume; [`StopSignal`] for graceful drain |
 //!
@@ -59,6 +60,7 @@
 
 pub mod checkpoint;
 pub mod clock;
+pub mod error;
 pub mod monitor;
 pub mod observation;
 pub mod observe;
@@ -69,7 +71,10 @@ pub mod source;
 
 pub use checkpoint::{config_fingerprint, world_fingerprint, MonitorSnapshot, StopSignal};
 pub use clock::{spawn_producers, ChannelSource, CountedSource, LimitedSource, MergedClock};
-pub use monitor::{MonitorConfig, MonitorControl, MonitorReport, StreamMonitor, WatchChurn};
+pub use error::StreamError;
+pub use monitor::{
+    MonitorConfig, MonitorControl, MonitorReport, MonitorSession, StreamMonitor, WatchChurn,
+};
 pub use observation::{Observation, ObservationSource, Phase};
 pub use observe::RateReplica;
 pub use pipeline::{StreamConfig, StreamPipeline};

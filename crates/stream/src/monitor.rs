@@ -34,6 +34,7 @@ use scent_telemetry::{EpochSummary, StreamObserver};
 
 use crate::checkpoint::{config_fingerprint, world_fingerprint, MonitorSnapshot, StopSignal};
 use crate::clock::{spawn_producers, CountedSource, LimitedSource};
+use crate::error::StreamError;
 use crate::observation::ObservationSource;
 use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
@@ -63,10 +64,13 @@ use crate::source::ContinuousStream;
 ///
 /// The scent can dry up: when every watched /48 goes quiet in one epoch and
 /// the boundary expansion validates nothing, the revision leaves the watch
-/// list **empty**, and — since re-expansion seeds derive from the watched
-/// /48s — it stays empty for the rest of the run (the remaining epochs probe
-/// nothing). That terminal state is deliberate and visible:
-/// [`MonitorReport::final_watch`] is empty and the draining revisions are in
+/// list **empty** — and since re-expansion seeds derive from the watched
+/// /48s, it could never refill. The monitor treats that as terminal: it
+/// emits a deterministic `WatchExhausted` telemetry event and **ends the run
+/// at that boundary** instead of spinning empty epochs and charging
+/// expansion probes against the budget ([`MonitorReport::exhausted_at`]
+/// marks the window; a scheduler-driven session parks instead — see
+/// [`MonitorSession`]). The draining revisions are in
 /// [`MonitorReport::revisions`]. Give the monitor a wider
 /// [`WatchChurn::expansion_len`] when pools may migrate beyond their
 /// enclosing block.
@@ -178,6 +182,12 @@ pub struct MonitorConfig {
     /// why this field participates in the snapshot's config fingerprint.
     /// With churn on, must be a multiple of [`WatchChurn::refresh_every`].
     pub checkpoint_every: Option<u64>,
+    /// Fault injection for the panic-propagation tests: when set, the given
+    /// shard's worker panics on its first observation, and the run must
+    /// surface [`StreamError::ShardPanicked`]
+    /// instead of aborting the process. `None` (the default, and the only
+    /// sensible production value) injects nothing.
+    pub inject_shard_panic: Option<usize>,
 }
 
 impl Default for MonitorConfig {
@@ -199,6 +209,7 @@ impl Default for MonitorConfig {
             retention_windows: None,
             churn: None,
             checkpoint_every: None,
+            inject_shard_panic: None,
         }
     }
 }
@@ -241,6 +252,11 @@ pub struct MonitorReport {
     /// shards, so they are accounted here and not in
     /// [`MonitorReport::observations`].
     pub expansion_probes: u64,
+    /// When a churning run's watch list drained to terminal-empty, the
+    /// completed-window count at that boundary (the run ended there —
+    /// [`MonitorReport::windows`] equals this value). `None` for every run
+    /// that kept a non-empty watch list.
+    pub exhausted_at: Option<u64>,
 }
 
 impl MonitorReport {
@@ -293,11 +309,16 @@ impl StreamMonitor {
     /// probe. Every producer of the next epoch is then built from the same
     /// revision history, which is what keeps churning runs byte-identical
     /// at any producer count.
+    ///
+    /// The only error a plain run can produce is
+    /// [`StreamError::ShardPanicked`]: a shard worker dying no longer
+    /// re-raises on the control thread — the run aborts cleanly and returns
+    /// the typed error instead.
     pub fn run<B: ProbeTransport + WorldView + ?Sized>(
         &self,
         world: &B,
         watched_48s: &[Ipv6Prefix],
-    ) -> MonitorReport {
+    ) -> Result<MonitorReport, StreamError> {
         self.run_observed(world, watched_48s, None)
     }
 
@@ -314,7 +335,7 @@ impl StreamMonitor {
         world: &B,
         watched_48s: &[Ipv6Prefix],
         observer: Option<&dyn StreamObserver>,
-    ) -> MonitorReport {
+    ) -> Result<MonitorReport, StreamError> {
         self.run_controlled(
             world,
             watched_48s,
@@ -323,7 +344,6 @@ impl StreamMonitor {
                 ..MonitorControl::default()
             },
         )
-        .expect("no sink and no resume state: checkpoint errors are impossible")
     }
 
     /// [`StreamMonitor::run_observed`] plus crash-safe checkpointing,
@@ -351,25 +371,130 @@ impl StreamMonitor {
     ///   [`WatchChurn::refresh_every`]) down to one window when prompt stops
     ///   matter.
     ///
-    /// The only errors are checkpoint errors; a run with neither sink nor
-    /// resume state cannot fail.
+    /// Errors are [`StreamError::Checkpoint`] for checkpoint plumbing and
+    /// [`StreamError::ShardPanicked`] when a shard worker dies; a run with
+    /// neither sink nor resume state can only fail the latter way.
+    ///
+    /// Internally this drives a [`MonitorSession`] one epoch at a time at
+    /// the configured budget — the session type is public so an external
+    /// scheduler can do the same with interleaved epochs and varying
+    /// budgets.
     pub fn run_controlled<B: ProbeTransport + WorldView + ?Sized>(
         &self,
         world: &B,
         watched_48s: &[Ipv6Prefix],
         control: MonitorControl<'_>,
-    ) -> Result<MonitorReport, CheckpointError> {
+    ) -> Result<MonitorReport, StreamError> {
         let MonitorControl {
             observer,
             mut sink,
             resume,
             stop,
         } = control;
+        let mut session =
+            MonitorSession::new(world, self.config.clone(), watched_48s.to_vec(), observer);
+        if let Some(stop) = stop {
+            session = session.with_stop(stop);
+        }
+        if let Some(snapshot) = resume {
+            session = session.resume(snapshot)?;
+        }
+        while !session.is_done() {
+            session.run_epoch(self.config.packets_per_second)?;
+            // Checkpoint at the boundary: on the configured cadence, plus
+            // unconditionally at the run's effective end — final epoch, stop
+            // boundary or watch exhaustion — the resume points someone will
+            // actually want. Shard state is captured from the joined
+            // epoch's carried states, so the snapshot reflects exactly the
+            // observations ingested so far.
+            if let Some(sink) = sink.as_deref_mut() {
+                let on_cadence = self
+                    .config
+                    .checkpoint_every
+                    .map_or(true, |every| session.completed_windows() % every == 0);
+                if on_cadence || session.is_done() {
+                    let bytes = session.snapshot().to_bytes();
+                    sink.store(session.next_epoch() as u64, &bytes)
+                        .map_err(StreamError::Checkpoint)?;
+                }
+            }
+        }
+        Ok(session.finish())
+    }
+}
+
+/// A [`StreamMonitor`] run held open between epochs — the engine behind
+/// [`StreamMonitor::run_controlled`], exposed so an external scheduler (the
+/// `scent-sched` crate) can interleave several campaigns' epochs over one
+/// global virtual clock.
+///
+/// A session owns every piece of incremental run state: the live watch list
+/// and revision history, the carried per-shard inference states, the rate
+/// trajectory, the stop/exhaustion flags. Each [`MonitorSession::run_epoch`]
+/// call advances exactly one epoch at a caller-chosen probe budget, spawning
+/// the epoch's producers and shards inside the call and joining them before
+/// it returns — so at most one session's threads are alive at a time no
+/// matter how many sessions a scheduler multiplexes. Driving a fresh session
+/// to completion at a constant budget of
+/// [`MonitorConfig::packets_per_second`] reproduces [`StreamMonitor::run`]
+/// byte for byte; varying the budget between epochs is how the scheduler
+/// implements weighted fair shares.
+///
+/// The tenant tag ([`MonitorSession::with_tenant`]) rides every observation
+/// into the merged clock's key so neighboring tenants' epochs can never
+/// alias; it never reaches any report or deterministic-telemetry field,
+/// which is what keeps a campaign's output byte-identical whether it runs
+/// solo or among neighbors.
+pub struct MonitorSession<'a, B: ?Sized> {
+    world: &'a B,
+    config: MonitorConfig,
+    observer: Option<&'a dyn StreamObserver>,
+    tenant: u32,
+    stop: Option<StopSignal>,
+    generator: TargetGenerator,
+    shard_map: ShardMap,
+    feedback_map: Option<ShardMap>,
+    epochs: Vec<(u64, u64)>,
+    initial_watched: Vec<Ipv6Prefix>,
+    watched: Vec<Ipv6Prefix>,
+    revisions: Vec<WatchRevision>,
+    expansion_probes: u64,
+    next_epoch: usize,
+    current_window: u64,
+    final_rate: u64,
+    completed_windows: u64,
+    states: Vec<ShardInference>,
+    stalls: u64,
+    exhausted_at: Option<u64>,
+    stopped: bool,
+    failed: bool,
+    restored_events: usize,
+    fingerprints: Option<(u64, u64)>,
+    live_tx: std::sync::mpsc::Sender<RotationEvent>,
+    live_rx: std::sync::mpsc::Receiver<RotationEvent>,
+    started: Option<std::time::Instant>,
+}
+
+impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
+    /// Open a session: validate the configuration, lay out the epochs and
+    /// arm the initial watch list. No threads are spawned until
+    /// [`MonitorSession::run_epoch`].
+    ///
+    /// A churn-enabled session whose *initial* watch list is already empty
+    /// starts exhausted ([`MonitorReport::exhausted_at`] `= Some(0)`):
+    /// there is nothing to probe, and boundary re-expansion — seeded from
+    /// the watched /48s — could never refill the list.
+    pub fn new(
+        world: &'a B,
+        config: MonitorConfig,
+        watched_48s: Vec<Ipv6Prefix>,
+        observer: Option<&'a dyn StreamObserver>,
+    ) -> Self {
         let started = observer.is_some().then(std::time::Instant::now);
         if let Some(telemetry) = observer {
-            telemetry.on_run_start(self.config.shards, self.config.producers);
+            telemetry.on_run_start(config.shards, config.producers);
         }
-        let cfg = &self.config;
+        let cfg = &config;
         assert!(cfg.producers > 0, "at least one producer");
         if let Some(churn) = &cfg.churn {
             assert!(churn.refresh_every > 0, "refresh cadence must be non-zero");
@@ -393,36 +518,12 @@ impl StreamMonitor {
                 );
             }
         }
-        // Fingerprints tie snapshots to this exact run; only worth computing
-        // when checkpointing is in play.
-        let fingerprints = (sink.is_some() || resume.is_some()).then(|| {
-            (
-                config_fingerprint(cfg, watched_48s),
-                world_fingerprint(world),
-            )
-        });
         let generator = TargetGenerator::new(cfg.seed);
         // One ShardMap instance serves both the router and (when feedback is
         // on) every producer's virtual-queue pacer, so the two agree on
         // routing by construction.
         let shard_map = ShardMap::new(&world.rib().entries(), cfg.shards);
         let feedback_map = cfg.rate_feedback.then(|| shard_map.clone());
-        let build_stream =
-            |watched: &[Ipv6Prefix], start_window: u64, producer: usize, producers: usize| {
-                let targets =
-                    TargetStream::new(&generator, watched, cfg.granularity, cfg.seed, true)
-                        .starting_at_window(start_window);
-                let mut builder = ContinuousStream::builder(world, targets)
-                    .rate_pps(cfg.packets_per_second)
-                    .start(cfg.start)
-                    .window_interval(cfg.window_interval)
-                    .slice(producer, producers);
-                if let Some(map) = &feedback_map {
-                    builder = builder.feedback(cfg.queue_model.clone(), map.clone());
-                }
-                builder.build()
-            };
-
         // Epoch layout: `refresh_every`-window segments when the watch list
         // churns, `checkpoint_every`-window segments when checkpointing
         // alone asks for boundaries (boundaries are where snapshots can be
@@ -437,278 +538,466 @@ impl StreamMonitor {
             .step_by(epoch_windows as usize)
             .map(|start| (start, epoch_windows.min(cfg.windows - start)))
             .collect();
-
-        let mut watched: Vec<Ipv6Prefix> = watched_48s.to_vec();
-        let mut revisions: Vec<WatchRevision> = Vec::new();
-        let mut expansion_probes = 0u64;
-        let mut start_epoch = 0usize;
-        let mut resume_window = 0u64;
-        let mut resume_rate = None;
-        let mut restored_events = 0usize;
-        let mut initial_states: Option<Vec<ShardInference>> = None;
-
-        if let Some(snapshot) = resume {
-            let (config_fp, world_fp) = fingerprints.expect("resume implies fingerprints");
-            if snapshot.config_fingerprint != config_fp {
-                return Err(CheckpointError::ConfigMismatch {
-                    found: snapshot.config_fingerprint,
-                    expected: config_fp,
-                });
-            }
-            if snapshot.world_fingerprint != world_fp {
-                return Err(CheckpointError::WorldMismatch {
-                    found: snapshot.world_fingerprint,
-                    expected: world_fp,
-                });
-            }
-            if snapshot.next_epoch as usize > epochs.len() {
-                return Err(CheckpointError::InvalidValue(
-                    "snapshot epoch beyond the configured run",
-                ));
-            }
-            restored_events = snapshot.event_count();
-            start_epoch = snapshot.next_epoch as usize;
-            resume_window = snapshot.current_window;
-            resume_rate = Some(snapshot.final_rate);
-            watched = snapshot.watched;
-            revisions = snapshot.revisions;
-            expansion_probes = snapshot.expansion_probes;
-            if let (Some(telemetry), Some(det)) = (observer, &snapshot.telemetry) {
-                telemetry.restore_deterministic(det);
-            }
-            // Re-split the restored inference state for this run's shard
-            // map: the rotation detector's per-target entries must live in
-            // the shard that will receive that target's future observations
-            // (the detector reads its previous entry on every ingest), while
-            // all the union-merged state — density, tracker, events,
-            // address sets, counters — can ride along in shard 0 because the
-            // end-of-run merge recombines it identically either way. This
-            // also makes snapshots portable across shard counts.
-            let restored = ShardInference::merge_all(snapshot.shards);
-            let mut detectors: Vec<HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>> =
-                vec![HashMap::new(); cfg.shards];
-            for (target, entry) in restored.detector.last_observations() {
-                detectors[shard_map.shard_for(*target)].insert(*target, *entry);
-            }
-            let mut states: Vec<ShardInference> = detectors
-                .into_iter()
-                .map(|last| ShardInference {
-                    detector: WindowedRotationDetector::from_last_observations(last),
-                    ..ShardInference::new()
-                })
-                .collect();
-            let detector = std::mem::take(&mut states[0].detector);
-            states[0] = ShardInference {
-                detector,
-                ..restored
-            };
-            initial_states = Some(states);
-        }
-
+        let exhausted_at = (cfg.churn.is_some() && watched_48s.is_empty()).then_some(0);
+        let states: Vec<ShardInference> = (0..cfg.shards).map(|_| ShardInference::new()).collect();
+        let final_rate = cfg.packets_per_second;
         let (live_tx, live_rx) = std::sync::mpsc::channel();
-        let run = std::thread::scope(|scope| -> Result<_, CheckpointError> {
+        MonitorSession {
+            world,
+            observer,
+            tenant: 0,
+            stop: None,
+            generator,
+            shard_map,
+            feedback_map,
+            epochs,
+            initial_watched: watched_48s.clone(),
+            watched: watched_48s,
+            revisions: Vec::new(),
+            expansion_probes: 0,
+            next_epoch: 0,
+            current_window: 0,
+            final_rate,
+            completed_windows: 0,
+            states,
+            stalls: 0,
+            exhausted_at,
+            stopped: false,
+            failed: false,
+            restored_events: 0,
+            fingerprints: None,
+            live_tx,
+            live_rx,
+            started,
+            config,
+        }
+    }
+
+    /// Tag every observation this session produces with a tenant index —
+    /// how a scheduler keeps N sessions' streams disjoint in the merged
+    /// clock's key space. The tag never reaches any report or
+    /// deterministic-telemetry field. Defaults to 0.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Attach a cooperative stop flag, polled after each epoch has fully
+    /// drained — [`MonitorControl::stop`], session-shaped.
+    pub fn with_stop(mut self, stop: StopSignal) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Continue from a snapshot's epoch boundary instead of starting fresh
+    /// — [`MonitorControl::resume`], session-shaped. The continuation is
+    /// byte-identical to the uninterrupted run. A snapshot captured under a
+    /// different configuration, initial watch list or world is refused.
+    pub fn resume(mut self, snapshot: MonitorSnapshot) -> Result<Self, CheckpointError> {
+        let (config_fp, world_fp) = self.fingerprints();
+        if snapshot.config_fingerprint != config_fp {
+            return Err(CheckpointError::ConfigMismatch {
+                found: snapshot.config_fingerprint,
+                expected: config_fp,
+            });
+        }
+        if snapshot.world_fingerprint != world_fp {
+            return Err(CheckpointError::WorldMismatch {
+                found: snapshot.world_fingerprint,
+                expected: world_fp,
+            });
+        }
+        if snapshot.next_epoch as usize > self.epochs.len() {
+            return Err(CheckpointError::InvalidValue(
+                "snapshot epoch beyond the configured run",
+            ));
+        }
+        self.restored_events = snapshot.event_count();
+        self.next_epoch = snapshot.next_epoch as usize;
+        self.completed_windows = self.epochs[..self.next_epoch]
+            .iter()
+            .map(|&(_, len)| len)
+            .sum();
+        self.current_window = snapshot.current_window;
+        self.final_rate = snapshot.final_rate;
+        self.watched = snapshot.watched;
+        self.revisions = snapshot.revisions;
+        self.expansion_probes = snapshot.expansion_probes;
+        if let (Some(telemetry), Some(det)) = (self.observer, &snapshot.telemetry) {
+            telemetry.restore_deterministic(det);
+        }
+        // Re-split the restored inference state for this run's shard map:
+        // the rotation detector's per-target entries must live in the shard
+        // that will receive that target's future observations (the detector
+        // reads its previous entry on every ingest), while all the
+        // union-merged state — density, tracker, events, address sets,
+        // counters — can ride along in shard 0 because the end-of-run merge
+        // recombines it identically either way. This also makes snapshots
+        // portable across shard counts.
+        let restored = ShardInference::merge_all(snapshot.shards);
+        let mut detectors: Vec<HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>> =
+            vec![HashMap::new(); self.config.shards];
+        for (target, entry) in restored.detector.last_observations() {
+            detectors[self.shard_map.shard_for(*target)].insert(*target, *entry);
+        }
+        let mut states: Vec<ShardInference> = detectors
+            .into_iter()
+            .map(|last| ShardInference {
+                detector: WindowedRotationDetector::from_last_observations(last),
+                ..ShardInference::new()
+            })
+            .collect();
+        let detector = std::mem::take(&mut states[0].detector);
+        states[0] = ShardInference {
+            detector,
+            ..restored
+        };
+        self.states = states;
+        // A snapshot taken at an exhaustion boundary restores to a parked
+        // session. The `WatchExhausted` event is already in the restored
+        // telemetry journal, so it is not re-emitted.
+        self.exhausted_at = (self.config.churn.is_some() && self.watched.is_empty())
+            .then_some(self.completed_windows);
+        Ok(self)
+    }
+
+    fn fingerprints(&mut self) -> (u64, u64) {
+        if self.fingerprints.is_none() {
+            self.fingerprints = Some((
+                config_fingerprint(&self.config, &self.initial_watched),
+                world_fingerprint(self.world),
+            ));
+        }
+        self.fingerprints.expect("just computed")
+    }
+
+    /// Whether the session has nothing left to run: every configured window
+    /// completed, a stop honored, the watch list exhausted, or a shard
+    /// failure recorded. [`MonitorSession::run_epoch`] must not be called
+    /// once this is true.
+    pub fn is_done(&self) -> bool {
+        self.failed
+            || self.stopped
+            || self.exhausted_at.is_some()
+            || self.next_epoch >= self.epochs.len()
+    }
+
+    /// Windows completed so far (the prefix of the run already ingested).
+    pub fn completed_windows(&self) -> u64 {
+        self.completed_windows
+    }
+
+    /// Index of the next epoch to run — also the checkpoint key
+    /// [`StreamMonitor::run_controlled`] stores boundary snapshots under.
+    pub fn next_epoch(&self) -> usize {
+        self.next_epoch
+    }
+
+    /// When the watch list drained to terminal-empty, the completed-window
+    /// count at that boundary ([`MonitorReport::exhausted_at`]).
+    pub fn exhausted_at(&self) -> Option<u64> {
+        self.exhausted_at
+    }
+
+    /// The virtual time at which the next epoch would end — the priority
+    /// key a scheduler orders runnable sessions by (earliest boundary
+    /// first). Once the session is done this is pinned at the final
+    /// boundary already reached.
+    pub fn next_boundary(&self) -> SimTime {
+        let (start_window, len) = self
+            .epochs
+            .get(self.next_epoch)
+            .copied()
+            .unwrap_or_else(|| self.epochs.last().copied().unwrap_or((0, 0)));
+        self.config.start
+            + SimDuration::from_secs(self.config.window_interval.as_secs() * (start_window + len))
+    }
+
+    /// Advance the session by exactly one epoch, probing at `pps` packets
+    /// per second. Returns whether a [`StopSignal`] was observed (the
+    /// session is then done).
+    ///
+    /// The epoch's producers and inference shards are spawned inside the
+    /// call and joined before it returns; the carried per-shard states seed
+    /// the workers and are collected back, so a sequence of `run_epoch`
+    /// calls is observation-for-observation identical to the single
+    /// [`StreamMonitor::run`] loop at the same budgets.
+    ///
+    /// A shard worker dying mid-epoch aborts the epoch cleanly — the ingest
+    /// loop stops routing, surviving workers drain and are joined — and
+    /// surfaces as [`StreamError::ShardPanicked`]. The session is then
+    /// failed: [`MonitorSession::is_done`] turns true and no report can be
+    /// produced from it.
+    pub fn run_epoch(&mut self, pps: u64) -> Result<bool, StreamError> {
+        assert!(!self.is_done(), "run_epoch on a finished session");
+        let cfg = &self.config;
+        let world = self.world;
+        let observer = self.observer;
+        let tenant = self.tenant;
+        let epoch = self.next_epoch;
+        let epochs_len = self.epochs.len();
+        let (start_window, len) = self.epochs[epoch];
+        let generator = &self.generator;
+        let feedback_map = &self.feedback_map;
+        let stop_flag = &self.stop;
+        let watched = &self.watched;
+        let build_stream =
+            |watched: &[Ipv6Prefix], start_window: u64, producer: usize, producers: usize| {
+                let targets =
+                    TargetStream::new(generator, watched, cfg.granularity, cfg.seed, true)
+                        .starting_at_window(start_window);
+                let mut builder = ContinuousStream::builder(world, targets)
+                    .rate_pps(pps)
+                    .start(cfg.start)
+                    .window_interval(cfg.window_interval)
+                    .tenant(tenant)
+                    .slice(producer, producers);
+                if let Some(map) = feedback_map {
+                    builder = builder.feedback(cfg.queue_model.clone(), map.clone());
+                }
+                builder.build()
+            };
+
+        let initial = std::mem::take(&mut self.states);
+        let live_tx = self.live_tx.clone();
+        let shard_map = self.shard_map.clone();
+        let mut current_window = self.current_window;
+        // Per-epoch density state feeding the next revision, keyed by
+        // watched /48. Folded on the merge side — the deterministic
+        // observation order — so revisions never depend on scheduling.
+        let mut epoch_density: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
+
+        let (states, stalls, final_rate, stopping, panicked) = std::thread::scope(|scope| {
             let (senders, handles) = spawn_shards_seeded(
                 scope,
                 cfg.shards,
                 cfg.channel_capacity,
                 Some(live_tx),
                 observer,
-                initial_states,
+                Some(initial),
+                cfg.inject_shard_panic,
             );
             let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
             if let Some(telemetry) = observer {
                 router = router.with_observer(telemetry);
             }
-            let mut current_window = resume_window;
-            let mut final_rate = resume_rate.unwrap_or(cfg.packets_per_second);
-            let mut completed_windows: u64 =
-                epochs[..start_epoch].iter().map(|&(_, len)| len).sum();
-            // Per-epoch density state feeding the next revision, keyed by
-            // watched /48. Folded on the merge side — the deterministic
-            // observation order — so revisions never depend on scheduling.
-            let mut epoch_density: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
+            // A fresh merge-side rate replica per epoch, mirroring the
+            // epoch's fresh producer pacers (each epoch's revised target
+            // set is paced from scratch) — only worth building when both
+            // feedback and an observer are on.
+            let mut replica = match (feedback_map, observer) {
+                (Some(map), Some(_)) => Some(RateReplica::continuous(
+                    cfg.start,
+                    pps,
+                    cfg.queue_model.clone(),
+                    map.clone(),
+                    cfg.window_interval,
+                )),
+                _ => None,
+            };
+            let mut ingest = |router: &mut ShardRouter<'_>,
+                              epoch_density: &mut HashMap<Ipv6Prefix, DensityAccumulator>,
+                              obs: crate::observation::Observation| {
+                if let (Some(replica), Some(telemetry)) = (replica.as_mut(), observer) {
+                    replica.observe(&obs, telemetry);
+                }
+                if cfg.churn.is_some() {
+                    epoch_density
+                        .entry(obs.target_48())
+                        .or_default()
+                        .observe(&obs.record());
+                }
+                if obs.window > current_window {
+                    current_window = obs.window;
+                    if let Some(keep) = cfg.retention_windows {
+                        if current_window > keep {
+                            router.compact_before(current_window - keep);
+                        }
+                    }
+                }
+                router.route(obs);
+            };
 
-            for (epoch, &(start_window, len)) in epochs.iter().enumerate().skip(start_epoch) {
-                epoch_density.clear();
-                // A fresh merge-side rate replica per epoch, mirroring the
-                // epoch's fresh producer pacers (each epoch's revised target
-                // set is paced from scratch) — only worth building when both
-                // feedback and an observer are on.
-                let mut replica = match (&feedback_map, observer) {
-                    (Some(map), Some(_)) => Some(RateReplica::continuous(
-                        cfg.start,
-                        cfg.packets_per_second,
-                        cfg.queue_model.clone(),
-                        map.clone(),
-                        cfg.window_interval,
-                    )),
-                    _ => None,
-                };
-                let mut ingest =
-                    |router: &mut ShardRouter<'_>,
-                     epoch_density: &mut HashMap<Ipv6Prefix, DensityAccumulator>,
-                     obs: crate::observation::Observation| {
-                        if let (Some(replica), Some(telemetry)) = (replica.as_mut(), observer) {
-                            replica.observe(&obs, telemetry);
-                        }
-                        if cfg.churn.is_some() {
-                            epoch_density
-                                .entry(obs.target_48())
-                                .or_default()
-                                .observe(&obs.record());
-                        }
-                        if obs.window > current_window {
-                            current_window = obs.window;
-                            if let Some(keep) = cfg.retention_windows {
-                                if current_window > keep {
-                                    router.compact_before(current_window - keep);
-                                }
-                            }
-                        }
-                        router.route(obs);
+            let stopping;
+            let final_rate = if cfg.producers == 1 {
+                let mut stream =
+                    CountedSource::new(build_stream(watched, start_window, 0, 1), 0, observer);
+                let total = stream.inner().window_len() as u64 * len;
+                for _ in 0..total {
+                    if router.dead_shard().is_some() {
+                        break;
+                    }
+                    let Some(obs) = stream.next_observation() else {
+                        break;
                     };
-
-                let stopping;
-                final_rate = if cfg.producers == 1 {
-                    let mut stream =
-                        CountedSource::new(build_stream(&watched, start_window, 0, 1), 0, observer);
-                    let total = stream.inner().window_len() as u64 * len;
-                    for _ in 0..total {
-                        let Some(obs) = stream.next_observation() else {
-                            break;
-                        };
-                        ingest(&mut router, &mut epoch_density, obs);
+                    ingest(&mut router, &mut epoch_density, obs);
+                }
+                stopping = stop_flag.as_ref().is_some_and(StopSignal::is_stopped);
+                stream.inner().rate()
+            } else {
+                let sources: Vec<_> = (0..cfg.producers)
+                    .map(|k| {
+                        let stream = build_stream(watched, start_window, k, cfg.producers);
+                        let limit = stream.slice_len() as u64 * len;
+                        CountedSource::new(LimitedSource::new(stream, limit), k, observer)
+                    })
+                    .collect();
+                let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
+                while let Some(obs) = clock.next_observation() {
+                    if router.dead_shard().is_some() {
+                        break;
                     }
-                    stopping = stop.as_ref().is_some_and(StopSignal::is_stopped);
-                    stream.inner().rate()
+                    ingest(&mut router, &mut epoch_density, obs);
+                }
+                stopping = stop_flag.as_ref().is_some_and(StopSignal::is_stopped);
+                // The producers' pacers ended on their own threads; replay
+                // the (deterministic) trajectory probe-free to report the
+                // same end-of-epoch rate the single-producer run holds.
+                // Only the final epoch's rate is ever reported (the pacer
+                // restarts each epoch), and without feedback the rate never
+                // moves, so skip the replay everywhere else — unless a stop
+                // makes this boundary the effective end of the run.
+                if cfg.rate_feedback && (epoch + 1 == epochs_len || stopping) {
+                    let mut replay = build_stream(watched, start_window, 0, 1);
+                    replay.replay_windows(len);
+                    replay.rate()
                 } else {
-                    let sources: Vec<_> = (0..cfg.producers)
-                        .map(|k| {
-                            let stream = build_stream(&watched, start_window, k, cfg.producers);
-                            let limit = stream.slice_len() as u64 * len;
-                            CountedSource::new(LimitedSource::new(stream, limit), k, observer)
-                        })
-                        .collect();
-                    let mut clock = spawn_producers(scope, sources, cfg.channel_capacity);
-                    while let Some(obs) = clock.next_observation() {
-                        ingest(&mut router, &mut epoch_density, obs);
-                    }
-                    stopping = stop.as_ref().is_some_and(StopSignal::is_stopped);
-                    // The producers' pacers ended on their own threads;
-                    // replay the (deterministic) trajectory probe-free to
-                    // report the same end-of-epoch rate the single-producer
-                    // run holds. Only the final epoch's rate is ever
-                    // reported (the pacer restarts each epoch), and without
-                    // feedback the rate never moves, so skip the replay
-                    // everywhere else — unless a stop makes this boundary
-                    // the effective end of the run.
-                    if cfg.rate_feedback && (epoch + 1 == epochs.len() || stopping) {
-                        let mut replay = build_stream(&watched, start_window, 0, 1);
-                        replay.replay_windows(len);
-                        replay.rate()
-                    } else {
-                        cfg.packets_per_second
-                    }
-                };
-
-                // Close the epoch: re-expand the blocks around the watched
-                // space and fold the epoch's density state through the
-                // revision — but only when more windows follow (a final
-                // revision would never be probed).
-                if let Some(churn) = &cfg.churn {
-                    if epoch + 1 < epochs.len() {
-                        let boundary = cfg.start
-                            + SimDuration::from_secs(
-                                cfg.window_interval.as_secs() * (start_window + len),
-                            );
-                        let mut seeds: Vec<Ipv6Prefix> = watched
-                            .iter()
-                            .map(|p| {
-                                p.supernet(churn.expansion_len.min(p.len()))
-                                    .expect("supernet of a watched prefix")
-                            })
-                            .collect();
-                        seeds.sort();
-                        seeds.dedup();
-                        let expansion = SeedExpansion::run(
-                            world,
-                            &seeds,
-                            boundary,
-                            cfg.seed,
-                            churn.max_48s_per_seed,
-                        );
-                        expansion_probes += expansion.probed_48s;
-                        let (next, revision) = SeedExpansion::revise_watch_list(
-                            epoch as u64,
-                            &watched,
-                            &epoch_density,
-                            &expansion.validated_48s,
-                            churn.watch_capacity,
-                        );
-                        if let Some(telemetry) = observer {
-                            telemetry.on_epoch_close(&EpochSummary {
-                                epoch: revision.epoch,
-                                at: boundary,
-                                window: start_window + len - 1,
-                                admitted: &revision.admitted,
-                                evicted: &revision.evicted,
-                                watch_len: next.len(),
-                                expansion_probes: expansion.probed_48s,
-                            });
-                        }
-                        watched = next;
-                        revisions.push(revision);
-                    }
+                    pps
                 }
-                completed_windows = start_window + len;
-
-                // Checkpoint at the boundary: on the configured cadence,
-                // plus unconditionally at the run's final boundary and at a
-                // stop boundary (the resume points someone will actually
-                // want). Shard state is captured via a FIFO flush, so the
-                // snapshot reflects exactly the observations routed so far.
-                if let Some(sink) = sink.as_deref_mut() {
-                    let on_cadence = cfg
-                        .checkpoint_every
-                        .map_or(true, |every| completed_windows % every == 0);
-                    if on_cadence || stopping || epoch + 1 == epochs.len() {
-                        let (config_fp, world_fp) =
-                            fingerprints.expect("sink implies fingerprints");
-                        let snapshot = MonitorSnapshot {
-                            config_fingerprint: config_fp,
-                            world_fingerprint: world_fp,
-                            next_epoch: (epoch + 1) as u64,
-                            current_window,
-                            expansion_probes,
-                            final_rate,
-                            watched: watched.clone(),
-                            revisions: revisions.clone(),
-                            shards: router.flush(),
-                            telemetry: observer.and_then(|o| o.checkpoint_deterministic()),
-                        };
-                        sink.store((epoch + 1) as u64, &snapshot.to_bytes())?;
-                    }
-                }
-                if stopping {
-                    break;
-                }
-            }
+            };
 
             let stalls = router.stalls();
             router.shutdown();
+            // Join every worker even after a death: surviving shards drain
+            // and hand back their state; the dead shard is recorded, never
+            // re-raised on this thread.
+            let mut panicked: Option<usize> = None;
             let mut states = Vec::with_capacity(handles.len());
             for (shard, handle) in handles.into_iter().enumerate() {
-                let state = handle.join().expect("shard panicked");
-                if let Some(telemetry) = observer {
-                    telemetry.on_shard_final(shard, state.observations);
+                match handle.join() {
+                    Ok(state) => states.push(state),
+                    Err(_) => {
+                        if panicked.is_none() {
+                            panicked = Some(shard);
+                        }
+                        states.push(ShardInference::new());
+                    }
                 }
-                states.push(state);
             }
-            let merged = ShardInference::merge_all(states);
-            Ok((merged, stalls, final_rate, completed_windows))
+            (states, stalls, final_rate, stopping, panicked)
         });
-        let (merged, stalls, final_rate, completed_windows) = run?;
-        if let (Some(telemetry), Some(started)) = (observer, started) {
+
+        self.stalls += stalls;
+        if let Some(shard) = panicked {
+            self.failed = true;
+            return Err(StreamError::ShardPanicked { shard });
+        }
+        self.states = states;
+        self.final_rate = final_rate;
+        self.current_window = current_window;
+
+        // Close the epoch: re-expand the blocks around the watched space
+        // and fold the epoch's density state through the revision — but
+        // only when more windows follow (a final revision would never be
+        // probed).
+        if let Some(churn) = &self.config.churn {
+            if epoch + 1 < epochs_len {
+                let boundary = self.config.start
+                    + SimDuration::from_secs(
+                        self.config.window_interval.as_secs() * (start_window + len),
+                    );
+                let mut seeds: Vec<Ipv6Prefix> = self
+                    .watched
+                    .iter()
+                    .map(|p| {
+                        p.supernet(churn.expansion_len.min(p.len()))
+                            .expect("supernet of a watched prefix")
+                    })
+                    .collect();
+                seeds.sort();
+                seeds.dedup();
+                let expansion = SeedExpansion::run(
+                    self.world,
+                    &seeds,
+                    boundary,
+                    self.config.seed,
+                    churn.max_48s_per_seed,
+                );
+                self.expansion_probes += expansion.probed_48s;
+                let (next, revision) = SeedExpansion::revise_watch_list(
+                    epoch as u64,
+                    &self.watched,
+                    &epoch_density,
+                    &expansion.validated_48s,
+                    churn.watch_capacity,
+                );
+                if let Some(telemetry) = self.observer {
+                    telemetry.on_epoch_close(&EpochSummary {
+                        epoch: revision.epoch,
+                        at: boundary,
+                        window: start_window + len - 1,
+                        admitted: &revision.admitted,
+                        evicted: &revision.evicted,
+                        watch_len: next.len(),
+                        expansion_probes: expansion.probed_48s,
+                    });
+                }
+                self.watched = next;
+                self.revisions.push(revision);
+                // Terminal-empty: every watched /48 went quiet and the
+                // boundary expansion validated nothing. Re-expansion seeds
+                // derive from the watched /48s, so the list could never
+                // refill — record the exhaustion (in the deterministic
+                // telemetry journal too) and end the run here instead of
+                // spinning empty epochs and charging expansion probes.
+                if self.watched.is_empty() {
+                    self.exhausted_at = Some(start_window + len);
+                    if let Some(telemetry) = self.observer {
+                        telemetry.on_watch_exhausted(
+                            boundary,
+                            start_window + len - 1,
+                            epoch as u64,
+                        );
+                    }
+                }
+            }
+        }
+        self.completed_windows = start_window + len;
+        self.next_epoch = epoch + 1;
+        self.stopped = stopping;
+        Ok(stopping)
+    }
+
+    /// Capture the session's state at the current epoch boundary — the same
+    /// [`MonitorSnapshot`] [`StreamMonitor::run_controlled`] writes to its
+    /// sink, pure function of `(config, world seed)` included.
+    pub fn snapshot(&mut self) -> MonitorSnapshot {
+        let (config_fp, world_fp) = self.fingerprints();
+        MonitorSnapshot {
+            config_fingerprint: config_fp,
+            world_fingerprint: world_fp,
+            next_epoch: self.next_epoch as u64,
+            current_window: self.current_window,
+            expansion_probes: self.expansion_probes,
+            final_rate: self.final_rate,
+            watched: self.watched.clone(),
+            revisions: self.revisions.clone(),
+            shards: self.states.clone(),
+            telemetry: self.observer.and_then(|o| o.checkpoint_deterministic()),
+        }
+    }
+
+    /// Fold the carried shard states into the final [`MonitorReport`]
+    /// covering every window completed so far. Infallible: failures happen
+    /// in [`MonitorSession::run_epoch`], never here.
+    pub fn finish(self) -> MonitorReport {
+        for (shard, state) in self.states.iter().enumerate() {
+            if let Some(telemetry) = self.observer {
+                telemetry.on_shard_final(shard, state.observations);
+            }
+        }
+        let merged = ShardInference::merge_all(self.states);
+        if let (Some(telemetry), Some(started)) = (self.observer, self.started) {
             telemetry.on_wall_span("monitor_run", started.elapsed().as_nanos() as u64);
         }
 
@@ -717,32 +1006,34 @@ impl StreamMonitor {
         // live channel delivered at the time; restored events predate the
         // channel entirely). Drain the channel so nothing is silently left
         // behind, and order events the deterministic way.
-        let live_count = live_rx.into_iter().count();
-        debug_assert!(live_count + restored_events >= merged.events.len());
+        drop(self.live_tx);
+        let live_count = self.live_rx.into_iter().count();
+        debug_assert!(live_count + self.restored_events >= merged.events.len());
 
         let detection = WindowedRotationDetector::collect(merged.events.clone());
         let mut events = merged.events.clone();
         events.sort_by_key(|e| (e.window, e.seq));
         let tracking = merged.tracker.finish(
-            world.rib(),
-            world.as_registry(),
-            completed_windows,
-            cfg.max_tracked,
+            self.world.rib(),
+            self.world.as_registry(),
+            self.completed_windows,
+            self.config.max_tracked,
         );
 
-        Ok(MonitorReport {
-            windows: completed_windows,
+        MonitorReport {
+            windows: self.completed_windows,
             observations: merged.observations,
             rotating_48s: detection.rotating_48s.clone(),
             detection,
             events,
             tracking,
-            backpressure_stalls: stalls,
-            final_rate,
-            revisions,
-            final_watch: watched,
-            expansion_probes,
-        })
+            backpressure_stalls: self.stalls,
+            final_rate: self.final_rate,
+            revisions: self.revisions,
+            final_watch: self.watched,
+            expansion_probes: self.expansion_probes,
+            exhausted_at: self.exhausted_at,
+        }
     }
 }
 
@@ -792,7 +1083,7 @@ mod tests {
             windows: 4,
             ..MonitorConfig::default()
         });
-        let report = monitor.run(&engine, &watched);
+        let report = monitor.run(&engine, &watched).unwrap();
 
         assert_eq!(report.windows, 4);
         assert_eq!(report.observations, watched.len() as u64 * 256 * 4);
@@ -835,7 +1126,8 @@ mod tests {
             windows: 6,
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
 
         let engine = Engine::build(world).unwrap();
         let retained = StreamMonitor::new(MonitorConfig {
@@ -843,7 +1135,8 @@ mod tests {
             retention_windows: Some(2),
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
 
         // Early-window events are compacted away; the retained horizon's
         // events are exactly the full run's tail.
@@ -880,7 +1173,7 @@ mod tests {
             },
             ..MonitorConfig::default()
         });
-        let report = monitor.run(&engine, &watched);
+        let report = monitor.run(&engine, &watched).unwrap();
         assert_eq!(report.observations, watched.len() as u64 * 256 * 2);
         assert!(report.final_rate <= monitor.config.packets_per_second);
         assert!(report.final_rate >= monitor.config.packets_per_second / 64);
@@ -890,7 +1183,7 @@ mod tests {
         );
         // The trajectory is a pure function of the config: a second run
         // reproduces the report bit for bit (stall counts aside).
-        let mut again = monitor.run(&engine, &watched);
+        let mut again = monitor.run(&engine, &watched).unwrap();
         again.backpressure_stalls = report.backpressure_stalls;
         assert_eq!(report, again);
     }
@@ -917,14 +1210,63 @@ mod tests {
         };
         let engine = Engine::build(world.clone()).unwrap();
         let watched: Vec<Ipv6Prefix> = watched_48s(&engine).into_iter().take(2).collect();
-        let single = StreamMonitor::new(config(1)).run(&engine, &watched);
+        let single = StreamMonitor::new(config(1))
+            .run(&engine, &watched)
+            .unwrap();
         assert!(
             single.final_rate < 128,
             "throttling must be non-vacuous for the equality to prove anything"
         );
         for producers in [2usize, 4, 8] {
             let engine = Engine::build(world.clone()).unwrap();
-            let mut sharded = StreamMonitor::new(config(producers)).run(&engine, &watched);
+            let mut sharded = StreamMonitor::new(config(producers))
+                .run(&engine, &watched)
+                .unwrap();
+            sharded.backpressure_stalls = single.backpressure_stalls;
+            assert_eq!(single, sharded, "producers={producers}");
+        }
+    }
+
+    /// Satellite: a queue model *calibrated* from measured ns-per-observation
+    /// ingest costs (the `shard_ingest` bench artifact) is just per-shard
+    /// drain rates, so it drives the same producer-invariant AIMD machinery
+    /// as hand-written models — asymmetric shards included.
+    #[test]
+    fn calibrated_feedback_is_producer_invariant() {
+        let world = scenarios::continuous_world(41);
+        // 40 ms and a full second per observation calibrate to 25/s and 1/s.
+        // Back-to-back windows (1 s interval) deny the idle gaps that would
+        // drain the virtual queues between windows, so the 1/s shard's
+        // backlog persists and pins the rate near the floor — the back-off
+        // is non-vacuous wherever the AIMD oscillation happens to end.
+        let config = |producers: usize| MonitorConfig {
+            windows: 3,
+            shards: 2,
+            producers,
+            packets_per_second: 128,
+            rate_feedback: true,
+            window_interval: SimDuration::from_secs(1),
+            queue_model: QueueModel {
+                high_watermark: 64,
+                low_watermark: 8,
+                ..QueueModel::calibrated([40_000_000, 1_000_000_000])
+            },
+            ..MonitorConfig::default()
+        };
+        let engine = Engine::build(world.clone()).unwrap();
+        let watched: Vec<Ipv6Prefix> = watched_48s(&engine).into_iter().take(2).collect();
+        let single = StreamMonitor::new(config(1))
+            .run(&engine, &watched)
+            .unwrap();
+        assert!(
+            single.final_rate < 128,
+            "a calibrated 10/s shard must throttle a 128 pps prober"
+        );
+        for producers in [2usize, 4, 8] {
+            let engine = Engine::build(world.clone()).unwrap();
+            let mut sharded = StreamMonitor::new(config(producers))
+                .run(&engine, &watched)
+                .unwrap();
             sharded.backpressure_stalls = single.backpressure_stalls;
             assert_eq!(single, sharded, "producers={producers}");
         }
@@ -939,7 +1281,7 @@ mod tests {
             max_tracked: 5,
             ..MonitorConfig::default()
         });
-        let report = monitor.run(&engine, &watched);
+        let report = monitor.run(&engine, &watched).unwrap();
         assert!(!report.tracking.devices.is_empty());
         assert!(report.tracking.devices.len() <= 5);
         for result in &report.tracking.devices {
@@ -987,7 +1329,7 @@ mod tests {
                 windows: 3,
                 ..MonitorConfig::default()
             });
-            reports.push(monitor.run(&engine, &watched));
+            reports.push(monitor.run(&engine, &watched).unwrap());
         }
         let (first, rest) = reports.split_first_mut().expect("reports collected");
         for report in rest {
@@ -1010,7 +1352,8 @@ mod tests {
             retention_windows: Some(2),
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
         let engine = Engine::build(world).unwrap();
         let mut sharded = StreamMonitor::new(MonitorConfig {
             windows: 6,
@@ -1018,7 +1361,8 @@ mod tests {
             producers: 3,
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
         sharded.backpressure_stalls = single.backpressure_stalls;
         assert_eq!(single, sharded);
         assert!(!sharded.events.is_empty());
@@ -1049,7 +1393,7 @@ mod tests {
             }),
             ..MonitorConfig::default()
         });
-        let report = monitor.run(&engine, &initial);
+        let report = monitor.run(&engine, &initial).unwrap();
 
         // One revision closes each epoch but the last.
         assert_eq!(report.revisions.len(), 5);
@@ -1102,7 +1446,8 @@ mod tests {
             windows: 4,
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
 
         let engine = Engine::build(world).unwrap();
         let mut churned = StreamMonitor::new(MonitorConfig {
@@ -1114,7 +1459,8 @@ mod tests {
             }),
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
         assert!(churned.revisions.iter().all(|r| r.is_noop()));
         // Revisions canonicalize the list to prefix order; the content is
         // unchanged.
@@ -1151,14 +1497,18 @@ mod tests {
             }),
             ..MonitorConfig::default()
         };
-        let single = StreamMonitor::new(config(1)).run(&engine, &initial);
+        let single = StreamMonitor::new(config(1))
+            .run(&engine, &initial)
+            .unwrap();
         assert!(
             !single.revisions.iter().all(|r| r.is_noop()),
             "the equality must not be vacuous: churn must occur"
         );
         for producers in [2usize, 4, 8] {
             let engine = Engine::build(world.clone()).unwrap();
-            let mut sharded = StreamMonitor::new(config(producers)).run(&engine, &initial);
+            let mut sharded = StreamMonitor::new(config(producers))
+                .run(&engine, &initial)
+                .unwrap();
             sharded.backpressure_stalls = single.backpressure_stalls;
             assert_eq!(single, sharded, "producers={producers}");
         }
@@ -1181,7 +1531,7 @@ mod tests {
             }),
             ..MonitorConfig::default()
         });
-        let report = monitor.run(&engine, &initial);
+        let report = monitor.run(&engine, &initial).unwrap();
         assert_eq!(report.final_watch.len(), 1);
         for revision in &report.revisions {
             assert!(revision.admitted.len() <= 1);
@@ -1202,7 +1552,8 @@ mod tests {
             windows: 2,
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
         let engine = Engine::build(world).unwrap();
         let mut on = StreamMonitor::new(MonitorConfig {
             windows: 2,
@@ -1210,8 +1561,82 @@ mod tests {
             queue_model: QueueModel::unbounded(),
             ..MonitorConfig::default()
         })
-        .run(&engine, &watched);
+        .run(&engine, &watched)
+        .unwrap();
         on.backpressure_stalls = off.backpressure_stalls;
         assert_eq!(off, on);
+    }
+
+    /// The terminal-empty regression: a churning monitor watching only a
+    /// quiet /48 drains its list at the first boundary and must *end the
+    /// run there* — windows, revisions and probes all stop — instead of
+    /// spinning empty epochs and charging expansion probes.
+    #[test]
+    fn exhausted_watch_ends_the_run_early() {
+        let engine = Engine::build(scenarios::continuous_world(13)).unwrap();
+        // A /48 no simulated provider announces pool space in: every probe
+        // goes unanswered, so the first revision evicts it and validates
+        // nothing.
+        let quiet: Ipv6Prefix = "3fff:aaaa::/48".parse().unwrap();
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 6,
+            churn: Some(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 2,
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        });
+        let report = monitor.run(&engine, &[quiet]).unwrap();
+        assert_eq!(
+            report.exhausted_at,
+            Some(1),
+            "drained at the first boundary"
+        );
+        assert_eq!(report.windows, 1, "the run must end where the scent dried");
+        assert!(report.final_watch.is_empty());
+        assert_eq!(report.revisions.len(), 1);
+        assert_eq!(report.revisions[0].evicted, vec![quiet]);
+        // Exactly one boundary was probed for re-expansion; five more epochs
+        // would have multiplied this.
+        let one_boundary = report.expansion_probes;
+        assert!(one_boundary > 0);
+        // Determinism: the exhausted run reproduces bit for bit.
+        let again = monitor.run(&engine, &[quiet]).unwrap();
+        assert_eq!(report.exhausted_at, again.exhausted_at);
+        assert_eq!(report.windows, again.windows);
+        assert_eq!(one_boundary, again.expansion_probes);
+    }
+
+    /// The panic-path regression: a poisoned shard worker must surface as
+    /// `StreamError::ShardPanicked` on the control thread — not re-raise —
+    /// with every surviving worker joined.
+    #[test]
+    fn injected_shard_panic_surfaces_as_typed_error() {
+        let engine = Engine::build(scenarios::continuous_world(13)).unwrap();
+        let watched = watched_48s(&engine);
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 2,
+            shards: 3,
+            inject_shard_panic: Some(1),
+            ..MonitorConfig::default()
+        });
+        match monitor.run(&engine, &watched) {
+            Err(StreamError::ShardPanicked { shard }) => assert_eq!(shard, 1),
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+        // Multi-producer path takes the merged-clock ingest loop; same
+        // contract.
+        let monitor = StreamMonitor::new(MonitorConfig {
+            windows: 2,
+            shards: 3,
+            producers: 4,
+            inject_shard_panic: Some(2),
+            ..MonitorConfig::default()
+        });
+        match monitor.run(&engine, &watched) {
+            Err(StreamError::ShardPanicked { shard }) => assert_eq!(shard, 2),
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
     }
 }

@@ -32,6 +32,13 @@ pub enum Phase {
 pub struct Observation {
     /// The methodology stage this probe belongs to.
     pub phase: Phase,
+    /// The campaign (tenant) this probe was sent for. A standalone monitor
+    /// is tenant 0; the multi-campaign scheduler stamps each campaign's
+    /// observations with its tenant index so streams from different
+    /// campaigns can never collide on `(window, seq)` alone — the merged
+    /// clock keys include the tenant, and per-tenant inference state stays
+    /// disjoint by construction.
+    pub tenant: u32,
     /// The scan pass within the phase (only meaningful for
     /// [`Phase::Detection`], where each window is one snapshot).
     pub window: u64,
@@ -91,6 +98,7 @@ mod tests {
         let source = eui.with_prefix64(0x2001_0db8_0000_0042);
         let obs = Observation {
             phase: Phase::Detection,
+            tenant: 0,
             window: 3,
             seq: 9,
             target: "2001:db8:0:42::1234".parse().unwrap(),

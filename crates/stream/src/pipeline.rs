@@ -30,6 +30,7 @@ use scent_simnet::SimDuration;
 use scent_telemetry::StreamObserver;
 
 use crate::clock::{spawn_producers, CountedSource};
+use crate::error::StreamError;
 use crate::observation::{Observation, ObservationSource, Phase};
 use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
@@ -127,11 +128,17 @@ where
     if sources.len() == 1 {
         let mut source = sources.into_iter().next().expect("one source");
         while let Some(obs) = source.next_observation() {
+            if router.dead_shard().is_some() {
+                break;
+            }
             route(router, obs);
         }
     } else {
         let mut clock = spawn_producers(scope, sources, channel_capacity);
         while let Some(obs) = clock.next_observation() {
+            if router.dead_shard().is_some() {
+                break;
+            }
             route(router, obs);
         }
     }
@@ -179,7 +186,15 @@ impl StreamPipeline {
     /// Run the full pipeline against any measurement backend, streaming
     /// every probe through the shards. Produces the identical report the
     /// batch [`Pipeline`](scent_core::Pipeline) computes from whole scans.
-    pub fn run<B: ProbeTransport + WorldView + ?Sized>(&self, world: &B) -> PipelineReport {
+    ///
+    /// The only error is [`StreamError::ShardPanicked`]: a shard worker
+    /// dying no longer re-raises on the control thread — the run aborts
+    /// cleanly, with every surviving worker joined, and returns the typed
+    /// error instead.
+    pub fn run<B: ProbeTransport + WorldView + ?Sized>(
+        &self,
+        world: &B,
+    ) -> Result<PipelineReport, StreamError> {
         self.run_observed(world, None)
     }
 
@@ -195,7 +210,7 @@ impl StreamPipeline {
         &self,
         world: &B,
         observer: Option<&dyn StreamObserver>,
-    ) -> PipelineReport {
+    ) -> Result<PipelineReport, StreamError> {
         let started = observer.is_some().then(std::time::Instant::now);
         if let Some(telemetry) = observer {
             telemetry.on_run_start(self.config.shards, self.config.producers);
@@ -360,15 +375,30 @@ impl StreamPipeline {
                 telemetry.on_phase_close("detection", detection_routed);
             }
 
-            // Shut the stream down and fold the final shard states.
+            // Shut the stream down and fold the final shard states. Join
+            // every worker even after a death: surviving shards drain and
+            // hand back their state; the dead shard is reported as a typed
+            // error, never re-raised on this thread.
             router.shutdown();
             let mut states = Vec::with_capacity(handles.len());
+            let mut panicked: Option<usize> = None;
             for (shard, handle) in handles.into_iter().enumerate() {
-                let state = handle.join().expect("shard panicked");
-                if let Some(telemetry) = observer {
-                    telemetry.on_shard_final(shard, state.observations);
+                match handle.join() {
+                    Ok(state) => {
+                        if let Some(telemetry) = observer {
+                            telemetry.on_shard_final(shard, state.observations);
+                        }
+                        states.push(state);
+                    }
+                    Err(_) => {
+                        if panicked.is_none() {
+                            panicked = Some(shard);
+                        }
+                    }
                 }
-                states.push(state);
+            }
+            if let Some(shard) = panicked {
+                return Err(StreamError::ShardPanicked { shard });
             }
             let merged = ShardInference::merge_all(states);
 
@@ -377,7 +407,7 @@ impl StreamPipeline {
                 RotatingCounts::tally(world.rib(), world.as_registry(), &detection.rotating_48s);
             let (total_addresses, eui64_addresses, unique_iids) = merged.address_statistics();
 
-            PipelineReport {
+            Ok(PipelineReport {
                 seed_unique_48s: seed_unique.len(),
                 seed_32s: seed_32s.len(),
                 expansion_probed: candidates.len() as u64,
@@ -392,7 +422,7 @@ impl StreamPipeline {
                 total_addresses,
                 eui64_addresses,
                 unique_iids,
-            }
+            })
         });
         if let (Some(telemetry), Some(started)) = (observer, started) {
             telemetry.on_wall_span("pipeline_run", started.elapsed().as_nanos() as u64);
@@ -421,7 +451,9 @@ mod tests {
         let batch = Pipeline::new(small_config()).run(&batch_engine);
 
         let stream_engine = Engine::build(world).unwrap();
-        let streamed = StreamPipeline::with_shards(small_config(), 2).run(&stream_engine);
+        let streamed = StreamPipeline::with_shards(small_config(), 2)
+            .run(&stream_engine)
+            .unwrap();
         assert_eq!(batch, streamed);
         assert!(
             !streamed.rotating_48s.is_empty(),
@@ -437,7 +469,9 @@ mod tests {
     fn observation_batching_does_not_change_the_report() {
         let world = scenarios::paper_world(71, WorldScale::small());
         let engine = Engine::build(world).unwrap();
-        let default_batch = StreamPipeline::with_shards(small_config(), 2).run(&engine);
+        let default_batch = StreamPipeline::with_shards(small_config(), 2)
+            .run(&engine)
+            .unwrap();
         for observation_batch in [1usize, 256] {
             let batched = StreamPipeline::new(StreamConfig {
                 pipeline: small_config(),
@@ -445,7 +479,8 @@ mod tests {
                 observation_batch,
                 ..StreamConfig::default()
             })
-            .run(&engine);
+            .run(&engine)
+            .unwrap();
             assert_eq!(default_batch, batched, "batch={observation_batch}");
         }
         assert!(!default_batch.rotating_48s.is_empty());
@@ -471,12 +506,12 @@ mod tests {
         };
         let single = {
             let engine = Engine::build(world.clone()).unwrap();
-            StreamPipeline::new(config(1)).run(&engine)
+            StreamPipeline::new(config(1)).run(&engine).unwrap()
         };
         assert!(!single.rotating_48s.is_empty());
         for producers in [2usize, 4, 8] {
             let engine = Engine::build(world.clone()).unwrap();
-            let sharded = StreamPipeline::new(config(producers)).run(&engine);
+            let sharded = StreamPipeline::new(config(producers)).run(&engine).unwrap();
             assert_eq!(single, sharded, "producers={producers}");
         }
     }
@@ -488,7 +523,9 @@ mod tests {
             .iter()
             .map(|&producers| {
                 let engine = Engine::build(world.clone()).unwrap();
-                StreamPipeline::with_producers(small_config(), 2, producers).run(&engine)
+                StreamPipeline::with_producers(small_config(), 2, producers)
+                    .run(&engine)
+                    .unwrap()
             })
             .collect();
         for report in &reports[1..] {
@@ -506,7 +543,9 @@ mod tests {
             .iter()
             .map(|&shards| {
                 let engine = Engine::build(world.clone()).unwrap();
-                StreamPipeline::with_shards(PipelineConfig::default(), shards).run(&engine)
+                StreamPipeline::with_shards(PipelineConfig::default(), shards)
+                    .run(&engine)
+                    .unwrap()
             })
             .collect();
         for report in &reports[1..] {

@@ -19,6 +19,19 @@
 //! the per-message channel overhead that dominates at high ingest rates.
 //! Per-shard delivery order is unchanged, so batching never affects the
 //! merged report — only throughput.
+//!
+//! Observations carry a tenant tag (see
+//! [`Observation::tenant`](crate::observation::Observation::tenant)), but the
+//! router is tenant-oblivious: routing is by target announcement only, and
+//! the tag rides through untouched. Tenant isolation lives a layer up — the
+//! multi-campaign scheduler gives each campaign its own router + shard set,
+//! so per-tenant inference state never shares a channel.
+//!
+//! A shard worker dying (panicking) must not take the control thread down
+//! with it: instead of panicking on a hung-up channel, the router records the
+//! dead shard ([`ShardRouter::dead_shard`]) and degrades delivery to a no-op,
+//! so the ingest loop can notice, abort the run cleanly, and surface a typed
+//! error after joining the surviving workers.
 
 use std::net::Ipv6Addr;
 
@@ -112,6 +125,7 @@ pub struct ShardRouter<'t> {
     batch: usize,
     buffers: Vec<Vec<Observation>>,
     observer: Option<&'t dyn StreamObserver>,
+    dead: Option<usize>,
 }
 
 impl<'t> ShardRouter<'t> {
@@ -155,6 +169,7 @@ impl<'t> ShardRouter<'t> {
             routed: 0,
             batch,
             observer: None,
+            dead: None,
         }
     }
 
@@ -220,6 +235,9 @@ impl<'t> ShardRouter<'t> {
     }
 
     /// Send one message, blocking on a full queue and counting the stall.
+    /// A hung-up channel means the worker died (panicked); the shard is
+    /// recorded as dead and the message dropped rather than panicking the
+    /// control thread.
     fn deliver(&mut self, shard: usize, msg: ShardMsg) -> bool {
         match self.senders[shard].try_send(msg) {
             Ok(()) => false,
@@ -228,15 +246,28 @@ impl<'t> ShardRouter<'t> {
                 if let Some(observer) = self.observer {
                     observer.on_stall(shard);
                 }
-                self.senders[shard]
-                    .send(msg)
-                    .expect("shard worker must outlive the router");
+                if self.senders[shard].send(msg).is_err() {
+                    self.note_dead(shard);
+                }
                 true
             }
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
-                panic!("shard worker must outlive the router")
+                self.note_dead(shard);
+                false
             }
         }
+    }
+
+    fn note_dead(&mut self, shard: usize) {
+        self.dead.get_or_insert(shard);
+    }
+
+    /// The first shard whose worker hung up mid-run (its thread panicked),
+    /// if any. Ingest loops poll this to abort the run instead of feeding a
+    /// corpse: once a shard is dead the merged state can no longer be
+    /// completed, so continuing would only waste probes.
+    pub fn dead_shard(&self) -> Option<usize> {
+        self.dead
     }
 
     /// Deliver a shard's buffered batch, if any.
@@ -258,19 +289,21 @@ impl<'t> ShardRouter<'t> {
     /// Broadcast a flush to every shard and return the partial states in
     /// shard order. Buffered batches are delivered first; FIFO channels then
     /// guarantee each snapshot reflects everything routed before this call.
+    /// A dead shard contributes an empty state (callers abort on
+    /// [`ShardRouter::dead_shard`] before trusting a flush).
     pub fn flush(&mut self) -> Vec<crate::shard::ShardInference> {
         self.flush_all_buffers();
         let mut replies = Vec::with_capacity(self.senders.len());
-        for sender in &self.senders {
+        for (shard, sender) in self.senders.iter().enumerate() {
             let (tx, rx) = std::sync::mpsc::channel();
-            sender
-                .send(ShardMsg::Flush(tx))
-                .expect("shard worker must outlive the router");
+            if sender.send(ShardMsg::Flush(tx)).is_err() {
+                self.dead.get_or_insert(shard);
+            }
             replies.push(rx);
         }
         replies
             .into_iter()
-            .map(|rx| rx.recv().expect("shard answers its flush"))
+            .map(|rx| rx.recv().unwrap_or_default())
             .collect()
     }
 
@@ -280,10 +313,10 @@ impl<'t> ShardRouter<'t> {
     /// preceded it.
     pub fn compact_before(&mut self, window: u64) {
         self.flush_all_buffers();
-        for sender in &self.senders {
-            sender
-                .send(ShardMsg::Compact(window))
-                .expect("shard worker must outlive the router");
+        for (shard, sender) in self.senders.iter().enumerate() {
+            if sender.send(ShardMsg::Compact(window)).is_err() {
+                self.dead.get_or_insert(shard);
+            }
         }
     }
 
@@ -329,6 +362,7 @@ mod tests {
     fn obs(target: &str) -> Observation {
         Observation {
             phase: Phase::Density,
+            tenant: 0,
             window: 0,
             seq: 0,
             target: target.parse().unwrap(),
@@ -425,6 +459,26 @@ mod tests {
                 .sum();
             assert_eq!(total, 10, "shutdown must flush partial batches");
         });
+    }
+
+    /// A worker that hangs up mid-run (panicked thread) must not panic the
+    /// router: deliveries degrade to no-ops and the dead shard is reported.
+    #[test]
+    fn dead_shard_is_recorded_not_panicked() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        drop(rx); // The "worker" is already gone.
+        let mut router = ShardRouter::new(&rib().entries(), vec![tx]);
+        assert_eq!(router.dead_shard(), None);
+        let outcome = router.route(obs("2001:16b8::1"));
+        assert_eq!(outcome.shard, 0);
+        assert_eq!(router.dead_shard(), Some(0));
+        // Further traffic, compaction and flush all stay non-panicking.
+        router.route(obs("2001:16b8::2"));
+        router.compact_before(5);
+        let states = router.flush();
+        assert_eq!(states.len(), 1);
+        assert_eq!(states[0].observations, 0, "dead shard flushes empty");
+        router.shutdown();
     }
 
     #[test]

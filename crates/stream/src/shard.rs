@@ -173,13 +173,15 @@ impl ShardInference {
 }
 
 /// The worker loop: ingest until every sender is dropped, then return the
-/// final state.
+/// final state. With `poison` set the worker panics on its first
+/// observation — the fault-injection hook the panic-propagation tests drive.
 fn worker(
     shard: usize,
     receiver: Receiver<ShardMsg>,
     live_events: Option<Sender<RotationEvent>>,
     observer: Option<&dyn StreamObserver>,
     initial: ShardInference,
+    poison: bool,
 ) -> ShardInference {
     let mut state = initial;
     let observe = |state: &mut ShardInference, obs: &Observation| {
@@ -192,6 +194,9 @@ fn worker(
     };
     while let Ok(msg) = receiver.recv() {
         match msg {
+            ShardMsg::Observe(_) | ShardMsg::ObserveBatch(_) if poison => {
+                panic!("injected shard panic (shard {shard})");
+            }
             ShardMsg::Observe(obs) => {
                 observe(&mut state, &obs);
                 if let Some(observer) = observer {
@@ -248,13 +253,25 @@ pub fn spawn_shards_observed<'scope, 'env>(
     Vec<SyncSender<ShardMsg>>,
     Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
 ) {
-    spawn_shards_seeded(scope, shards, channel_capacity, live_events, observer, None)
+    spawn_shards_seeded(
+        scope,
+        shards,
+        channel_capacity,
+        live_events,
+        observer,
+        None,
+        None,
+    )
 }
 
 /// [`spawn_shards_observed`] with seeded initial states — how a
 /// checkpoint-resumed monitor hands each worker the inference state it held
 /// when the snapshot was captured. `initial`, when given, must hold exactly
 /// one state per shard (index-aligned); `None` starts every shard empty.
+/// `inject_panic`, when given, poisons that shard's worker to panic on its
+/// first observation — the fault-injection hook the panic-propagation tests
+/// drive end to end.
+#[allow(clippy::too_many_arguments)]
 pub fn spawn_shards_seeded<'scope, 'env>(
     scope: &'scope thread::Scope<'scope, 'env>,
     shards: usize,
@@ -262,6 +279,7 @@ pub fn spawn_shards_seeded<'scope, 'env>(
     live_events: Option<Sender<RotationEvent>>,
     observer: Option<&'scope dyn StreamObserver>,
     initial: Option<Vec<ShardInference>>,
+    inject_panic: Option<usize>,
 ) -> (
     Vec<SyncSender<ShardMsg>>,
     Vec<thread::ScopedJoinHandle<'scope, ShardInference>>,
@@ -280,8 +298,9 @@ pub fn spawn_shards_seeded<'scope, 'env>(
     for (shard, seed) in initial.into_iter().enumerate() {
         let (tx, rx) = std::sync::mpsc::sync_channel(channel_capacity);
         let live = live_events.clone();
+        let poison = inject_panic == Some(shard);
         senders.push(tx);
-        handles.push(scope.spawn(move || worker(shard, rx, live, observer, seed)));
+        handles.push(scope.spawn(move || worker(shard, rx, live, observer, seed, poison)));
     }
     (senders, handles)
 }
@@ -294,6 +313,7 @@ mod tests {
     fn obs(phase: Phase, window: u64, seq: u64, target: &str, source: Option<&str>) -> Observation {
         Observation {
             phase,
+            tenant: 0,
             window,
             seq,
             target: target.parse().unwrap(),

@@ -49,6 +49,7 @@ pub struct ScanStream<'a, T: ProbeTransport + ?Sized> {
     order: Vec<u64>,
     pacing: ScanPacing,
     phase: Phase,
+    tenant: u32,
     window: u64,
     pos: usize,
     step: usize,
@@ -80,6 +81,7 @@ pub struct ScanStreamBuilder<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: Vec<std::net::Ipv6Addr>,
     phase: Phase,
+    tenant: u32,
     window: u64,
     seed: u64,
     packets_per_second: u64,
@@ -101,6 +103,15 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
     /// The scan-pass window observations are tagged with (default: 0).
     pub fn window(mut self, window: u64) -> Self {
         self.window = window;
+        self
+    }
+
+    /// The campaign (tenant) observations are stamped with (default: 0, the
+    /// standalone single-tenant monitor). The tenant rides every observation
+    /// into the merged clock's key, keeping multi-campaign merges
+    /// deterministic; it never affects probing order or send times.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -176,6 +187,7 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
             order,
             pacing,
             phase: self.phase,
+            tenant: self.tenant,
             window: self.window,
             pos: self.producer,
             step: self.producers,
@@ -191,6 +203,7 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStream<'a, T> {
             transport,
             targets,
             phase: Phase::Detection,
+            tenant: 0,
             window: 0,
             seed: 0x5eed,
             packets_per_second: 10_000,
@@ -265,6 +278,7 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ScanStream<'_, T> {
             });
         Some(Observation {
             phase: self.phase,
+            tenant: self.tenant,
             window: self.window,
             seq,
             target,
@@ -290,6 +304,7 @@ pub struct ContinuousStream<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: TargetStream,
     pacing: ContinuousPacing,
+    tenant: u32,
     first_start: SimTime,
     window_interval: SimDuration,
     entered: Option<u64>,
@@ -319,6 +334,7 @@ pub struct ContinuousStreamBuilder<'a, T: ProbeTransport + ?Sized> {
     transport: &'a T,
     targets: TargetStream,
     packets_per_second: u64,
+    tenant: u32,
     first_start: SimTime,
     window_interval: SimDuration,
     producer: usize,
@@ -331,6 +347,15 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
     /// the paper's 10,000).
     pub fn rate_pps(mut self, packets_per_second: u64) -> Self {
         self.packets_per_second = packets_per_second;
+        self
+    }
+
+    /// The campaign (tenant) observations are stamped with (default: 0, the
+    /// standalone single-tenant monitor). The tenant rides every observation
+    /// into the merged clock's key, keeping multi-campaign merges
+    /// deterministic; it never affects probing order or send times.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
         self
     }
 
@@ -411,6 +436,7 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
             transport: self.transport,
             targets,
             pacing,
+            tenant: self.tenant,
             first_start: self.first_start,
             window_interval: self.window_interval,
             entered: None,
@@ -426,6 +452,7 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
             transport,
             targets,
             packets_per_second: 10_000,
+            tenant: 0,
             first_start: SimTime::at(0, 0),
             window_interval: SimDuration::from_days(1),
             producer: 0,
@@ -552,6 +579,7 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ContinuousStream<'_, T> {
             });
         Some(Observation {
             phase: Phase::Detection,
+            tenant: self.tenant,
             window: streamed.window,
             seq: streamed.seq,
             target: streamed.target,

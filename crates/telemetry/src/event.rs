@@ -77,4 +77,10 @@ pub enum EventKind {
         /// Probes spent by the boundary re-expansion.
         expansion_probes: u64,
     },
+    /// A churning monitor's watch list drained to terminal-empty: the
+    /// revision closing this window evicted the last watched /48 and the
+    /// boundary re-expansion validated nothing, so the run ended (or the
+    /// session parked) at this boundary. At most one per run, always the
+    /// journal's last churn event.
+    WatchExhausted,
 }

@@ -294,6 +294,9 @@ pub fn events_jsonl(events: &[TelemetryEvent]) -> String {
                     ",\"watch_len\":{watch_len},\"expansion_probes\":{expansion_probes}"
                 );
             }
+            EventKind::WatchExhausted => {
+                out.push_str(",\"kind\":\"watch_exhausted\"");
+            }
         }
         out.push_str("}\n");
     }

@@ -346,6 +346,18 @@ impl StreamObserver for Telemetry {
         inner.epoch = summary.epoch + 1;
     }
 
+    fn on_watch_exhausted(&self, at: SimTime, window: u64, epoch: u64) {
+        let mut inner = lock(&self.inner);
+        inner.close_open_window();
+        inner.events.push(TelemetryEvent {
+            virtual_time: at,
+            window,
+            epoch,
+            shard: None,
+            kind: EventKind::WatchExhausted,
+        });
+    }
+
     fn on_wall_span(&self, label: &'static str, nanos: u64) {
         lock(&self.wall_spans).push((label, nanos));
     }

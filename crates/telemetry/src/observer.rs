@@ -94,6 +94,14 @@ pub trait StreamObserver: Sync {
     /// A watch-list churn epoch closed (deterministic tier).
     fn on_epoch_close(&self, _summary: &EpochSummary<'_>) {}
 
+    /// A churning monitor's watch list drained to terminal-empty at the
+    /// epoch boundary `at`: the revision closing `window` left nothing
+    /// watched and re-expansion could never refill it, so the run ends (or
+    /// the scheduler parks the session) there. Called once per run at most,
+    /// right after the draining revision's
+    /// [`StreamObserver::on_epoch_close`] (deterministic tier).
+    fn on_watch_exhausted(&self, _at: SimTime, _window: u64, _epoch: u64) {}
+
     /// An OS-time span measurement, in nanoseconds (wall-clock tier;
     /// explicitly excluded from determinism checks).
     fn on_wall_span(&self, _label: &'static str, _nanos: u64) {}

@@ -628,7 +628,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
                     queue_model: self.queue_model,
                 };
                 Ok(CampaignReport::Pipeline(
-                    StreamPipeline::new(config).run_observed(self.world, self.telemetry),
+                    StreamPipeline::new(config).run_observed(self.world, self.telemetry)?,
                 ))
             }
             CampaignMode::Monitor {
@@ -667,6 +667,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
                     retention_windows: self.retention_windows,
                     churn: self.churn,
                     checkpoint_every: self.checkpoint_every,
+                    inject_shard_panic: None,
                 };
                 let resume = match &self.resume_from {
                     Some(path) => {

@@ -12,6 +12,7 @@ use std::fmt;
 use scent_bgp::RibParseError;
 use scent_checkpoint::CheckpointError;
 use scent_simnet::WorldError;
+use scent_stream::StreamError;
 
 /// A campaign was configured inconsistently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +149,14 @@ pub enum ScentError {
     Campaign(CampaignError),
     /// A checkpoint could not be written, read back or resumed from.
     Checkpoint(CheckpointError),
+    /// An inference shard worker panicked mid-run. The run joined every
+    /// surviving worker and drained cleanly before reporting — no thread is
+    /// leaked and no other campaign's state is touched — but this run's
+    /// report is unrecoverable.
+    ShardPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ScentError {
@@ -157,6 +166,9 @@ impl fmt::Display for ScentError {
             ScentError::RibParse(e) => write!(f, "RIB table parse: {e}"),
             ScentError::Campaign(e) => write!(f, "campaign configuration: {e}"),
             ScentError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ScentError::ShardPanicked { shard } => {
+                write!(f, "inference shard {shard} panicked mid-run")
+            }
         }
     }
 }
@@ -168,6 +180,7 @@ impl std::error::Error for ScentError {
             ScentError::RibParse(e) => Some(e),
             ScentError::Campaign(e) => Some(e),
             ScentError::Checkpoint(e) => Some(e),
+            ScentError::ShardPanicked { .. } => None,
         }
     }
 }
@@ -196,6 +209,15 @@ impl From<CheckpointError> for ScentError {
     }
 }
 
+impl From<StreamError> for ScentError {
+    fn from(e: StreamError) -> Self {
+        match e {
+            StreamError::Checkpoint(inner) => ScentError::Checkpoint(inner),
+            StreamError::ShardPanicked { shard } => ScentError::ShardPanicked { shard },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +237,18 @@ mod tests {
         assert_eq!(
             campaign,
             ScentError::Campaign(CampaignError::EmptyWatchList)
+        );
+
+        // Stream errors split: checkpoint trouble keeps its typed variant,
+        // a dead shard surfaces as the dedicated panic variant.
+        let panicked: ScentError = StreamError::ShardPanicked { shard: 3 }.into();
+        assert_eq!(panicked, ScentError::ShardPanicked { shard: 3 });
+        assert!(panicked.to_string().contains("shard 3"));
+        assert!(panicked.source().is_none());
+        let checkpoint: ScentError = StreamError::Checkpoint(CheckpointError::Truncated).into();
+        assert_eq!(
+            checkpoint,
+            ScentError::Checkpoint(CheckpointError::Truncated)
         );
     }
 }

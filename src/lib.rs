@@ -140,6 +140,51 @@
 //! }
 //! ```
 //!
+//! # Multi-campaign scheduling
+//!
+//! One operator, N campaigns, one probe budget: the [`Scheduler`] runs any
+//! number of monitoring campaigns — distinct worlds, watch lists, cadences,
+//! feedback configurations — over a single global virtual clock, splitting
+//! the packets-per-second budget by weighted fair share (largest-remainder
+//! rounding: the integer shares always sum to the budget exactly). Tenants
+//! that finish, exhaust their watch list or honor a stop signal *park*,
+//! releasing their share to the survivors; a shard panic inside one tenant
+//! surfaces as a typed error in that tenant's outcome while every neighbor
+//! keeps running. A campaign's report and deterministic telemetry depend
+//! only on its own configuration and budget trajectory — running among
+//! neighbors is byte-identical to running solo at the same share
+//! (test-enforced across producer counts and live vs. recorded backends):
+//!
+//! ```
+//! use followscent::sched::SchedError;
+//! use followscent::simnet::{scenarios, Engine};
+//! use followscent::stream::MonitorConfig;
+//! use followscent::Scheduler;
+//!
+//! fn main() -> Result<(), SchedError> {
+//!     let engine = Engine::build(scenarios::continuous_world(13)).unwrap();
+//!     let watched = vec!["2001:16b8:100::/48".parse().unwrap()];
+//!     let config = MonitorConfig {
+//!         windows: 2,
+//!         shards: 2,
+//!         ..MonitorConfig::default()
+//!     };
+//!     // Two tenants share 3000 pps at weights 2:1 — 2000 and 1000 pps.
+//!     let report = Scheduler::builder()
+//!         .global_pps(3_000)
+//!         .add(
+//!             followscent::sched::Campaign::new(&engine, config.clone(), watched.clone()),
+//!             2,
+//!         )
+//!         .add(followscent::sched::Campaign::new(&engine, config, watched), 1)
+//!         .run()?;
+//!     assert_eq!(report.allocations[0].shares, vec![(0, 2_000), (1, 1_000)]);
+//!     let monitor = report.tenants[0].outcome.as_ref().unwrap();
+//!     assert_eq!(monitor.windows, 2);
+//!     Ok(())
+//! }
+//! ```
+//!
 //! # Workspace map
 //!
 //! * [`ipv6`] — addresses, prefixes, EUI-64/MAC arithmetic, ICMPv6 wire
@@ -163,6 +208,9 @@
 //!   [`StreamObserver`](telemetry::StreamObserver) hook trait, the
 //!   [`Telemetry`](telemetry::Telemetry) registry and its
 //!   Prometheus/JSONL exporters.
+//! * [`sched`] — the deterministic multi-campaign scheduler: N weighted
+//!   tenants over one probe budget, with fair-share allocation, parking,
+//!   and per-tenant failure isolation.
 //! * [`experiments`] — the table/figure reproduction binaries' library code.
 //! * [`campaign`] — the [`Campaign`] facade unifying batch, streamed and
 //!   monitoring runs over any backend.
@@ -176,6 +224,7 @@ pub mod error;
 
 pub use campaign::{Campaign, CampaignBuilder, CampaignMode, CampaignReport};
 pub use error::{CampaignError, ScentError};
+pub use scent_sched::Scheduler;
 
 pub use scent_bgp as bgp;
 pub use scent_checkpoint as checkpoint;
@@ -184,6 +233,7 @@ pub use scent_experiments as experiments;
 pub use scent_ipv6 as ipv6;
 pub use scent_oui as oui;
 pub use scent_prober as prober;
+pub use scent_sched as sched;
 pub use scent_simnet as simnet;
 pub use scent_stream as stream;
 pub use scent_telemetry as telemetry;
