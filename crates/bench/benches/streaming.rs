@@ -259,6 +259,152 @@ fn bench_producer_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// A replay of pre-probed observations, optionally one strided
+/// per-producer slice — the transport-free producer the hot-path bench
+/// drives, so probing cost can't pollute the path being measured.
+struct ReplaySlice<'a> {
+    observations: &'a [scent_stream::Observation],
+    next: usize,
+    step: usize,
+}
+
+impl scent_stream::ObservationSource for ReplaySlice<'_> {
+    fn next_observation(&mut self) -> Option<scent_stream::Observation> {
+        let obs = *self.observations.get(self.next)?;
+        self.next += self.step;
+        Some(obs)
+    }
+}
+
+/// The flattened observation hot path in isolation: merge → route →
+/// classify over pre-probed observations, with the probing (even the free
+/// in-memory simnet probe costs ~0.5µs) and seed machinery of the full
+/// pipeline stripped away so the per-observation path cost is the thing
+/// measured. `fast/<S>x<P>` points (S shards × P producers) run the
+/// steady-state path as the engine configures it — batched channel
+/// payloads, recycled batch buffers, a precomputed seq → shard table —
+/// while `legacy/<S>x1` points run [`ShardRouter::new`]'s per-observation
+/// dispatch (one channel message per observation, one longest-prefix trie
+/// walk per route, no recycling): the in-tree regression baseline. Note the
+/// legacy arm still folds through the *flattened* classify step (the fast
+/// hasher ships with the crate), so the fast/legacy ratio here understates
+/// the full speedup over the pre-flattening engine — docs/PERFORMANCE.md
+/// records both this in-tree ratio and the measured gap against the actual
+/// pre-flattening commit. Producer points > 1 only spread wall-clock on
+/// multi-core hosts; see `bench_producer_scaling` for why the spread
+/// flattens on one CPU.
+fn bench_hot_path(c: &mut Criterion) {
+    use scent_stream::{
+        scan_seq_shards, spawn_producers, spawn_shards, ObservationSource, ScanStream, ShardMap,
+    };
+
+    let engine = Engine::build(scenarios::paper_world(7, WorldScale::experiment())).unwrap();
+    let watched: Vec<Ipv6Prefix> = engine
+        .pools()
+        .iter()
+        .filter(|p| p.config.prefix.len() <= 48)
+        .flat_map(|p| p.config.prefix.subnets(48).unwrap())
+        .take(128)
+        .collect();
+    // /56 granularity: 256 targets per watched /48 — ≈32k observations per
+    // pass, enough for the per-observation cost to dominate thread setup.
+    let targets = scent_prober::TargetGenerator::new(0x5eed).per_candidate_48(&watched, 56);
+    const SEED: u64 = 0x5eed;
+    const CAPACITY: usize = 256;
+    const BATCH: usize = 64;
+    // Probe once, up front: every bench point replays this identical
+    // observation sequence (in seq order, so strided slices reproduce
+    // exactly what sliced scan streams would feed the merged clock).
+    // Detection-phase observations exercise the fold the continuous
+    // monitor's steady state actually runs — the regime the flattening
+    // targets, where per-message rendezvous kept the channel full and
+    // dominated the pre-flattening profile.
+    let observations: Vec<scent_stream::Observation> = {
+        let mut stream = ScanStream::builder(&engine, targets.clone())
+            .seed(SEED)
+            .build();
+        std::iter::from_fn(move || stream.next_observation()).collect()
+    };
+
+    let mut group = c.benchmark_group("streaming/hot_path");
+    group.sample_size(10);
+    for shards in [1usize, 4, 16] {
+        for producers in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("fast", format!("{shards}x{producers}")),
+                &(shards, producers),
+                |b, &(shards, producers)| {
+                    b.iter(|| {
+                        std::thread::scope(|scope| {
+                            let (senders, handles) = spawn_shards(scope, shards, CAPACITY, None);
+                            let map = ShardMap::new(&engine.rib().entries(), shards);
+                            let mut router =
+                                scent_stream::ShardRouter::with_map(map, senders, BATCH)
+                                    .with_pool_slots(shards * (CAPACITY + 2));
+                            let table = scan_seq_shards(router.map(), &targets, SEED);
+                            router.set_seq_shards(table);
+                            let routed = if producers == 1 {
+                                let mut replay = ReplaySlice {
+                                    observations: black_box(&observations),
+                                    next: 0,
+                                    step: 1,
+                                };
+                                router.route_stream(&mut replay)
+                            } else {
+                                let sources: Vec<_> = (0..producers)
+                                    .map(|k| ReplaySlice {
+                                        observations: black_box(&observations),
+                                        next: k,
+                                        step: producers,
+                                    })
+                                    .collect();
+                                let mut clock = spawn_producers(scope, sources, CAPACITY);
+                                router.route_stream(&mut clock)
+                            };
+                            router.shutdown();
+                            let classified: u64 = handles
+                                .into_iter()
+                                .map(|h| h.join().unwrap().observations)
+                                .sum();
+                            assert_eq!(classified, routed);
+                            black_box(classified)
+                        })
+                    })
+                },
+            );
+        }
+    }
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("legacy", format!("{shards}x1")),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let (senders, handles) = spawn_shards(scope, shards, CAPACITY, None);
+                        let mut router =
+                            scent_stream::ShardRouter::new(&engine.rib().entries(), senders);
+                        let mut replay = ReplaySlice {
+                            observations: black_box(&observations),
+                            next: 0,
+                            step: 1,
+                        };
+                        let routed = router.route_stream(&mut replay);
+                        router.shutdown();
+                        let classified: u64 = handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap().observations)
+                            .sum();
+                        assert_eq!(classified, routed);
+                        black_box(classified)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Watch-list churn overhead at `WorldScale::experiment()`: the same
 /// 2-window monitor run with the watch list fixed versus revised every
 /// window. The churned points pay for per-epoch stream rebuilds, the
@@ -484,7 +630,7 @@ criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
-        bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead, bench_checkpoint,
-        bench_scheduler
+        bench_hot_path, bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead,
+        bench_checkpoint, bench_scheduler
 }
 criterion_main!(streaming);

@@ -399,11 +399,17 @@ impl<T: Checkpointable + Ord> Checkpointable for BTreeSet<T> {
     }
 }
 
-impl<K: Checkpointable + Ord + std::hash::Hash, V: Checkpointable> Checkpointable
-    for HashMap<K, V>
+impl<K, V, S> Checkpointable for HashMap<K, V, S>
+where
+    K: Checkpointable + Ord + std::hash::Hash,
+    V: Checkpointable,
+    S: std::hash::BuildHasher + Default,
 {
     fn encode(&self, w: &mut Writer) {
-        // Canonical bytes require a canonical order; sort by key.
+        // Canonical bytes require a canonical order; sort by key. (This is
+        // also why the impl can be generic over the hasher: the bytes never
+        // depend on bucket order, so a map and its fast-hashed counterpart
+        // encode identically.)
         let mut entries: Vec<(&K, &V)> = self.iter().collect();
         entries.sort_by(|a, b| a.0.cmp(b.0));
         w.put_usize(entries.len());
@@ -415,7 +421,7 @@ impl<K: Checkpointable + Ord + std::hash::Hash, V: Checkpointable> Checkpointabl
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
         let len = r.usize()?;
-        let mut map = HashMap::with_capacity(len.min(4096));
+        let mut map = HashMap::with_capacity_and_hasher(len.min(4096), S::default());
         for _ in 0..len {
             let key = K::decode(r)?;
             let value = V::decode(r)?;
@@ -425,7 +431,11 @@ impl<K: Checkpointable + Ord + std::hash::Hash, V: Checkpointable> Checkpointabl
     }
 }
 
-impl<T: Checkpointable + Ord + std::hash::Hash> Checkpointable for HashSet<T> {
+impl<T, S> Checkpointable for HashSet<T, S>
+where
+    T: Checkpointable + Ord + std::hash::Hash,
+    S: std::hash::BuildHasher + Default,
+{
     fn encode(&self, w: &mut Writer) {
         let mut items: Vec<&T> = self.iter().collect();
         items.sort();
@@ -437,7 +447,7 @@ impl<T: Checkpointable + Ord + std::hash::Hash> Checkpointable for HashSet<T> {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
         let len = r.usize()?;
-        let mut set = HashSet::with_capacity(len.min(4096));
+        let mut set = HashSet::with_capacity_and_hasher(len.min(4096), S::default());
         for _ in 0..len {
             set.insert(T::decode(r)?);
         }

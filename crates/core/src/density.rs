@@ -142,10 +142,12 @@ impl DensityReport {
     /// Finalize per-candidate accumulators into a report, preserving the
     /// candidate order. Candidates with no accumulated state are classified
     /// [`DensityClass::NoResponse`] with zero probes, matching what a scan
-    /// that never reached them would produce.
-    pub fn from_accumulators(
+    /// that never reached them would produce. Generic over the map's hasher
+    /// so both batch state (std maps) and streaming shard state
+    /// ([`crate::fasthash::FastMap`]) finalize through the same code.
+    pub fn from_accumulators<S: std::hash::BuildHasher>(
         candidates: &[Ipv6Prefix],
-        states: &HashMap<Ipv6Prefix, DensityAccumulator>,
+        states: &HashMap<Ipv6Prefix, DensityAccumulator, S>,
     ) -> Self {
         let empty = DensityAccumulator::new();
         let prefixes = candidates

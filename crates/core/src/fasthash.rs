@@ -1,0 +1,197 @@
+//! A fast, deterministic hasher for the per-observation hot containers.
+//!
+//! The streaming engine's classify step touches several hash maps for every
+//! observation it folds (the rotation detector's per-target state, the
+//! tracker's per-(window, /48) probe counts, the per-shard address sets).
+//! `std`'s default hasher is SipHash-1-3 behind a per-map random seed —
+//! excellent DoS resistance, but tens of nanoseconds per 16-byte key, and
+//! the random seed makes iteration order differ run to run. Neither property
+//! is wanted here: every key is engine-internal (probe targets and prefixes
+//! the engine generated itself, never attacker-chosen), and the whole
+//! codebase is built around determinism.
+//!
+//! [`FastState`] replaces it with a fixed-seed multiply-rotate hash
+//! (word-at-a-time mixing, splitmix64-style finalizer): a few nanoseconds
+//! per key, identical bucket order on every run of every platform. Use the
+//! [`FastMap`]/[`FastSet`] aliases for any container on the per-observation
+//! path; keep `std`'s default for anything that could ever key on external
+//! input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+
+/// A `HashMap` on the deterministic fast hasher ([`FastState`]).
+pub type FastMap<K, V> = HashMap<K, V, FastState>;
+
+/// A `HashSet` on the deterministic fast hasher ([`FastState`]).
+pub type FastSet<T> = HashSet<T, FastState>;
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / golden ratio
+
+/// Fixed-seed [`BuildHasher`] producing [`FastHasher`]s. Zero-sized, so a
+/// `FastMap` is exactly as big as a plain `HashMap`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastState;
+
+impl BuildHasher for FastState {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher { state: SEED }
+    }
+}
+
+/// A multiply-rotate streaming hasher over 64-bit words.
+///
+/// Every fixed-width write is overridden to mix the value directly (the
+/// default implementations round-trip through native-endian bytes, which
+/// would make hashes platform-dependent); byte slices are consumed in
+/// little-endian 64-bit chunks with the tail zero-padded and
+/// length-separated.
+#[derive(Debug, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state ^ word).wrapping_mul(SEED).rotate_left(29);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finalizer: spreads the mixed state across all bits so
+        // the low bits (what power-of-two bucket masks keep) are well mixed.
+        let mut x = self.state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Length first, so "" then "ab" never collides with "a" then "b".
+        self.mix(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.mix(i as u64);
+        self.mix((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.write_usize(i as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+    use std::net::Ipv6Addr;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        FastState.hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let addr: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        assert_eq!(hash_of(&addr), hash_of(&addr));
+        assert_eq!(hash_of(&(3u64, addr)), hash_of(&(3u64, addr)));
+    }
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        let a: Ipv6Addr = "2001:db8::1".parse().unwrap();
+        let b: Ipv6Addr = "2001:db8::2".parse().unwrap();
+        assert_ne!(hash_of(&a), hash_of(&b));
+        assert_ne!(hash_of(&(0u64, a)), hash_of(&(1u64, a)));
+        // Chunk-boundary safety: same bytes, different split.
+        assert_ne!(hash_of(&[0u8; 8][..]), hash_of(&[0u8; 9][..]));
+    }
+
+    #[test]
+    fn low_bits_spread_over_sequential_keys() {
+        // HashMap keeps only the low bits of the hash for bucket selection;
+        // sequential integer keys must not collapse into a few buckets.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            buckets.insert(hash_of(&i) & 0xff);
+        }
+        assert!(buckets.len() > 128, "only {} of 256 buckets", buckets.len());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FastMap<Ipv6Addr, u64> = FastMap::default();
+        map.insert("2001:db8::1".parse().unwrap(), 1);
+        map.insert("2001:db8::2".parse().unwrap(), 2);
+        assert_eq!(map.len(), 2);
+        let mut set: FastSet<u64> = FastSet::default();
+        set.insert(9);
+        assert!(set.contains(&9));
+    }
+}

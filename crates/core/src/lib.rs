@@ -22,7 +22,8 @@
 //! | §6 | [`tracker`] | The device-tracking case study (Table 2, Figure 13) |
 //!
 //! Supporting modules: [`stats`] (medians, CDFs), [`report`] (plain-text
-//! table rendering used by the experiment binaries).
+//! table rendering used by the experiment binaries), [`fasthash`] (the
+//! deterministic fast hasher behind every per-observation hash container).
 //!
 //! The classifier and detector modules also expose *incremental* entry
 //! points — [`density::DensityAccumulator`],
@@ -39,6 +40,7 @@ pub mod allocation;
 pub mod campaign_stats;
 pub mod density;
 pub mod dynamics;
+pub mod fasthash;
 pub mod grid;
 pub mod homogeneity;
 pub mod pathology;
@@ -53,6 +55,7 @@ pub mod tracker;
 pub use allocation::AllocationInference;
 pub use campaign_stats::CampaignStats;
 pub use density::{DensityAccumulator, DensityClass, DensityReport};
+pub use fasthash::{FastMap, FastSet};
 pub use grid::AllocationGrid;
 pub use homogeneity::HomogeneityReport;
 pub use pathology::PathologyReport;

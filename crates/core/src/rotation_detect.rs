@@ -15,6 +15,8 @@ use serde::{Deserialize, Serialize};
 use scent_ipv6::{Eui64, Ipv6Prefix};
 use scent_prober::Scan;
 
+use crate::fasthash::FastMap;
+
 /// The kind of change observed for one target between the two snapshots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ChangeKind {
@@ -115,7 +117,9 @@ pub struct RotationEvent {
 #[derive(Debug, Clone, Default)]
 pub struct WindowedRotationDetector {
     /// Per target: the window and response source of the last observation.
-    last: HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>,
+    /// On the [`crate::fasthash`] hasher — this map is hit once per
+    /// detection-phase observation, on the streaming hot path.
+    last: FastMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>,
 }
 
 impl WindowedRotationDetector {
@@ -177,12 +181,12 @@ impl WindowedRotationDetector {
 
     /// The detector's complete internal state — what a checkpoint encodes:
     /// per target, the window and response source of its last observation.
-    pub fn last_observations(&self) -> &HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)> {
+    pub fn last_observations(&self) -> &FastMap<Ipv6Addr, (u64, Option<Ipv6Addr>)> {
         &self.last
     }
 
     /// Rebuild a detector from [`WindowedRotationDetector::last_observations`].
-    pub fn from_last_observations(last: HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>) -> Self {
+    pub fn from_last_observations(last: FastMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>) -> Self {
         WindowedRotationDetector { last }
     }
 

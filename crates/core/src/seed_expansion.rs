@@ -145,10 +145,10 @@ impl SeedExpansion {
     ///
     /// Returns the next watch list in prefix order plus the
     /// [`WatchRevision`] record for epoch `epoch`.
-    pub fn revise_watch_list(
+    pub fn revise_watch_list<S: std::hash::BuildHasher>(
         epoch: u64,
         watched: &[Ipv6Prefix],
-        epoch_density: &HashMap<Ipv6Prefix, DensityAccumulator>,
+        epoch_density: &HashMap<Ipv6Prefix, DensityAccumulator, S>,
         validated: &[Ipv6Prefix],
         capacity: usize,
     ) -> (Vec<Ipv6Prefix>, WatchRevision) {

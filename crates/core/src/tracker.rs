@@ -9,7 +9,7 @@
 //! from the announced BGP prefix down to the space the device actually moves
 //! within.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv6Addr;
 
 use serde::{Deserialize, Serialize};
@@ -20,6 +20,7 @@ use scent_prober::{ProbePacer, ProbeTransport, RandomPermutation, TargetGenerato
 use scent_simnet::{SimDuration, SimTime};
 
 use crate::allocation::AllocationInference;
+use crate::fasthash::FastMap;
 use crate::rotation_detect::RotationEvent;
 use crate::rotation_pool::RotationPoolInference;
 use crate::stats::{mean, std_dev};
@@ -389,7 +390,9 @@ pub struct IncrementalTracker {
     /// Per identifier, per window: the earliest sighting.
     sightings: BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
     /// Probes observed per (window, /48) — the attributable passive cost.
-    probes: HashMap<(u64, Ipv6Prefix), u64>,
+    /// On the [`crate::fasthash`] hasher: this map is bumped once per
+    /// detection-phase observation, on the streaming hot path.
+    probes: FastMap<(u64, Ipv6Prefix), u64>,
     /// Confirmed rotation events per identifier.
     moves: BTreeMap<Eui64, u64>,
 }
@@ -467,7 +470,7 @@ impl IncrementalTracker {
         &self,
     ) -> (
         &BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
-        &HashMap<(u64, Ipv6Prefix), u64>,
+        &FastMap<(u64, Ipv6Prefix), u64>,
         &BTreeMap<Eui64, u64>,
     ) {
         (&self.sightings, &self.probes, &self.moves)
@@ -476,7 +479,7 @@ impl IncrementalTracker {
     /// Rebuild a tracker from [`IncrementalTracker::checkpoint_parts`].
     pub fn from_checkpoint_parts(
         sightings: BTreeMap<Eui64, BTreeMap<u64, Sighting>>,
-        probes: HashMap<(u64, Ipv6Prefix), u64>,
+        probes: FastMap<(u64, Ipv6Prefix), u64>,
         moves: BTreeMap<Eui64, u64>,
     ) -> Self {
         IncrementalTracker {

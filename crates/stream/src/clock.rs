@@ -36,11 +36,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread;
 
 use scent_simnet::SimTime;
 use scent_telemetry::StreamObserver;
 
+use crate::buffer::{batch_pool, BatchReturn, PoolCounters};
 use crate::observation::{Observation, ObservationSource};
 
 /// The heap key observations merge on: virtual send time, then tenant, then
@@ -124,18 +126,35 @@ const PRODUCER_BATCH: usize = 64;
 /// An [`ObservationSource`] reading from a producer thread's channel (in
 /// batches, yielded one observation at a time). The stream ends when the
 /// producer hangs up (its slice is exhausted).
+///
+/// Drained batch buffers are returned to the producer's
+/// [`BatchPool`](crate::buffer::BatchPool) for reuse, so in steady state the
+/// producer → merge edge recirculates a fixed buffer population and the
+/// merge thread's consumption is allocation-free (observations are `Copy` —
+/// yielding one is a memcpy out of the buffer, never a move out of the
+/// allocation).
 pub struct ChannelSource {
     receiver: Receiver<Vec<Observation>>,
-    buffered: std::vec::IntoIter<Observation>,
+    buffered: Vec<Observation>,
+    /// Next unread index into `buffered`.
+    cursor: usize,
+    /// Where drained buffers go home to (the producer thread's pool).
+    recycle: BatchReturn,
 }
 
 impl ObservationSource for ChannelSource {
     fn next_observation(&mut self) -> Option<Observation> {
         loop {
-            if let Some(obs) = self.buffered.next() {
+            if let Some(&obs) = self.buffered.get(self.cursor) {
+                self.cursor += 1;
                 return Some(obs);
             }
-            self.buffered = self.receiver.recv().ok()?.into_iter();
+            let refill = self.receiver.recv().ok()?;
+            let drained = std::mem::replace(&mut self.buffered, refill);
+            self.cursor = 0;
+            if drained.capacity() > 0 {
+                self.recycle.give(drained);
+            }
         }
     }
 }
@@ -226,23 +245,47 @@ pub fn spawn_producers<'scope, S>(
 where
     S: ObservationSource + Send + 'scope,
 {
+    spawn_producers_counted(scope, sources, channel_capacity).0
+}
+
+/// [`spawn_producers`] returning, alongside the clock, each producer's
+/// buffer-pool counters (index-aligned with `sources`).
+///
+/// Every producer → merge edge recycles its batch buffers: the merge side
+/// returns each drained buffer over a bounded channel, and the producer
+/// refills from returned buffers before touching the allocator. The
+/// counters make the property observable — after warm-up, `allocated` stays
+/// put (bounded by the channel capacity plus the buffers in hand, never by
+/// observation volume) while `recycled` tracks throughput. This is the
+/// handle the hot-path allocation regression test asserts on.
+pub fn spawn_producers_counted<'scope, S>(
+    scope: &'scope thread::Scope<'scope, '_>,
+    sources: Vec<S>,
+    channel_capacity: usize,
+) -> (MergedClock<ChannelSource>, Vec<Arc<PoolCounters>>)
+where
+    S: ObservationSource + Send + 'scope,
+{
     assert!(!sources.is_empty(), "at least one producer");
     assert!(channel_capacity > 0, "bounded channels need capacity");
     let mut channels = Vec::with_capacity(sources.len());
+    let mut counters = Vec::with_capacity(sources.len());
     for mut source in sources {
         let (tx, rx): (SyncSender<Vec<Observation>>, _) =
             std::sync::mpsc::sync_channel(channel_capacity);
+        // The recycle channel mirrors the data channel: at most
+        // `channel_capacity` batches are queued ahead of the merge, plus one
+        // in the producer's hands and one in the merge's, so
+        // `channel_capacity + 2` transit slots mean no return is ever
+        // dropped and the edge's buffer population stays fixed.
+        let (mut pool, home) = batch_pool(PRODUCER_BATCH, channel_capacity + 2);
+        counters.push(pool.counters());
         scope.spawn(move || {
-            let mut batch = Vec::with_capacity(PRODUCER_BATCH);
+            let mut batch = pool.take();
             while let Some(obs) = source.next_observation() {
                 batch.push(obs);
                 if batch.len() == PRODUCER_BATCH
-                    && tx
-                        .send(std::mem::replace(
-                            &mut batch,
-                            Vec::with_capacity(PRODUCER_BATCH),
-                        ))
-                        .is_err()
+                    && tx.send(std::mem::replace(&mut batch, pool.take())).is_err()
                 {
                     // The clock stopped listening; stop probing.
                     return;
@@ -254,10 +297,12 @@ where
         });
         channels.push(ChannelSource {
             receiver: rx,
-            buffered: Vec::new().into_iter(),
+            buffered: Vec::new(),
+            cursor: 0,
+            recycle: home,
         });
     }
-    MergedClock::new(channels)
+    (MergedClock::new(channels), counters)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! | Piece | Module | What it does |
 //! |---|---|---|
 //! | Event type & sources | [`observation`] | [`Observation`]s, the [`ObservationSource`] trait |
+//! | Buffer recycling | [`buffer`] | [`BatchPool`]/[`BatchReturn`]: fixed-capacity observation batches recirculated over bounded return channels, so the steady-state hot path never touches the allocator |
 //! | Engine adapters | [`source`] | Drive a [`ProbeTransport`](scent_prober::ProbeTransport) as a finite scan replay or an infinite virtual-time stream, optionally with deterministic virtual-queue AIMD rate feedback |
 //! | Producer sharding | [`clock`] | Split the probing side into P per-slice producers and recombine them through the [`MergedClock`] — bit-identical output for any producer count |
 //! | Shard routing | [`router`] | Partition observations by announced prefix (/32 granularity) over bounded channels; [`ShardMap`] exposes the pure target → shard mapping the feedback model shares |
@@ -58,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod checkpoint;
 pub mod clock;
 pub mod error;
@@ -69,8 +71,12 @@ pub mod router;
 pub mod shard;
 pub mod source;
 
+pub use buffer::{batch_pool, BatchPool, BatchReturn, PoolCounters};
 pub use checkpoint::{config_fingerprint, world_fingerprint, MonitorSnapshot, StopSignal};
-pub use clock::{spawn_producers, ChannelSource, CountedSource, LimitedSource, MergedClock};
+pub use clock::{
+    spawn_producers, spawn_producers_counted, ChannelSource, CountedSource, LimitedSource,
+    MergedClock,
+};
 pub use error::StreamError;
 pub use monitor::{
     MonitorConfig, MonitorControl, MonitorReport, MonitorSession, StreamMonitor, WatchChurn,
@@ -82,4 +88,7 @@ pub use router::{ShardMap, ShardRouter};
 pub use shard::{
     spawn_shards, spawn_shards_observed, spawn_shards_seeded, ShardInference, ShardMsg,
 };
-pub use source::{ContinuousStream, ContinuousStreamBuilder, ScanStream, ScanStreamBuilder};
+pub use source::{
+    continuous_seq_shards, scan_seq_shards, ContinuousStream, ContinuousStreamBuilder, ScanStream,
+    ScanStreamBuilder,
+};

@@ -17,7 +17,6 @@
 //! state only — never from OS timing — so a churning run stays byte-identical
 //! across producer counts and across live vs. recorded-replay backends.
 
-use std::collections::HashMap;
 use std::net::Ipv6Addr;
 
 use serde::{Deserialize, Serialize};
@@ -635,8 +634,8 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         // recombines it identically either way. This also makes snapshots
         // portable across shard counts.
         let restored = ShardInference::merge_all(snapshot.shards);
-        let mut detectors: Vec<HashMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>> =
-            vec![HashMap::new(); self.config.shards];
+        let mut detectors: Vec<scent_core::FastMap<Ipv6Addr, (u64, Option<Ipv6Addr>)>> =
+            vec![scent_core::FastMap::default(); self.config.shards];
         for (target, entry) in restored.detector.last_observations() {
             detectors[self.shard_map.shard_for(*target)].insert(*target, *entry);
         }
@@ -765,7 +764,10 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         // Per-epoch density state feeding the next revision, keyed by
         // watched /48. Folded on the merge side — the deterministic
         // observation order — so revisions never depend on scheduling.
-        let mut epoch_density: HashMap<Ipv6Prefix, DensityAccumulator> = HashMap::new();
+        // (Fast-hashed: this map is bumped once per churned observation, on
+        // the merge side's hot path.)
+        let mut epoch_density: scent_core::FastMap<Ipv6Prefix, DensityAccumulator> =
+            scent_core::FastMap::default();
 
         let (states, stalls, final_rate, stopping, panicked) = std::thread::scope(|scope| {
             let (senders, handles) = spawn_shards_seeded(
@@ -777,10 +779,19 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                 Some(initial),
                 cfg.inject_shard_panic,
             );
-            let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch);
+            let mut router = ShardRouter::with_map(shard_map, senders, cfg.observation_batch)
+                .with_pool_slots(cfg.shards * (cfg.channel_capacity + 2));
             if let Some(telemetry) = observer {
                 router = router.with_observer(telemetry);
             }
+            // This epoch's watch list probes one window-invariant permuted
+            // order, so a position → shard table computed once here replaces
+            // the per-observation trie walk for the whole epoch.
+            let table = crate::source::continuous_seq_shards(
+                router.map(),
+                &TargetStream::new(generator, watched, cfg.granularity, cfg.seed, true),
+            );
+            router.set_seq_shards(table);
             // A fresh merge-side rate replica per epoch, mirroring the
             // epoch's fresh producer pacers (each epoch's revised target
             // set is paced from scratch) — only worth building when both
@@ -795,28 +806,29 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                 )),
                 _ => None,
             };
-            let mut ingest = |router: &mut ShardRouter<'_>,
-                              epoch_density: &mut HashMap<Ipv6Prefix, DensityAccumulator>,
-                              obs: crate::observation::Observation| {
-                if let (Some(replica), Some(telemetry)) = (replica.as_mut(), observer) {
-                    replica.observe(&obs, telemetry);
-                }
-                if cfg.churn.is_some() {
-                    epoch_density
-                        .entry(obs.target_48())
-                        .or_default()
-                        .observe(&obs.record());
-                }
-                if obs.window > current_window {
-                    current_window = obs.window;
-                    if let Some(keep) = cfg.retention_windows {
-                        if current_window > keep {
-                            router.compact_before(current_window - keep);
+            let mut ingest =
+                |router: &mut ShardRouter<'_>,
+                 epoch_density: &mut scent_core::FastMap<Ipv6Prefix, DensityAccumulator>,
+                 obs: crate::observation::Observation| {
+                    if let (Some(replica), Some(telemetry)) = (replica.as_mut(), observer) {
+                        replica.observe(&obs, telemetry);
+                    }
+                    if cfg.churn.is_some() {
+                        epoch_density
+                            .entry(obs.target_48())
+                            .or_default()
+                            .observe(&obs.record());
+                    }
+                    if obs.window > current_window {
+                        current_window = obs.window;
+                        if let Some(keep) = cfg.retention_windows {
+                            if current_window > keep {
+                                router.compact_before(current_window - keep);
+                            }
                         }
                     }
-                }
-                router.route(obs);
-            };
+                    router.route(obs);
+                };
 
             let stopping;
             let final_rate = if cfg.producers == 1 {

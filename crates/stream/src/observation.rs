@@ -28,6 +28,15 @@ pub enum Phase {
 /// consume. It carries everything a [`ProbeRecord`] does plus the stream
 /// coordinates (phase, window, probing-order sequence number) that let
 /// per-shard state merge back into deterministic batch-shaped reports.
+///
+/// The type is deliberately plain-old-data: `Copy`, fixed-size, no heap
+/// behind any field (the response is inline, not boxed). The whole hot path
+/// leans on this — observations move through channels by memcpy into
+/// recycled batch buffers ([`crate::buffer`]), so steady-state streaming
+/// performs zero per-observation heap allocations. Keep it that way: a
+/// `String`/`Vec`/`Box` field here would silently put an allocation (and a
+/// far-thread deallocation) back on every probe. The `pod_contract` test
+/// pins the property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Observation {
     /// The methodology stage this probe belongs to.
@@ -91,6 +100,22 @@ pub trait ObservationSource {
 mod tests {
     use super::*;
     use scent_simnet::ReplyKind;
+
+    /// The hot path's POD contract: observations are `Copy` and stay small
+    /// enough that batched channel transfers are plain memcpys. The size
+    /// bound is deliberately loose (layout may shift across rustc versions);
+    /// what must never happen is a heap-owning field, which would break
+    /// `Copy` and fail this test at compile time.
+    #[test]
+    fn pod_contract() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Observation>();
+        assert!(
+            std::mem::size_of::<Observation>() <= 96,
+            "Observation grew past a cache-line-friendly size: {} bytes",
+            std::mem::size_of::<Observation>()
+        );
+    }
 
     #[test]
     fn accessors() {

@@ -35,7 +35,7 @@ use crate::observation::{Observation, ObservationSource, Phase};
 use crate::observe::RateReplica;
 use crate::router::{ShardMap, ShardRouter};
 use crate::shard::{spawn_shards_observed, ShardInference};
-use crate::source::ScanStream;
+use crate::source::{scan_seq_shards, ScanStream};
 
 /// Streaming engine configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -253,8 +253,12 @@ impl StreamPipeline {
                 None,
                 observer,
             );
+            // Size the recycle pool to the maximum batch population that can
+            // be in flight at once (per shard: the channel's queue plus one
+            // buffer in each side's hands), so steady state never allocates.
             let mut router =
-                ShardRouter::with_map(shard_map, senders, self.config.observation_batch);
+                ShardRouter::with_map(shard_map, senders, self.config.observation_batch)
+                    .with_pool_slots(self.config.shards * (self.config.channel_capacity + 2));
             if let Some(telemetry) = observer {
                 router = router.with_observer(telemetry);
             }
@@ -267,6 +271,11 @@ impl StreamPipeline {
                 .iter()
                 .map(|c| generator.random_addr_in(c))
                 .collect();
+            // Each phase probes one fixed target list in one fixed permuted
+            // order, so a position → shard table computed once replaces the
+            // per-observation trie walk for the whole phase.
+            let table = scan_seq_shards(router.map(), &expansion_targets, cfg.seed ^ 0x9e37);
+            router.set_seq_shards(table);
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
                     CountedSource::new(
@@ -304,6 +313,8 @@ impl StreamPipeline {
             let density_targets =
                 density_generator.per_candidate_48(&validated, cfg.density_granularity);
             let density_start = cfg.expansion_time + SimDuration::from_hours(2);
+            let table = scan_seq_shards(router.map(), &density_targets, cfg.seed);
+            router.set_seq_shards(table);
             let sources: Vec<_> = (0..producers)
                 .map(|k| {
                     CountedSource::new(
@@ -341,6 +352,10 @@ impl StreamPipeline {
             let detection_targets =
                 density_generator.per_candidate_48(&high, cfg.detection_granularity);
             let mut detection_routed = 0u64;
+            // Both snapshot windows replay the identical permuted order, so
+            // one table serves both.
+            let table = scan_seq_shards(router.map(), &detection_targets, cfg.seed);
+            router.set_seq_shards(table);
             for window in 0..2u64 {
                 let start = cfg.first_snapshot
                     + SimDuration::from_secs(SimDuration::from_days(1).as_secs() * window);

@@ -40,8 +40,15 @@ use scent_ipv6::{addr_to_u128, Ipv6Prefix};
 use scent_simnet::det::hash2;
 use scent_telemetry::StreamObserver;
 
+use crate::buffer::{batch_pool, BatchPool, PoolCounters};
 use crate::observation::{Observation, ObservationSource};
 use crate::shard::ShardMsg;
+
+/// Default recycle-channel slots per shard when the caller doesn't size the
+/// pool explicitly ([`ShardRouter::with_pool_slots`]): enough transit room
+/// that a promptly-draining shard set recycles every buffer, without
+/// reserving channel storage proportional to a possibly huge queue capacity.
+const DEFAULT_POOL_SLOTS_PER_SHARD: usize = 32;
 
 /// The outcome of routing one observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +115,28 @@ impl ShardMap {
     pub fn shards(&self) -> usize {
         self.shards
     }
+
+    /// Precompute the shard of every probing-order position: element `seq`
+    /// is [`ShardMap::shard_for`] of the target probed at sequence number
+    /// `seq`. Routing then costs one array index per observation instead of
+    /// one longest-prefix trie walk — the flattened hot path's lookup.
+    ///
+    /// The table is valid exactly as long as the seq → target mapping it was
+    /// built from: one scan phase of the streamed pipeline, or one epoch of
+    /// the monitor (a position's target — and therefore its shard — is
+    /// window-invariant within an epoch; the virtual-queue feedback pacer
+    /// has exploited the same property since PR 4). Install it with
+    /// [`ShardRouter::set_seq_shards`] and replace it whenever the target
+    /// list or probing order changes.
+    pub fn seq_table<I>(&self, targets_in_order: I) -> Vec<u32>
+    where
+        I: IntoIterator<Item = Ipv6Addr>,
+    {
+        targets_in_order
+            .into_iter()
+            .map(|target| self.shard_for(target) as u32)
+            .collect()
+    }
 }
 
 /// Routes observations to shard workers over bounded channels.
@@ -124,6 +153,14 @@ pub struct ShardRouter<'t> {
     routed: u64,
     batch: usize,
     buffers: Vec<Vec<Observation>>,
+    /// Recycled batch buffers (batching on): shard workers return drained
+    /// `ObserveBatch` buffers here, so steady-state delivery allocates
+    /// nothing. `None` exactly when `batch == 1` (no buffers exist).
+    pool: Option<BatchPool>,
+    /// Precomputed seq → shard routing table ([`ShardRouter::set_seq_shards`]);
+    /// positions beyond its length (or all of them, when absent) fall back
+    /// to the [`ShardMap`] trie walk.
+    seq_shards: Option<Vec<u32>>,
     observer: Option<&'t dyn StreamObserver>,
     dead: Option<usize>,
 }
@@ -161,16 +198,64 @@ impl<'t> ShardRouter<'t> {
         assert_eq!(map.shards(), senders.len(), "one sender per mapped shard");
         assert!(batch > 0, "batch size must be non-zero");
         let shards = senders.len();
-        ShardRouter {
+        let mut router = ShardRouter {
             map,
             buffers: vec![Vec::with_capacity(batch); shards],
             senders,
             stalls: 0,
             routed: 0,
             batch,
+            pool: None,
+            seq_shards: None,
             observer: None,
             dead: None,
+        };
+        if batch > 1 {
+            router.install_pool(shards * DEFAULT_POOL_SLOTS_PER_SHARD);
         }
+        router
+    }
+
+    /// (Re)build the recycle pool with `slots` transit slots and hand every
+    /// worker a return handle.
+    fn install_pool(&mut self, slots: usize) {
+        let (pool, home) = batch_pool(self.batch, slots);
+        for (shard, sender) in self.senders.iter().enumerate() {
+            if sender.send(ShardMsg::AttachRecycler(home.clone())).is_err() {
+                self.dead.get_or_insert(shard);
+            }
+        }
+        self.pool = Some(pool);
+    }
+
+    /// Resize the batch-buffer recycle pool to `slots` transit slots (the
+    /// default is a modest per-shard constant). Size it to the maximum
+    /// number of buffers simultaneously in flight —
+    /// `shards × (channel capacity + 2)` covers every queue position plus
+    /// one buffer in the router's and one in each worker's hands — and no
+    /// return is ever dropped. No-op when batching is off (`batch == 1`:
+    /// there are no buffers to recycle).
+    pub fn with_pool_slots(mut self, slots: usize) -> Self {
+        if self.batch > 1 {
+            self.install_pool(slots);
+        }
+        self
+    }
+
+    /// Eagerly allocate `buffers` batch buffers into the pool (see
+    /// [`BatchPool::prefill`]). With a prefill covering the maximum
+    /// in-flight population, steady-state routing provably never allocates
+    /// — what the hot-path allocation regression test asserts.
+    pub fn prefill_buffers(&mut self, buffers: usize) {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.prefill(buffers);
+        }
+    }
+
+    /// A handle on the batch-buffer pool's allocation/recycle counters, or
+    /// `None` when batching is off.
+    pub fn buffer_counters(&self) -> Option<std::sync::Arc<PoolCounters>> {
+        self.pool.as_ref().map(BatchPool::counters)
     }
 
     /// Attach a telemetry observer: every routed observation is reported via
@@ -186,11 +271,54 @@ impl<'t> ShardRouter<'t> {
         self.map.shard_for(target)
     }
 
+    /// The pure target → shard mapping this router routes by — what a caller
+    /// needs to build a seq → shard table ([`ShardMap::seq_table`]) or share
+    /// the mapping with the virtual-queue feedback model.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Install a precomputed seq → shard table (built by
+    /// [`ShardMap::seq_table`] over this router's map): while present,
+    /// [`ShardRouter::route`] resolves `obs.seq` with one array index
+    /// instead of a longest-prefix trie walk. Positions at or beyond
+    /// `table.len()` fall back to the trie, so a partial table is safe —
+    /// merely slower for the tail.
+    ///
+    /// The caller owns the table's validity window: it must be rebuilt (or
+    /// [cleared](ShardRouter::clear_seq_shards)) whenever the seq → target
+    /// mapping changes — each streamed-pipeline phase, each monitor epoch.
+    /// Debug builds verify every lookup against the trie.
+    pub fn set_seq_shards(&mut self, table: Vec<u32>) {
+        debug_assert!(
+            table.iter().all(|&s| (s as usize) < self.senders.len()),
+            "table entries must be valid shard indices"
+        );
+        self.seq_shards = Some(table);
+    }
+
+    /// Remove the seq → shard table, returning it for reuse; routing falls
+    /// back to per-observation trie walks.
+    pub fn clear_seq_shards(&mut self) -> Option<Vec<u32>> {
+        self.seq_shards.take()
+    }
+
     /// Deliver one observation to its shard (or buffer it until the shard's
     /// batch fills). Blocks when a delivery finds the shard's queue full; the
     /// outcome reports whether it had to.
     pub fn route(&mut self, obs: Observation) -> RouteOutcome {
-        let shard = self.shard_for(obs.target);
+        let shard = match &self.seq_shards {
+            Some(table) if (obs.seq as usize) < table.len() => {
+                let shard = table[obs.seq as usize] as usize;
+                debug_assert_eq!(
+                    shard,
+                    self.map.shard_for(obs.target),
+                    "seq table must agree with the trie (stale table?)"
+                );
+                shard
+            }
+            _ => self.map.shard_for(obs.target),
+        };
         self.routed += 1;
         if let Some(observer) = self.observer {
             observer.on_routed(shard, obs.window, obs.sent_at, obs.response.is_some());
@@ -270,12 +398,18 @@ impl<'t> ShardRouter<'t> {
         self.dead
     }
 
-    /// Deliver a shard's buffered batch, if any.
+    /// Deliver a shard's buffered batch, if any. The replacement buffer
+    /// comes from the recycle pool — in steady state a worker-returned one,
+    /// so delivery allocates nothing per batch.
     fn flush_buffer(&mut self, shard: usize) -> bool {
         if self.buffers[shard].is_empty() {
             return false;
         }
-        let batch = std::mem::replace(&mut self.buffers[shard], Vec::with_capacity(self.batch));
+        let empty = match self.pool.as_mut() {
+            Some(pool) => pool.take(),
+            None => Vec::with_capacity(self.batch),
+        };
+        let batch = std::mem::replace(&mut self.buffers[shard], empty);
         self.deliver(shard, ShardMsg::ObserveBatch(batch))
     }
 

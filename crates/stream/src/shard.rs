@@ -10,12 +10,13 @@
 //! shards) or order-normalized afterwards, which is what makes the merged
 //! result independent of the shard count.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::net::Ipv6Addr;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::thread;
 
 use scent_core::density::DensityAccumulator;
+use scent_core::fasthash::{FastMap, FastSet};
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::tracker::IncrementalTracker;
 use scent_core::SeedExpansion;
@@ -32,6 +33,14 @@ pub enum ShardMsg {
     /// channel message per batch amortizes per-message overhead when the
     /// router runs with an observation-batching knob above 1.
     ObserveBatch(Vec<Observation>),
+    /// Adopt a recycler for batch buffers: after folding each subsequent
+    /// [`ShardMsg::ObserveBatch`], the worker clears the buffer and sends it
+    /// back to the router's [`BatchPool`](crate::buffer::BatchPool) instead
+    /// of dropping it. Sent once by the router at construction (when
+    /// observation batching is on); a worker without one simply drops drained
+    /// buffers — recycling is an allocation optimization, never a
+    /// correctness requirement.
+    AttachRecycler(crate::buffer::BatchReturn),
     /// Snapshot the shard's current inference state and send it back. The
     /// channel is FIFO, so the snapshot reflects every observation routed
     /// before the flush.
@@ -50,8 +59,10 @@ pub struct ShardInference {
     pub validated: BTreeSet<Ipv6Prefix>,
     /// /48s that responded to expansion probing without an EUI-64 source.
     pub non_eui: BTreeSet<Ipv6Prefix>,
-    /// Per-/48 online density state.
-    pub density: HashMap<Ipv6Prefix, DensityAccumulator>,
+    /// Per-/48 online density state. (All the hash containers here are on
+    /// the deterministic fast hasher — they are touched per observation, on
+    /// the hot path; see `scent_core::fasthash`.)
+    pub density: FastMap<Ipv6Prefix, DensityAccumulator>,
     /// Online rotation detection keyed by target.
     pub detector: WindowedRotationDetector,
     /// Every rotation event detected, in per-shard emission order.
@@ -59,11 +70,11 @@ pub struct ShardInference {
     /// Passive per-identifier tracking.
     pub tracker: IncrementalTracker,
     /// Distinct response addresses over the density and detection phases.
-    pub addresses: HashSet<Ipv6Addr>,
+    pub addresses: FastSet<Ipv6Addr>,
     /// The EUI-64 subset of `addresses`.
-    pub eui_addresses: HashSet<Ipv6Addr>,
+    pub eui_addresses: FastSet<Ipv6Addr>,
     /// Distinct EUI-64 interface identifiers.
-    pub iids: HashSet<Eui64>,
+    pub iids: FastSet<Eui64>,
     /// Observations ingested.
     pub observations: u64,
 }
@@ -184,6 +195,7 @@ fn worker(
     poison: bool,
 ) -> ShardInference {
     let mut state = initial;
+    let mut recycler: Option<crate::buffer::BatchReturn> = None;
     let observe = |state: &mut ShardInference, obs: &Observation| {
         let event = state.ingest(obs);
         if let (Some(event), Some(live)) = (event, live_events.as_ref()) {
@@ -210,6 +222,12 @@ fn worker(
                 if let Some(observer) = observer {
                     observer.on_shard_progress(shard, batch.len() as u64);
                 }
+                if let Some(home) = &recycler {
+                    home.give(batch);
+                }
+            }
+            ShardMsg::AttachRecycler(home) => {
+                recycler = Some(home);
             }
             ShardMsg::Flush(reply) => {
                 let _ = reply.send(state.clone());

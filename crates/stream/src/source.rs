@@ -65,11 +65,12 @@ enum ScanPacing {
     Fixed(ProbePacer),
     /// Virtual-queue AIMD pacing: every position is accounted against its
     /// shard's deterministic queue depth. A position's shard never changes,
-    /// so the target → shard trie lookups are done once at build time and
-    /// the accounting hot path is an array index per position.
+    /// so the target → shard trie lookups are done once at build time
+    /// ([`ShardMap::seq_table`]) and the accounting hot path is an array
+    /// index per position.
     Queue {
         pacer: QueuePacer,
-        shard_of_pos: Vec<usize>,
+        shard_of_pos: Vec<u32>,
     },
 }
 
@@ -175,10 +176,7 @@ impl<'a, T: ProbeTransport + ?Sized> ScanStreamBuilder<'a, T> {
             None => ScanPacing::Fixed(ProbePacer::new(self.start, self.packets_per_second)),
             Some((model, map)) => ScanPacing::Queue {
                 pacer: QueuePacer::new(self.start, self.packets_per_second, map.shards(), model),
-                shard_of_pos: order
-                    .iter()
-                    .map(|&i| map.shard_for(self.targets[i as usize]))
-                    .collect(),
+                shard_of_pos: map.seq_table(order.iter().map(|&i| self.targets[i as usize])),
             },
         };
         ScanStream {
@@ -263,10 +261,10 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ScanStream<'_, T> {
                 // Skip-with-feedback over the positions other producers own:
                 // identical state transitions, no probes.
                 for pos in self.accounted..seq {
-                    pacer.skip(shard_of_pos[pos as usize]);
+                    pacer.skip(shard_of_pos[pos as usize] as usize);
                 }
                 self.accounted = seq + 1;
-                pacer.pace(shard_of_pos[seq as usize])
+                pacer.pace(shard_of_pos[seq as usize] as usize)
             }
         };
         let response = self
@@ -320,11 +318,11 @@ enum ContinuousPacing {
     Fixed(FeedbackPacer),
     /// Virtual-queue AIMD pacing: every position is accounted per shard. A
     /// position's shard is window-invariant, so the target → shard trie
-    /// lookups are done once at build time and the per-window accounting hot
-    /// path is an array index per position.
+    /// lookups are done once at build time ([`ShardMap::seq_table`]) and the
+    /// per-window accounting hot path is an array index per position.
     Queue {
         pacer: QueuePacer,
-        shard_of_pos: Vec<usize>,
+        shard_of_pos: Vec<u32>,
     },
 }
 
@@ -427,9 +425,7 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStreamBuilder<'a, T> {
                     map.shards(),
                     model,
                 ),
-                shard_of_pos: (0..targets.window_len())
-                    .map(|pos| map.shard_for(targets.target_at(pos)))
-                    .collect(),
+                shard_of_pos: continuous_seq_shards(&map, &targets),
             },
         };
         ContinuousStream {
@@ -512,7 +508,7 @@ impl<'a, T: ProbeTransport + ?Sized> ContinuousStream<'a, T> {
                 shard_of_pos,
             } => {
                 for pos in self.accounted..until {
-                    pacer.skip(shard_of_pos[pos as usize]);
+                    pacer.skip(shard_of_pos[pos as usize] as usize);
                 }
             }
         }
@@ -568,7 +564,7 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ContinuousStream<'_, T> {
             ContinuousPacing::Queue {
                 pacer,
                 shard_of_pos,
-            } => pacer.pace(shard_of_pos[streamed.seq as usize]),
+            } => pacer.pace(shard_of_pos[streamed.seq as usize] as usize),
         };
         let response = self
             .transport
@@ -587,6 +583,33 @@ impl<T: ProbeTransport + ?Sized> ObservationSource for ContinuousStream<'_, T> {
             response,
         })
     }
+}
+
+/// The position → shard table of one scan pass: entry `p` is the shard of
+/// the target probed at global sequence number `p` (the same permuted order
+/// every [`ScanStream`] over `(targets, seed)` replays, sliced or not).
+///
+/// This is the table [`ShardRouter::set_seq_shards`](crate::router::ShardRouter::set_seq_shards)
+/// wants: install it before routing a scan phase and the router resolves
+/// each observation's shard with one array index instead of a trie walk.
+/// The virtual-queue pacer builds the identical table internally
+/// ([`ScanStreamBuilder::feedback`]), so router and pacer agree by
+/// construction.
+pub fn scan_seq_shards(map: &ShardMap, targets: &[std::net::Ipv6Addr], seed: u64) -> Vec<u32> {
+    let order = RandomPermutation::scan_order(targets.len() as u64, seed, true);
+    map.seq_table(order.iter().map(|&i| targets[i as usize]))
+}
+
+/// The position → shard table of a continuous stream's windows: entry `p` is
+/// the shard of the target probed at within-window sequence number `p`.
+///
+/// A position's target is window- and slice-invariant (enforced by
+/// `scent-prober`'s target-stream tests — [`TargetStream::target_at`] covers
+/// every global position even on a sliced stream), so one table serves every
+/// window every producer will ever emit: the monitor installs it once per
+/// epoch.
+pub fn continuous_seq_shards(map: &ShardMap, targets: &TargetStream) -> Vec<u32> {
+    map.seq_table((0..targets.window_len()).map(|pos| targets.target_at(pos)))
 }
 
 #[cfg(test)]

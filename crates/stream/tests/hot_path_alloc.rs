@@ -1,0 +1,253 @@
+//! Steady-state allocation regression tests for the observation hot path.
+//!
+//! The data plane's claim (see `crates/stream/src/buffer.rs` and
+//! `docs/PERFORMANCE.md`) is that after a bounded warm-up, moving an
+//! observation from producer to shard performs **zero heap allocations**:
+//! batches travel in recycled fixed-capacity buffers, shard resolution is an
+//! array index into a precomputed seq → shard table, and `Observation`
+//! itself is `Copy`. These tests pin the property two ways — with a counting
+//! global allocator on the routing thread, and with the buffer pools' own
+//! allocate/recycle counters — so it can't silently rot.
+//!
+//! This is an integration-test binary on purpose: a `#[global_allocator]`
+//! is process-wide, and the library forbids `unsafe` (`GlobalAlloc` needs
+//! it), so the counter lives here where it can't affect other test binaries.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use scent_bgp::{Asn, Rib};
+use scent_simnet::SimTime;
+use scent_stream::{
+    spawn_producers_counted, spawn_shards, Observation, ObservationSource, Phase, ShardMap,
+    ShardRouter,
+};
+
+/// Counts this thread's heap allocations (alloc paths only — frees are
+/// irrelevant to the "does the hot path allocate?" question). Thread-local
+/// so worker/producer threads, which own their warm-up, don't pollute the
+/// control thread's count.
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Fallback for allocations during TLS teardown (never on the hot path).
+static TEARDOWN_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn count_one() {
+    if THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1)).is_err() {
+        TEARDOWN_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Allocations performed so far by the calling thread.
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn rib() -> Rib {
+    let mut rib = Rib::new();
+    rib.announce("2001:16b8::/32".parse().unwrap(), Asn(8881));
+    rib.announce("2a02:27b0::/32".parse().unwrap(), Asn(9146));
+    rib.announce("2803:9810::/32".parse().unwrap(), Asn(6568));
+    rib
+}
+
+/// A fixed target list spread over the announced prefixes, in probing order.
+fn targets(len: usize) -> Vec<std::net::Ipv6Addr> {
+    let blocks = ["2001:16b8", "2a02:27b0", "2803:9810"];
+    (0..len)
+        .map(|i| {
+            format!("{}:{:x}::{:x}", blocks[i % blocks.len()], i % 7, i + 1)
+                .parse()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn observation(seq: u64, target: std::net::Ipv6Addr) -> Observation {
+    Observation {
+        phase: Phase::Density,
+        tenant: 0,
+        window: 0,
+        seq,
+        target,
+        sent_at: SimTime::at(0, seq),
+        response: None,
+    }
+}
+
+/// Routing through a warmed-up batched router performs zero heap
+/// allocations on the control thread, and the pool counters agree: every
+/// buffer the run ever used came from the prefill.
+#[test]
+fn routing_steady_state_allocates_nothing() {
+    const SHARDS: usize = 2;
+    const CAPACITY: usize = 64; // channel capacity, in batch messages
+    const BATCH: usize = 64;
+    // Covers every buffer that can simultaneously be outside the pool:
+    // per shard, the channel queue plus one buffer in the router's and one
+    // in the worker's hands (the "+1" is slack for the rotation itself).
+    const PREFILL: usize = SHARDS * (CAPACITY + 2) + 1;
+
+    let rib = rib();
+    let targets = targets(256);
+    // Pre-generate every observation so the measured loop moves `Copy` data
+    // only; the transport/producer side has its own test below.
+    let observations: Vec<Observation> = (0..4096u64)
+        .map(|i| {
+            let pos = (i as usize) % targets.len();
+            observation(pos as u64, targets[pos])
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        let (senders, handles) = spawn_shards(scope, SHARDS, CAPACITY, None);
+        let map = ShardMap::new(&rib.entries(), SHARDS);
+        let mut router =
+            ShardRouter::with_map(map, senders, BATCH).with_pool_slots(SHARDS * (CAPACITY + 2));
+        router.prefill_buffers(PREFILL);
+        let table = router.map().seq_table(targets.iter().copied());
+        router.set_seq_shards(table);
+
+        // Warm-up: one pass, then a flush so the workers have drained (and
+        // returned) everything queued before the measured section starts.
+        for obs in &observations[..1024] {
+            router.route(*obs);
+        }
+        let _ = router.flush();
+
+        // Measured steady state. 2048 observations = 32 full batches, well
+        // under the CAPACITY-message queue, so even a descheduled worker
+        // can't force the router into a blocking (parking) send here.
+        let before = thread_allocations();
+        for obs in &observations[1024..3072] {
+            router.route(*obs);
+        }
+        let after = thread_allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state routing must not touch the allocator on the control thread"
+        );
+
+        let counters = router.buffer_counters().expect("batching is on");
+        assert_eq!(
+            counters.allocated(),
+            PREFILL as u64,
+            "every buffer in circulation came from the prefill"
+        );
+        assert!(
+            counters.recycled() > 0,
+            "the measured pass must have reused buffers"
+        );
+
+        router.shutdown();
+        let total: u64 = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().observations)
+            .sum();
+        assert_eq!(total, 3072, "recycling must not lose observations");
+    });
+}
+
+/// A synthetic producer slice: yields its strided positions of a fixed
+/// global sequence, like a sliced scan stream does.
+struct SyntheticSlice {
+    next: u64,
+    step: u64,
+    limit: u64,
+    targets: Vec<std::net::Ipv6Addr>,
+}
+
+impl ObservationSource for SyntheticSlice {
+    fn next_observation(&mut self) -> Option<Observation> {
+        if self.next >= self.limit {
+            return None;
+        }
+        let seq = self.next;
+        self.next += self.step;
+        let target = self.targets[(seq as usize) % self.targets.len()];
+        Some(observation(seq, target))
+    }
+}
+
+/// The producer → merge edge recycles its batch buffers: across a run long
+/// enough to wrap the bounded channel many times, each producer's pool
+/// serves the overwhelming majority of takes from returned buffers, keeping
+/// the buffer population bounded by the channel — not by ingest volume.
+#[test]
+fn producer_edge_recycles_batch_buffers() {
+    const PRODUCERS: u64 = 2;
+    const CAPACITY: usize = 4; // batches in flight per producer channel
+    const LIMIT: u64 = 8192; // total observations = 64 batches per producer
+
+    let targets = targets(64);
+    std::thread::scope(|scope| {
+        let sources: Vec<SyntheticSlice> = (0..PRODUCERS)
+            .map(|k| SyntheticSlice {
+                next: k,
+                step: PRODUCERS,
+                limit: LIMIT,
+                targets: targets.clone(),
+            })
+            .collect();
+        let (mut clock, counters) = spawn_producers_counted(scope, sources, CAPACITY);
+        let mut merged = 0u64;
+        let mut last_seq = None;
+        while let Some(obs) = clock.next_observation() {
+            // The merge must still see the exact global sequence — recycling
+            // changes where buffer memory came from, never what's in it.
+            assert_eq!(
+                Some(obs.seq),
+                last_seq.map_or(Some(0), |s: u64| Some(s + 1))
+            );
+            last_seq = Some(obs.seq);
+            merged += 1;
+        }
+        assert_eq!(merged, LIMIT);
+
+        assert_eq!(counters.len(), PRODUCERS as usize);
+        let batches_per_producer = LIMIT / PRODUCERS / 64;
+        for (k, pool) in counters.iter().enumerate() {
+            assert!(
+                pool.allocated() >= 1,
+                "producer {k} allocated at least its first buffer"
+            );
+            assert!(
+                pool.allocated() < batches_per_producer,
+                "producer {k} allocated {} of {} batches — recycling is not working",
+                pool.allocated(),
+                batches_per_producer
+            );
+            assert!(pool.recycled() > 0, "producer {k} never recycled");
+        }
+    });
+}

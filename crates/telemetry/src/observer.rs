@@ -52,6 +52,15 @@ pub struct EpochSummary<'a> {
 /// See the [crate docs](crate) for the determinism contract. The `Sync`
 /// supertrait is what lets one observer be shared by reference across
 /// producer, router and shard-worker threads.
+///
+/// The engine's allocation-free hot path (batched channel payloads, buffer
+/// recycling, precomputed position → shard tables) is invisible from here
+/// by design: deterministic-tier hooks fire in merged clock order for the
+/// identical observation sequence whether batching and recycling are on or
+/// off — those mechanics only change where buffer memory comes from, never
+/// what flows through it. Only wall-clock-tier hooks (stalls, shard
+/// progress granularity) can observe batching at all, and they carry no
+/// determinism promise to begin with.
 pub trait StreamObserver: Sync {
     /// A streamed run is starting with the given shard and producer counts.
     fn on_run_start(&self, _shards: usize, _producers: usize) {}

@@ -237,3 +237,18 @@ pub use scent_sched as sched;
 pub use scent_simnet as simnet;
 pub use scent_stream as stream;
 pub use scent_telemetry as telemetry;
+
+// Compile-check (and where runnable, run) every fenced Rust snippet in the
+// repo-level documentation as doctests, so the docs can't drift from the API.
+// `cargo test --doc` exercises these; CI runs it in the docs leg.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../ARCHITECTURE.md")]
+mod architecture_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/PERFORMANCE.md")]
+mod performance_doctests {}
