@@ -9,9 +9,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scent_checkpoint::MemorySink;
 use scent_core::{Pipeline, PipelineConfig};
+use scent_discovery::DiscoveryConfig;
 use scent_ipv6::Ipv6Prefix;
 use scent_sched::{Campaign as SchedCampaign, Scheduler};
-use scent_simnet::{scenarios, Engine, WorldScale};
+use scent_simnet::{scenarios, Engine, SimTime, WorldScale};
 use scent_stream::{
     MonitorConfig, MonitorControl, StreamConfig, StreamMonitor, StreamPipeline, WatchChurn,
 };
@@ -626,11 +627,74 @@ fn bench_scheduler(c: &mut Criterion) {
     group.finish();
 }
 
+/// Adaptive hierarchical discovery versus a flat watch list, at equal probe
+/// budget, on the churn world whose dense /48 band marches daily within a
+/// /44. The flat strategy covers the band's whole travel range the only way
+/// a list can — watching all 16 /48s of the migrating /44 plus the control
+/// pool, 17 × 256 detection probes per window. The adaptive strategy starts
+/// *unseeded* and spends the same 4352 probes per boundary as a
+/// tree-allocated discovery sweep instead, watching only what the tree
+/// certifies dense. The pair prices the tree machinery itself — plan →
+/// sweep → fold → rebalance plus the Expansion-phase routing of every sweep
+/// probe — against the flat list's brute-force detection cost, which is the
+/// overhead the perf gate guards.
+fn bench_discovery(c: &mut Criterion) {
+    let engine = Engine::build(scenarios::churn_world(7)).unwrap();
+    let flat: Vec<Ipv6Prefix> = engine.pools()[0]
+        .config
+        .prefix
+        .subnets(48)
+        .unwrap()
+        .chain(std::iter::once(engine.pools()[1].config.prefix))
+        .collect();
+    let per_window_budget = flat.len() as u64 * 256;
+    let mut group = c.benchmark_group("streaming/discovery_experiment_scale");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("monitor_3_windows", "flat_watch"), |b| {
+        let config = MonitorConfig {
+            shards: 2,
+            windows: 3,
+            granularity: 56,
+            start: SimTime::at(10, 9),
+            churn: Some(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: flat.len(),
+                ..WatchChurn::default()
+            }),
+            ..MonitorConfig::default()
+        };
+        b.iter(|| StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&flat)))
+    });
+    group.bench_function(
+        BenchmarkId::new("monitor_3_windows", "adaptive_tree"),
+        |b| {
+            let config = MonitorConfig {
+                shards: 2,
+                windows: 3,
+                granularity: 56,
+                start: SimTime::at(10, 9),
+                churn: Some(WatchChurn {
+                    refresh_every: 1,
+                    watch_capacity: 3,
+                    ..WatchChurn::default()
+                }),
+                discovery: Some(DiscoveryConfig {
+                    probe_budget: per_window_budget,
+                    ..DiscoveryConfig::paper_scale()
+                }),
+                ..MonitorConfig::default()
+            };
+            b.iter(|| StreamMonitor::new(config.clone()).run(black_box(&engine), black_box(&[])))
+        },
+    );
+    group.finish();
+}
+
 criterion_group! {
     name = streaming;
     config = Criterion::default().sample_size(10);
     targets = bench_batch_vs_streaming, bench_monitor_ingest, bench_observation_batching,
         bench_hot_path, bench_producer_scaling, bench_watch_churn, bench_telemetry_overhead,
-        bench_checkpoint, bench_scheduler
+        bench_checkpoint, bench_scheduler, bench_discovery
 }
 criterion_main!(streaming);

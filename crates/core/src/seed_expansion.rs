@@ -67,10 +67,31 @@ impl SeedExpansion {
         seed: u64,
         max_48s_per_seed: u64,
     ) -> Self {
+        Self::run_where(transport, seed_32s, t, seed, max_48s_per_seed, |_| true)
+    }
+
+    /// [`SeedExpansion::run`] with a candidate filter: only /48s for which
+    /// `keep` returns `true` are probed (the others never reach the scanner,
+    /// so a blocklisted /48 produces no probe at all — not a discarded
+    /// response). The filter is applied to the deterministic candidate
+    /// enumeration, so a filtered run is itself deterministic.
+    pub fn run_where<T, F>(
+        transport: &T,
+        seed_32s: &[Ipv6Prefix],
+        t: SimTime,
+        seed: u64,
+        max_48s_per_seed: u64,
+        keep: F,
+    ) -> Self
+    where
+        T: ProbeTransport + ?Sized,
+        F: FnMut(&Ipv6Prefix) -> bool,
+    {
         let generator = TargetGenerator::new(seed);
         let scanner = Scanner::at_paper_rate(seed ^ 0x9e37);
 
-        let candidate_48s = Self::candidate_48s(seed_32s, max_48s_per_seed);
+        let mut candidate_48s = Self::candidate_48s(seed_32s, max_48s_per_seed);
+        candidate_48s.retain(keep);
         let targets: Vec<_> = candidate_48s
             .iter()
             .map(|c| generator.random_addr_in(c))

@@ -39,6 +39,7 @@ const SECTION_PROGRESS: u16 = 1;
 const SECTION_WATCH: u16 = 2;
 const SECTION_SHARDS: u16 = 3;
 const SECTION_TELEMETRY: u16 = 4;
+const SECTION_DISCOVERY: u16 = 5;
 
 /// A cooperative stop request, checked by the monitor at epoch boundaries.
 ///
@@ -94,6 +95,11 @@ pub struct MonitorSnapshot {
     pub watched: Vec<Ipv6Prefix>,
     /// Every watch-list revision applied so far, in epoch order.
     pub revisions: Vec<WatchRevision>,
+    /// The discovery tree as of this boundary, when the run had
+    /// [`MonitorConfig::discovery`] on. Cursor positions included: planning
+    /// advances sweep cursors, so a resumed tree continues its permutations
+    /// exactly where the suspended run left them.
+    pub discovery: Option<scent_discovery::DiscoveryTree>,
     /// Each shard's complete inference state, in shard-index order.
     pub shards: Vec<ShardInference>,
     /// The telemetry deterministic tier, when an observer that carries one
@@ -116,6 +122,7 @@ impl MonitorSnapshot {
 
         let shards = encode_value(&self.shards);
         let telemetry = encode_value(&self.telemetry);
+        let discovery = encode_value(&self.discovery);
 
         encode_snapshot(
             self.config_fingerprint,
@@ -125,6 +132,7 @@ impl MonitorSnapshot {
                 (SECTION_WATCH, watch.as_bytes()),
                 (SECTION_SHARDS, &shards),
                 (SECTION_TELEMETRY, &telemetry),
+                (SECTION_DISCOVERY, &discovery),
             ],
         )
     }
@@ -143,13 +151,14 @@ impl MonitorSnapshot {
             world_fingerprint: header.world_fingerprint,
             ..MonitorSnapshot::default()
         };
-        let mut seen = [false; 4];
+        let mut seen = [false; 5];
         for (id, payload) in sections {
             let slot = match id {
                 SECTION_PROGRESS => 0,
                 SECTION_WATCH => 1,
                 SECTION_SHARDS => 2,
                 SECTION_TELEMETRY => 3,
+                SECTION_DISCOVERY => 4,
                 _ => return Err(CheckpointError::InvalidValue("unknown snapshot section")),
             };
             if seen[slot] {
@@ -177,6 +186,7 @@ impl MonitorSnapshot {
                 }
                 SECTION_SHARDS => snapshot.shards = decode_value(payload)?,
                 SECTION_TELEMETRY => snapshot.telemetry = decode_value(payload)?,
+                SECTION_DISCOVERY => snapshot.discovery = decode_value(payload)?,
                 _ => unreachable!("matched above"),
             }
         }
@@ -221,6 +231,13 @@ pub fn config_fingerprint(cfg: &MonitorConfig, watched_48s: &[Ipv6Prefix]) -> u6
             w.put_usize(churn.watch_capacity);
             w.put_u8(churn.expansion_len);
             w.put_u64(churn.max_48s_per_seed);
+        }
+    }
+    match &cfg.discovery {
+        None => w.put_bool(false),
+        Some(discovery) => {
+            w.put_bool(true);
+            discovery.fingerprint_into(&mut w);
         }
     }
     cfg.checkpoint_every.encode(&mut w);
@@ -368,6 +385,10 @@ mod tests {
                 admitted: vec!["2001:db8:2::/48".parse().unwrap()],
                 evicted: vec![],
             }],
+            discovery: Some(scent_discovery::DiscoveryTree::from_announcements(
+                vec!["2001:db8::/32".parse().unwrap()],
+                7,
+            )),
             shards: vec![populated_shard(), ShardInference::new()],
             telemetry: None,
         };
@@ -381,6 +402,7 @@ mod tests {
         assert_eq!(back.final_rate, snapshot.final_rate);
         assert_eq!(back.watched, snapshot.watched);
         assert_eq!(back.revisions, snapshot.revisions);
+        assert_eq!(back.discovery, snapshot.discovery);
         assert_eq!(back.telemetry, snapshot.telemetry);
         assert_eq!(back.shards.len(), 2);
         shards_equal(&back.shards[0], &snapshot.shards[0]);
@@ -426,6 +448,9 @@ mod tests {
         assert_ne!(base, config_fingerprint(&other, &watched));
         let mut other = cfg.clone();
         other.inject_shard_panic = Some(0);
+        assert_ne!(base, config_fingerprint(&other, &watched));
+        let mut other = cfg.clone();
+        other.discovery = Some(scent_discovery::DiscoveryConfig::paper_scale());
         assert_ne!(base, config_fingerprint(&other, &watched));
         assert_ne!(base, config_fingerprint(&cfg, &[]));
     }

@@ -25,8 +25,9 @@ use scent_checkpoint::{CheckpointError, CheckpointSink};
 use scent_core::density::DensityAccumulator;
 use scent_core::rotation_detect::{RotationEvent, WindowedRotationDetector};
 use scent_core::{RotationDetection, SeedExpansion, TrackingReport, WatchRevision};
+use scent_discovery::{DiscoveryConfig, DiscoveryReport, DiscoveryTree};
 use scent_ipv6::Ipv6Prefix;
-use scent_prober::{ProbeTransport, QueueModel, TargetGenerator, TargetStream, WorldView};
+use scent_prober::{ProbeTransport, QueueModel, Scanner, TargetGenerator, TargetStream, WorldView};
 use scent_simnet::{SimDuration, SimTime};
 
 use scent_telemetry::{EpochSummary, StreamObserver};
@@ -168,6 +169,18 @@ pub struct MonitorConfig {
     /// state plus a boundary re-expansion probe. `None` (the default) keeps
     /// the watch list fixed for the whole run.
     pub churn: Option<WatchChurn>,
+    /// When set (requires [`MonitorConfig::churn`]), the monitor grows an
+    /// adaptive [`DiscoveryTree`] over the announced space: at every epoch
+    /// boundary it runs one decay/fold/sweep/rebalance cycle, routes the
+    /// sweep probes through the inference shards as expansion-phase
+    /// observations, and feeds the tree's confidently dense /48s into the
+    /// watch-list revision as admission candidates — so a monitor can start
+    /// from an **empty** watch list and discover the occupied bands itself.
+    /// The discovery blocklist is also consulted by the detection-phase
+    /// target stream and the boundary re-expansion, so no probe of any phase
+    /// enters a blocked prefix. `None` (the default) keeps the flat-list
+    /// behavior exactly.
+    pub discovery: Option<DiscoveryConfig>,
     /// Checkpoint cadence, in windows: when a
     /// [`CheckpointSink`] is attached (via
     /// [`MonitorControl::sink`]), a snapshot is written at every epoch
@@ -207,6 +220,7 @@ impl Default for MonitorConfig {
             queue_model: QueueModel::default(),
             retention_windows: None,
             churn: None,
+            discovery: None,
             checkpoint_every: None,
             inject_shard_panic: None,
         }
@@ -254,8 +268,19 @@ pub struct MonitorReport {
     /// When a churning run's watch list drained to terminal-empty, the
     /// completed-window count at that boundary (the run ended there —
     /// [`MonitorReport::windows`] equals this value). `None` for every run
-    /// that kept a non-empty watch list.
+    /// that kept a non-empty watch list. With discovery on, an empty watch
+    /// list is terminal only once the tree's frontier is dead too (every
+    /// leaf classified or blocked) — while the frontier is live, discovery
+    /// can still refill the list.
     pub exhausted_at: Option<u64>,
+    /// Every /48 validated (EUI-64 response) by an expansion-phase
+    /// observation ingested through the inference shards — the discovery
+    /// sweep's probes — in prefix order. Empty without discovery: boundary
+    /// re-expansion probes feed the revision step directly and are accounted
+    /// in [`MonitorReport::expansion_probes`] instead.
+    pub validated_48s: Vec<Ipv6Prefix>,
+    /// The discovery-tree summary, when [`MonitorConfig::discovery`] was on.
+    pub discovery: Option<DiscoveryReport>,
 }
 
 impl MonitorReport {
@@ -457,6 +482,7 @@ pub struct MonitorSession<'a, B: ?Sized> {
     initial_watched: Vec<Ipv6Prefix>,
     watched: Vec<Ipv6Prefix>,
     revisions: Vec<WatchRevision>,
+    discovery: Option<DiscoveryTree>,
     expansion_probes: u64,
     next_epoch: usize,
     current_window: u64,
@@ -482,7 +508,11 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
     /// A churn-enabled session whose *initial* watch list is already empty
     /// starts exhausted ([`MonitorReport::exhausted_at`] `= Some(0)`):
     /// there is nothing to probe, and boundary re-expansion — seeded from
-    /// the watched /48s — could never refill the list.
+    /// the watched /48s — could never refill the list. With
+    /// [`MonitorConfig::discovery`] on, the empty start is instead the
+    /// *unseeded* mode: the discovery tree's boundary sweeps can refill the
+    /// list, so the session starts exhausted only when the blocklist kills
+    /// the whole frontier.
     pub fn new(
         world: &'a B,
         config: MonitorConfig,
@@ -517,6 +547,27 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                 );
             }
         }
+        if let Some(discovery) = &cfg.discovery {
+            assert!(
+                cfg.churn.is_some(),
+                "discovery requires churn: tree candidates enter via watch revisions"
+            );
+            assert!(
+                discovery.probe_budget > 0,
+                "discovery budget must be non-zero"
+            );
+            assert!(discovery.rounds > 0, "discovery rounds must be non-zero");
+            assert!(
+                (1..=8).contains(&discovery.branch_bits),
+                "discovery branch bits must be in 1..=8"
+            );
+        }
+        let discovery = cfg.discovery.as_ref().map(|_| {
+            DiscoveryTree::from_announcements(
+                world.rib().entries().iter().map(|e| e.prefix),
+                cfg.seed,
+            )
+        });
         let generator = TargetGenerator::new(cfg.seed);
         // One ShardMap instance serves both the router and (when feedback is
         // on) every producer's virtual-queue pacer, so the two agree on
@@ -537,7 +588,16 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             .step_by(epoch_windows as usize)
             .map(|start| (start, epoch_windows.min(cfg.windows - start)))
             .collect();
-        let exhausted_at = (cfg.churn.is_some() && watched_48s.is_empty()).then_some(0);
+        // An empty initial watch list is terminal unless a live discovery
+        // frontier can refill it (the unseeded-start mode). A discovery
+        // frontier is dead from the start only when the blocklist covers the
+        // entire announced space.
+        let frontier_live = match (&discovery, &cfg.discovery) {
+            (Some(tree), Some(discovery)) => tree.frontier_live(discovery),
+            _ => false,
+        };
+        let exhausted_at =
+            (cfg.churn.is_some() && watched_48s.is_empty() && !frontier_live).then_some(0);
         let states: Vec<ShardInference> = (0..cfg.shards).map(|_| ShardInference::new()).collect();
         let final_rate = cfg.packets_per_second;
         let (live_tx, live_rx) = std::sync::mpsc::channel();
@@ -553,6 +613,7 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             initial_watched: watched_48s.clone(),
             watched: watched_48s,
             revisions: Vec::new(),
+            discovery,
             expansion_probes: 0,
             next_epoch: 0,
             current_window: 0,
@@ -622,6 +683,16 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         self.watched = snapshot.watched;
         self.revisions = snapshot.revisions;
         self.expansion_probes = snapshot.expansion_probes;
+        // The config fingerprint already ties the snapshot to this run's
+        // discovery configuration; the tree's presence must agree with it.
+        if snapshot.discovery.is_some() != self.config.discovery.is_some() {
+            return Err(CheckpointError::InvalidValue(
+                "snapshot discovery state does not match the configuration",
+            ));
+        }
+        if snapshot.discovery.is_some() {
+            self.discovery = snapshot.discovery;
+        }
         if let (Some(telemetry), Some(det)) = (self.observer, &snapshot.telemetry) {
             telemetry.restore_deterministic(det);
         }
@@ -654,10 +725,22 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         self.states = states;
         // A snapshot taken at an exhaustion boundary restores to a parked
         // session. The `WatchExhausted` event is already in the restored
-        // telemetry journal, so it is not re-emitted.
-        self.exhausted_at = (self.config.churn.is_some() && self.watched.is_empty())
-            .then_some(self.completed_windows);
+        // telemetry journal, so it is not re-emitted. An empty watch list
+        // with a live discovery frontier is mid-discovery, not exhausted.
+        self.exhausted_at = (self.config.churn.is_some()
+            && self.watched.is_empty()
+            && !self.discovery_frontier_live())
+        .then_some(self.completed_windows);
         Ok(self)
+    }
+
+    /// Whether the discovery tree still has an unblocked, unclassified leaf
+    /// — the condition under which an empty watch list is *not* terminal.
+    fn discovery_frontier_live(&self) -> bool {
+        match (&self.discovery, &self.config.discovery) {
+            (Some(tree), Some(discovery)) => tree.frontier_live(discovery),
+            _ => false,
+        }
     }
 
     fn fingerprints(&mut self) -> (u64, u64) {
@@ -740,11 +823,26 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         let feedback_map = &self.feedback_map;
         let stop_flag = &self.stop;
         let watched = &self.watched;
+        // The discovery blocklist filters the detection stream's targets at
+        // enumeration time, before any probe exists. With no blocklist (or
+        // no discovery) the unfiltered construction is byte-identical — the
+        // filtered path is the same enumeration with a no-op retain.
+        let blocklist = cfg
+            .discovery
+            .as_ref()
+            .map(|d| &d.blocklist)
+            .filter(|b| !b.is_empty());
+        let make_targets = |watched: &[Ipv6Prefix]| match blocklist {
+            Some(list) => {
+                let mut targets = generator.per_candidate_48(watched, cfg.granularity);
+                targets.retain(|t| !list.covers_addr(*t));
+                TargetStream::over(targets, cfg.seed, true)
+            }
+            None => TargetStream::new(generator, watched, cfg.granularity, cfg.seed, true),
+        };
         let build_stream =
             |watched: &[Ipv6Prefix], start_window: u64, producer: usize, producers: usize| {
-                let targets =
-                    TargetStream::new(generator, watched, cfg.granularity, cfg.seed, true)
-                        .starting_at_window(start_window);
+                let targets = make_targets(watched).starting_at_window(start_window);
                 let mut builder = ContinuousStream::builder(world, targets)
                     .rate_pps(pps)
                     .start(cfg.start)
@@ -758,6 +856,11 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             };
 
         let initial = std::mem::take(&mut self.states);
+        // The discovery tree is driven inside the thread scope (its sweep
+        // observations must route into live shards), so it moves into a
+        // local for the epoch and back afterwards.
+        let mut discovery = self.discovery.take();
+        let mut tree_candidates: Vec<Ipv6Prefix> = Vec::new();
         let live_tx = self.live_tx.clone();
         let shard_map = self.shard_map.clone();
         let mut current_window = self.current_window;
@@ -787,10 +890,7 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             // This epoch's watch list probes one window-invariant permuted
             // order, so a position → shard table computed once here replaces
             // the per-observation trie walk for the whole epoch.
-            let table = crate::source::continuous_seq_shards(
-                router.map(),
-                &TargetStream::new(generator, watched, cfg.granularity, cfg.seed, true),
-            );
+            let table = crate::source::continuous_seq_shards(router.map(), &make_targets(watched));
             router.set_seq_shards(table);
             // A fresh merge-side rate replica per epoch, mirroring the
             // epoch's fresh producer pacers (each epoch's revised target
@@ -878,6 +978,62 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                 }
             };
 
+            // Boundary discovery cycle — run inside the scope so the sweep's
+            // expansion-phase observations route into the live shards and
+            // validated-/48 state grows in the same run that discovered it.
+            // The cycle is merge-side only (after every producer drained), so
+            // it is invariant across producer counts by construction; the
+            // final boundary is skipped like the watch revision (its
+            // candidates could never be probed).
+            if let (Some(tree), Some(dcfg)) = (discovery.as_mut(), cfg.discovery.as_ref()) {
+                if epoch + 1 < epochs_len && router.dead_shard().is_none() {
+                    // Discovery targets are not in this epoch's seq table;
+                    // fall back to per-observation trie walks for them.
+                    router.clear_seq_shards();
+                    let boundary = cfg.start
+                        + SimDuration::from_secs(
+                            cfg.window_interval.as_secs() * (start_window + len),
+                        );
+                    tree.decay(dcfg);
+                    // Fold the closing epoch's density evidence, sorted so
+                    // the fold never depends on the fast-hashed accumulator
+                    // map's iteration order.
+                    let mut folded: Vec<(Ipv6Prefix, u64, u64)> = epoch_density
+                        .iter()
+                        .map(|(prefix, acc)| (*prefix, acc.probes, acc.uniques.len() as u64))
+                        .collect();
+                    folded.sort_by_key(|entry| entry.0);
+                    tree.fold_density(dcfg, folded);
+                    let scanner = Scanner::at_paper_rate(cfg.seed ^ 0x5c37);
+                    let mut seq = 0u64;
+                    for _ in 0..dcfg.rounds {
+                        let budget = (dcfg.probe_budget / u64::from(dcfg.rounds)).max(1);
+                        let plan = tree.plan(dcfg, generator, cfg.granularity, budget);
+                        if plan.is_empty() {
+                            continue;
+                        }
+                        let targets: Vec<Ipv6Addr> =
+                            plan.iter().map(|probe| probe.target).collect();
+                        let scan = scanner.scan(world, &targets, boundary);
+                        for record in &scan.records {
+                            router.route(crate::observation::Observation {
+                                phase: crate::observation::Phase::Expansion,
+                                tenant,
+                                window: start_window + len - 1,
+                                seq,
+                                target: record.target,
+                                sent_at: record.sent_at,
+                                response: record.response,
+                            });
+                            seq += 1;
+                        }
+                        tree.fold_probes(dcfg, scan.records.iter());
+                        tree.rebalance(dcfg);
+                    }
+                    tree_candidates = tree.dense_48s(dcfg);
+                }
+            }
+
             let stalls = router.stalls();
             router.shutdown();
             // Join every worker even after a death: surviving shards drain
@@ -900,6 +1056,7 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
         });
 
         self.stalls += stalls;
+        self.discovery = discovery;
         if let Some(shard) = panicked {
             self.failed = true;
             return Err(StreamError::ShardPanicked { shard });
@@ -928,19 +1085,28 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                     .collect();
                 seeds.sort();
                 seeds.dedup();
-                let expansion = SeedExpansion::run(
+                let blocklist = self.config.discovery.as_ref().map(|d| &d.blocklist);
+                let expansion = SeedExpansion::run_where(
                     self.world,
                     &seeds,
                     boundary,
                     self.config.seed,
                     churn.max_48s_per_seed,
+                    |candidate| !blocklist.is_some_and(|list| list.covers(candidate)),
                 );
-                self.expansion_probes += expansion.probed_48s;
+                let expansion_probes = expansion.probed_48s;
+                self.expansion_probes += expansion_probes;
+                // Admission candidates: the boundary re-expansion's
+                // validated /48s first (the flat churn signal), then the
+                // discovery tree's confidently dense /48s. The revision
+                // dedups and enforces capacity either way.
+                let mut candidates = expansion.validated_48s;
+                candidates.extend(tree_candidates.iter().copied());
                 let (next, revision) = SeedExpansion::revise_watch_list(
                     epoch as u64,
                     &self.watched,
                     &epoch_density,
-                    &expansion.validated_48s,
+                    &candidates,
                     churn.watch_capacity,
                 );
                 if let Some(telemetry) = self.observer {
@@ -951,7 +1117,7 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                         admitted: &revision.admitted,
                         evicted: &revision.evicted,
                         watch_len: next.len(),
-                        expansion_probes: expansion.probed_48s,
+                        expansion_probes,
                     });
                 }
                 self.watched = next;
@@ -962,7 +1128,11 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
                 // refill — record the exhaustion (in the deterministic
                 // telemetry journal too) and end the run here instead of
                 // spinning empty epochs and charging expansion probes.
-                if self.watched.is_empty() {
+                // With discovery on, a live tree frontier is a second
+                // refill path, so the terminal state additionally requires
+                // the frontier to be dead (every leaf classified or
+                // blocked).
+                if self.watched.is_empty() && !self.discovery_frontier_live() {
                     self.exhausted_at = Some(start_window + len);
                     if let Some(telemetry) = self.observer {
                         telemetry.on_watch_exhausted(
@@ -994,6 +1164,7 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             final_rate: self.final_rate,
             watched: self.watched.clone(),
             revisions: self.revisions.clone(),
+            discovery: self.discovery.clone(),
             shards: self.states.clone(),
             telemetry: self.observer.and_then(|o| o.checkpoint_deterministic()),
         }
@@ -1032,6 +1203,11 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             self.config.max_tracked,
         );
 
+        let discovery = match (&self.discovery, &self.config.discovery) {
+            (Some(tree), Some(discovery)) => Some(tree.report(discovery)),
+            _ => None,
+        };
+
         MonitorReport {
             windows: self.completed_windows,
             observations: merged.observations,
@@ -1045,6 +1221,8 @@ impl<'a, B: ProbeTransport + WorldView + ?Sized> MonitorSession<'a, B> {
             final_watch: self.watched,
             expansion_probes: self.expansion_probes,
             exhausted_at: self.exhausted_at,
+            validated_48s: merged.validated.iter().copied().collect(),
+            discovery,
         }
     }
 }

@@ -9,6 +9,7 @@
 //! order), and the one wall-clock diagnostic in a monitor report
 //! (`backpressure_stalls`) is zeroed before printing.
 
+use followscent::discovery::DiscoveryConfig;
 use followscent::prober::QueueModel;
 use followscent::simnet::{scenarios, Engine, SimTime, WorldScale};
 use followscent::stream::{MonitorConfig, StopSignal, WatchChurn};
@@ -189,6 +190,41 @@ fn main() -> Result<(), ScentError> {
         resumed.windows
     );
     println!("{resumed:#?}");
+
+    // Unseeded adaptive discovery on the churn world, across producer
+    // counts: the monitor starts with an *empty* watch list and grows its
+    // confidence-split prefix tree from the announcement topology alone.
+    // The printed report includes the tree's final state (splits, merges,
+    // dense certificates), the revision history its candidates drove, and
+    // the validated-/48 set its Phase::Expansion probes populated — so any
+    // scheduling dependence anywhere in the plan→sweep→fold→rebalance
+    // boundary cycle shows up as a byte diff.
+    for producers in [1usize, 4] {
+        let report = Campaign::builder()
+            .world(&engine)
+            .seed(0x57ae)
+            .watch_churn(WatchChurn {
+                refresh_every: 1,
+                watch_capacity: 3,
+                ..WatchChurn::default()
+            })
+            .discovery(DiscoveryConfig {
+                probe_budget: 262_144,
+                ..DiscoveryConfig::paper_scale()
+            })
+            .monitor_granularity(56)
+            .start(start)
+            .mode(CampaignMode::Monitor {
+                windows: 3,
+                shards: 2,
+                producers,
+            })
+            .run()?;
+        let mut report = report.monitor().expect("monitor report").clone();
+        report.backpressure_stalls = 0; // wall-clock diagnostic, not state
+        println!("== monitor adaptive-discovery unseeded, producers={producers} ==");
+        println!("{report:#?}");
+    }
 
     // A 3-tenant scheduler run over one probe budget: distinct weights,
     // cadences and feedback configurations multiplexed by time-division.

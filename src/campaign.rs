@@ -133,6 +133,7 @@ use std::path::PathBuf;
 
 use scent_checkpoint::{CheckpointSink, FileCheckpointStore};
 use scent_core::{Pipeline, PipelineConfig, PipelineReport};
+use scent_discovery::DiscoveryConfig;
 use scent_ipv6::Ipv6Prefix;
 use scent_prober::{ProbeTransport, QueueModel, WorldView};
 use scent_simnet::{SimDuration, SimTime};
@@ -230,6 +231,7 @@ impl Campaign {
             queue_model: QueueModel::default(),
             retention_windows: None,
             churn: None,
+            discovery: None,
             checkpoint_every: None,
             checkpoint_to: None,
             resume_from: None,
@@ -262,6 +264,7 @@ pub struct CampaignBuilder<'t, W> {
     queue_model: QueueModel,
     retention_windows: Option<u64>,
     churn: Option<WatchChurn>,
+    discovery: Option<DiscoveryConfig>,
     checkpoint_every: Option<u64>,
     checkpoint_to: Option<PathBuf>,
     resume_from: Option<PathBuf>,
@@ -286,6 +289,7 @@ impl<W: std::fmt::Debug> std::fmt::Debug for CampaignBuilder<'_, W> {
             .field("queue_model", &self.queue_model)
             .field("retention_windows", &self.retention_windows)
             .field("churn", &self.churn)
+            .field("discovery", &self.discovery)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("checkpoint_to", &self.checkpoint_to)
             .field("resume_from", &self.resume_from)
@@ -452,6 +456,23 @@ impl<'t, W> CampaignBuilder<'t, W> {
         self
     }
 
+    /// Enable adaptive hierarchical target discovery: the monitor grows a
+    /// confidence-split prefix tree rooted at the world's BGP announcements,
+    /// folds every epoch's density evidence into it, sweeps a bounded probe
+    /// budget over the most promising frontier at each churn boundary, and
+    /// feeds the tree's confidently-dense /48s into the watch-list revision
+    /// alongside the seeded re-expansion candidates. With discovery on, an
+    /// empty initial watch list is legal — the campaign bootstraps itself
+    /// from the announcement topology alone. Requires
+    /// [`CampaignMode::Monitor`] and watch-list churn
+    /// ([`CampaignBuilder::refresh_every`]); the configuration's blocklist
+    /// is honoured by every probe path (detection stream, boundary
+    /// re-expansion and the discovery sweep itself).
+    pub fn discovery(mut self, discovery: DiscoveryConfig) -> Self {
+        self.discovery = Some(discovery);
+        self
+    }
+
     /// Write a crash-safe snapshot every `checkpoint_every` windows (and
     /// always at the final epoch and at a graceful stop). Requires a
     /// destination ([`CampaignBuilder::checkpoint_to`]) and monitor mode.
@@ -523,6 +544,7 @@ impl<'t, W> CampaignBuilder<'t, W> {
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
             churn: self.churn,
+            discovery: self.discovery,
             checkpoint_every: self.checkpoint_every,
             checkpoint_to: self.checkpoint_to,
             resume_from: self.resume_from,
@@ -557,6 +579,7 @@ impl<'t> CampaignBuilder<'t, ()> {
             queue_model: self.queue_model,
             retention_windows: self.retention_windows,
             churn: self.churn,
+            discovery: self.discovery,
             checkpoint_every: self.checkpoint_every,
             checkpoint_to: self.checkpoint_to,
             resume_from: self.resume_from,
@@ -607,6 +630,23 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
         if wants_checkpoint && !matches!(self.mode, CampaignMode::Monitor { .. }) {
             return Err(CampaignError::CheckpointRequiresMonitor.into());
         }
+        if let Some(discovery) = &self.discovery {
+            if !matches!(self.mode, CampaignMode::Monitor { .. }) {
+                return Err(CampaignError::DiscoveryRequiresMonitor.into());
+            }
+            if self.churn.is_none() {
+                return Err(CampaignError::DiscoveryRequiresChurn.into());
+            }
+            if discovery.probe_budget == 0 {
+                return Err(CampaignError::ZeroDiscoveryBudget.into());
+            }
+            if discovery.rounds == 0 {
+                return Err(CampaignError::ZeroDiscoveryRounds.into());
+            }
+            if !(1..=8).contains(&discovery.branch_bits) {
+                return Err(CampaignError::InvalidDiscoveryBranch.into());
+            }
+        }
         match self.mode {
             CampaignMode::Batch => Ok(CampaignReport::Pipeline(
                 Pipeline::new(self.pipeline).run(self.world),
@@ -645,7 +685,9 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
                 if windows == 0 {
                     return Err(CampaignError::NoWindows.into());
                 }
-                if self.watched.is_empty() {
+                if self.watched.is_empty() && self.discovery.is_none() {
+                    // Discovery bootstraps an empty watch list from the
+                    // announcement topology; without it, nothing ever would.
                     return Err(CampaignError::EmptyWatchList.into());
                 }
                 let config = MonitorConfig {
@@ -666,6 +708,7 @@ impl<B: ProbeTransport + WorldView + ?Sized> CampaignBuilder<'_, &B> {
                     queue_model: self.queue_model,
                     retention_windows: self.retention_windows,
                     churn: self.churn,
+                    discovery: self.discovery,
                     checkpoint_every: self.checkpoint_every,
                     inject_shard_panic: None,
                 };

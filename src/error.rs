@@ -61,6 +61,23 @@ pub enum CampaignError {
     ///
     /// [`CampaignMode::Monitor`]: crate::CampaignMode::Monitor
     CheckpointRequiresMonitor,
+    /// Adaptive discovery was configured on a non-monitor campaign; the
+    /// discovery tree evolves at monitor epoch boundaries, which the batch
+    /// and streamed pipelines do not have.
+    DiscoveryRequiresMonitor,
+    /// Adaptive discovery was configured without watch-list churn: the
+    /// tree's dense /48s enter the watch list through churn revisions, so a
+    /// churn-less discovery run could never act on what it discovers.
+    DiscoveryRequiresChurn,
+    /// Adaptive discovery was configured with a zero per-boundary probe
+    /// budget (the tree could never gather evidence).
+    ZeroDiscoveryBudget,
+    /// Adaptive discovery was configured with zero plan/probe/fold rounds
+    /// per boundary.
+    ZeroDiscoveryRounds,
+    /// Adaptive discovery was configured with a branch factor outside
+    /// 1..=8 bits per tree level.
+    InvalidDiscoveryBranch,
 }
 
 impl fmt::Display for CampaignError {
@@ -130,6 +147,36 @@ impl fmt::Display for CampaignError {
                 write!(
                     f,
                     "checkpoint, resume and stop signals require CampaignMode::Monitor"
+                )
+            }
+            CampaignError::DiscoveryRequiresMonitor => {
+                write!(f, "adaptive discovery requires CampaignMode::Monitor")
+            }
+            CampaignError::DiscoveryRequiresChurn => {
+                write!(
+                    f,
+                    "adaptive discovery requires watch-list churn; call churn(..)"
+                )
+            }
+            CampaignError::ZeroDiscoveryBudget => {
+                write!(
+                    f,
+                    "adaptive discovery needs a non-zero per-boundary probe budget \
+                     (probe_budget)"
+                )
+            }
+            CampaignError::ZeroDiscoveryRounds => {
+                write!(
+                    f,
+                    "adaptive discovery needs at least one plan/probe/fold round \
+                     per boundary (rounds)"
+                )
+            }
+            CampaignError::InvalidDiscoveryBranch => {
+                write!(
+                    f,
+                    "adaptive discovery branch factor must be 1..=8 bits per level \
+                     (branch_bits)"
                 )
             }
         }
@@ -234,6 +281,8 @@ mod tests {
 
         let campaign: ScentError = CampaignError::EmptyWatchList.into();
         assert!(campaign.to_string().contains("watched /48s"));
+        let discovery: ScentError = CampaignError::DiscoveryRequiresChurn.into();
+        assert!(discovery.to_string().contains("churn"));
         assert_eq!(
             campaign,
             ScentError::Campaign(CampaignError::EmptyWatchList)

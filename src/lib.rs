@@ -197,6 +197,9 @@
 //!   backends.
 //! * [`core`] — the paper's inference and tracking algorithms (batch and
 //!   incremental).
+//! * [`discovery`] — adaptive hierarchical target discovery: the
+//!   confidence-split prefix tree, Wilson-bound density certificates,
+//!   probe blocklists and budgeted frontier sweeps.
 //! * [`stream`] — the sharded streaming monitor built on the incremental
 //!   algorithms: continuous rotation detection with bounded memory.
 //! * [`checkpoint`] — the versioned snapshot codec: the
@@ -229,6 +232,7 @@ pub use scent_sched::Scheduler;
 pub use scent_bgp as bgp;
 pub use scent_checkpoint as checkpoint;
 pub use scent_core as core;
+pub use scent_discovery as discovery;
 pub use scent_experiments as experiments;
 pub use scent_ipv6 as ipv6;
 pub use scent_oui as oui;
